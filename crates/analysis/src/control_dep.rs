@@ -1,0 +1,144 @@
+//! Control dependence (Ferrante–Ottenstein–Warren).
+//!
+//! Node `y` is control dependent on branch node `x` iff `x` has an edge to
+//! some `s` such that `y` post-dominates `s` (or `y == s`), and `y` does not
+//! strictly post-dominate `x`. Computed with the classic algorithm: for
+//! every CFG edge `(a, b)` where `b` does not post-dominate `a`, walk the
+//! post-dominator tree upward from `b` to (exclusive) `ipdom(a)`, marking
+//! every visited node as control dependent on `a`.
+
+use crate::cfg::{Cfg, NodeId};
+use crate::domtree::DomTree;
+
+/// Control dependences over a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct ControlDeps {
+    /// `deps[n]` = branch nodes `n` is directly control dependent on.
+    deps: Vec<Vec<NodeId>>,
+    /// `dependents[n]` = nodes directly control dependent on branch `n`.
+    dependents: Vec<Vec<NodeId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences from a CFG and its post-dominator tree.
+    pub fn compute(cfg: &Cfg, postdom: &DomTree) -> ControlDeps {
+        let n = cfg.len();
+        let mut deps = vec![Vec::new(); n];
+        let mut dependents = vec![Vec::new(); n];
+        for a in cfg.node_ids() {
+            if cfg.succs(a).len() < 2 {
+                continue;
+            }
+            for &b in cfg.succs(a) {
+                if postdom.dominates(b, a) {
+                    continue;
+                }
+                // Walk up the post-dominator tree from b to ipdom(a),
+                // exclusive.
+                let stop = postdom.idom(a);
+                let mut cur = Some(b);
+                while let Some(node) = cur {
+                    if Some(node) == stop {
+                        break;
+                    }
+                    if !deps[node].contains(&a) {
+                        deps[node].push(a);
+                        dependents[a].push(node);
+                    }
+                    cur = postdom.idom(node);
+                }
+            }
+        }
+        ControlDeps { deps, dependents }
+    }
+
+    /// Branch nodes that directly control `node`.
+    pub fn controllers_of(&self, node: NodeId) -> &[NodeId] {
+        &self.deps[node]
+    }
+
+    /// Nodes directly controlled by branch `node`.
+    pub fn controlled_by(&self, node: NodeId) -> &[NodeId] {
+        &self.dependents[node]
+    }
+
+    /// All branch nodes that transitively control `node` (the node's
+    /// *control ancestors* in the paper's terminology).
+    pub fn transitive_controllers(&self, node: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.deps.len()];
+        let mut out = Vec::new();
+        let mut work = vec![node];
+        while let Some(n) = work.pop() {
+            for &c in &self.deps[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    out.push(c);
+                    work.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::{FuncId, StmtId};
+
+    fn setup(src: &str) -> (Cfg, ControlDeps) {
+        let p = hps_lang::parse(src).expect("parses");
+        let cfg = Cfg::build(p.func(FuncId::new(0)));
+        let pdom = DomTree::postdominators(&cfg);
+        (cfg.clone(), ControlDeps::compute(&cfg, &pdom))
+    }
+
+    #[test]
+    fn branch_controls_its_arms_not_the_join() {
+        let (cfg, cd) =
+            setup("fn f(x: int) { if (x > 0) { print(1); } else { print(2); } print(3); }");
+        let cond = cfg.node_of(StmtId::new(0));
+        let t = cfg.node_of(StmtId::new(1));
+        let e = cfg.node_of(StmtId::new(2));
+        let join = cfg.node_of(StmtId::new(3));
+        assert_eq!(cd.controllers_of(t), &[cond]);
+        assert_eq!(cd.controllers_of(e), &[cond]);
+        assert!(cd.controllers_of(join).is_empty());
+        let mut controlled = cd.controlled_by(cond).to_vec();
+        controlled.sort_unstable();
+        let mut expect = vec![t, e];
+        expect.sort_unstable();
+        assert_eq!(controlled, expect);
+    }
+
+    #[test]
+    fn loop_condition_controls_body_and_itself() {
+        let (cfg, cd) = setup("fn f(n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+        let cond = cfg.node_of(StmtId::new(1));
+        let body = cfg.node_of(StmtId::new(2));
+        assert_eq!(cd.controllers_of(body), &[cond]);
+        // A loop condition controls its own re-execution.
+        assert_eq!(cd.controllers_of(cond), &[cond]);
+    }
+
+    #[test]
+    fn nested_control_ancestors_are_transitive() {
+        let (cfg, cd) = setup(
+            "fn f(n: int) {
+                var i: int = 0;
+                while (i < n) {
+                    if (i > 2) { print(i); }
+                    i = i + 1;
+                }
+            }",
+        );
+        let wcond = cfg.node_of(StmtId::new(1));
+        let icond = cfg.node_of(StmtId::new(2));
+        let pr = cfg.node_of(StmtId::new(3));
+        assert_eq!(cd.controllers_of(pr), &[icond]);
+        let anc = cd.transitive_controllers(pr);
+        assert!(anc.contains(&icond));
+        assert!(anc.contains(&wcond));
+    }
+}

@@ -1,0 +1,189 @@
+//! Dominator and post-dominator trees.
+//!
+//! Iterative algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast
+//! Dominance Algorithm"), run forward from the entry for dominators and
+//! backward from the exit for post-dominators.
+
+use crate::cfg::{Cfg, NodeId, ENTRY, EXIT};
+
+/// A (post-)dominator tree over a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each node; `idom[root] == root`; nodes
+    /// unreachable in the traversal direction get `usize::MAX`.
+    idom: Vec<usize>,
+    root: NodeId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree (rooted at the entry node).
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        Self::compute(cfg, false)
+    }
+
+    /// Computes the post-dominator tree (rooted at the exit node).
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        Self::compute(cfg, true)
+    }
+
+    fn compute(cfg: &Cfg, backward: bool) -> DomTree {
+        let root = if backward { EXIT } else { ENTRY };
+        let order = if backward {
+            cfg.reverse_postorder_backward()
+        } else {
+            cfg.reverse_postorder()
+        };
+        let mut rpo_index = vec![usize::MAX; cfg.len()];
+        for (i, &n) in order.iter().enumerate() {
+            rpo_index[n] = i;
+        }
+        let mut idom = vec![usize::MAX; cfg.len()];
+        idom[root] = root;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                let preds: &[NodeId] = if backward {
+                    cfg.succs(node)
+                } else {
+                    cfg.preds(node)
+                };
+                let mut new_idom = usize::MAX;
+                for &p in preds {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_index, new_idom, p)
+                    };
+                }
+                if new_idom != usize::MAX && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, root }
+    }
+
+    /// The immediate (post-)dominator of `node`, or `None` for the root and
+    /// unreachable nodes.
+    pub fn idom(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.root || self.idom[node] == usize::MAX {
+            None
+        } else {
+            Some(self.idom[node])
+        }
+    }
+
+    /// The root of the tree (entry for dominators, exit for
+    /// post-dominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Returns `true` if `a` (post-)dominates `b` (reflexive).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if self.idom[b] == usize::MAX && b != self.root {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.root {
+                return false;
+            }
+            let next = self.idom[cur];
+            if next == usize::MAX {
+                return false;
+            }
+            cur = next;
+        }
+    }
+
+    /// Returns `true` if the node is reachable in the traversal direction.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        node == self.root || self.idom[node] != usize::MAX
+    }
+}
+
+fn intersect(idom: &[usize], rpo_index: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a];
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::{FuncId, StmtId};
+
+    fn setup(src: &str) -> (Cfg, DomTree, DomTree) {
+        let p = hps_lang::parse(src).expect("parses");
+        let cfg = Cfg::build(p.func(FuncId::new(0)));
+        let dom = DomTree::dominators(&cfg);
+        let pdom = DomTree::postdominators(&cfg);
+        (cfg, dom, pdom)
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let (cfg, dom, pdom) =
+            setup("fn f(x: int) { if (x > 0) { print(1); } else { print(2); } print(3); }");
+        let cond = cfg.node_of(StmtId::new(0));
+        let t = cfg.node_of(StmtId::new(1));
+        let e = cfg.node_of(StmtId::new(2));
+        let join = cfg.node_of(StmtId::new(3));
+        assert!(dom.dominates(cond, t));
+        assert!(dom.dominates(cond, e));
+        assert!(dom.dominates(cond, join));
+        assert!(!dom.dominates(t, join));
+        assert_eq!(dom.idom(join), Some(cond));
+        // Post-dominance mirrors it.
+        assert!(pdom.dominates(join, cond));
+        assert!(pdom.dominates(join, t));
+        assert!(!pdom.dominates(t, cond));
+        assert_eq!(pdom.idom(cond), Some(join));
+    }
+
+    #[test]
+    fn loop_condition_postdominates_body() {
+        let (cfg, dom, pdom) =
+            setup("fn f(n: int) { var i: int = 0; while (i < n) { i = i + 1; } print(i); }");
+        let cond = cfg.node_of(StmtId::new(1));
+        let body = cfg.node_of(StmtId::new(2));
+        assert!(dom.dominates(cond, body));
+        assert!(pdom.dominates(cond, body));
+        // The body does not post-dominate the condition (may exit).
+        assert!(!pdom.dominates(body, cond));
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_rooted() {
+        let (cfg, dom, pdom) = setup("fn f() { print(1); }");
+        let s = cfg.node_of(StmtId::new(0));
+        assert!(dom.dominates(s, s));
+        assert!(dom.dominates(crate::cfg::ENTRY, s));
+        assert!(pdom.dominates(crate::cfg::EXIT, s));
+        assert_eq!(dom.root(), crate::cfg::ENTRY);
+        assert_eq!(pdom.root(), crate::cfg::EXIT);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_flagged() {
+        let (cfg, dom, _) = setup("fn f() -> int { return 1; print(2); return 3; }");
+        let dead = cfg.node_of(StmtId::new(1));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(crate::cfg::ENTRY, dead));
+    }
+}

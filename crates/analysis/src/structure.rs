@@ -1,0 +1,216 @@
+//! Syntactic structure facts: enclosing constructs and clauses.
+//!
+//! Because the IR is structured, the "control ancestors" the paper's
+//! splitting transformation reasons about ("we propose to achieve such
+//! hiding by moving the control ancestors of selected statements") are
+//! simply the chain of enclosing `if`/`while` statements. This module
+//! records that chain plus which clause of the construct a statement sits
+//! in.
+
+use hps_ir::{Block, Function, StmtId, StmtKind};
+
+/// Which clause of its parent construct a statement belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Clause {
+    /// Directly in the function body.
+    Root,
+    /// In the `then` block of the given `if`.
+    Then(StmtId),
+    /// In the `else` block of the given `if`.
+    Else(StmtId),
+    /// In the body of the given `while`.
+    LoopBody(StmtId),
+}
+
+impl Clause {
+    /// The enclosing construct, if any.
+    pub fn parent(self) -> Option<StmtId> {
+        match self {
+            Clause::Root => None,
+            Clause::Then(p) | Clause::Else(p) | Clause::LoopBody(p) => Some(p),
+        }
+    }
+}
+
+/// Structure facts for one function.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    clause: Vec<Clause>,
+    enclosing_loop: Vec<Option<StmtId>>,
+    loop_depth: Vec<u32>,
+    /// Direct children (statement ids) of each compound statement.
+    children: Vec<Vec<StmtId>>,
+}
+
+impl StructInfo {
+    /// Computes structure facts for a renumbered function.
+    pub fn compute(func: &Function) -> StructInfo {
+        let n = func.stmt_count();
+        let mut info = StructInfo {
+            clause: vec![Clause::Root; n],
+            enclosing_loop: vec![None; n],
+            loop_depth: vec![0; n],
+            children: vec![Vec::new(); n],
+        };
+        info.walk(&func.body, Clause::Root, None, 0);
+        info
+    }
+
+    fn walk(&mut self, block: &Block, clause: Clause, loop_id: Option<StmtId>, depth: u32) {
+        for stmt in &block.stmts {
+            let id = stmt.id.index();
+            self.clause[id] = clause;
+            self.enclosing_loop[id] = loop_id;
+            self.loop_depth[id] = depth;
+            if let Some(parent) = clause.parent() {
+                self.children[parent.index()].push(stmt.id);
+            }
+            match &stmt.kind {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    self.walk(then_blk, Clause::Then(stmt.id), loop_id, depth);
+                    self.walk(else_blk, Clause::Else(stmt.id), loop_id, depth);
+                }
+                StmtKind::While { body, .. } => {
+                    self.walk(body, Clause::LoopBody(stmt.id), Some(stmt.id), depth + 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The clause a statement sits in.
+    pub fn clause(&self, stmt: StmtId) -> Clause {
+        self.clause[stmt.index()]
+    }
+
+    /// The construct directly enclosing a statement, if any.
+    pub fn parent(&self, stmt: StmtId) -> Option<StmtId> {
+        self.clause[stmt.index()].parent()
+    }
+
+    /// The innermost loop enclosing a statement, if any.
+    pub fn enclosing_loop(&self, stmt: StmtId) -> Option<StmtId> {
+        self.enclosing_loop[stmt.index()]
+    }
+
+    /// Loop nesting depth of a statement (0 = not inside any loop).
+    pub fn loop_depth(&self, stmt: StmtId) -> u32 {
+        self.loop_depth[stmt.index()]
+    }
+
+    /// Returns `true` if the statement executes inside a loop.
+    pub fn is_in_loop(&self, stmt: StmtId) -> bool {
+        self.loop_depth[stmt.index()] > 0
+    }
+
+    /// Direct child statements of a compound statement (both clauses for
+    /// `if`).
+    pub fn children(&self, stmt: StmtId) -> &[StmtId] {
+        &self.children[stmt.index()]
+    }
+
+    /// All statements (transitively) inside a compound statement, excluding
+    /// the construct itself.
+    pub fn descendants(&self, stmt: StmtId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut work: Vec<StmtId> = self.children(stmt).to_vec();
+        while let Some(s) = work.pop() {
+            out.push(s);
+            work.extend_from_slice(self.children(s));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The chain of enclosing constructs, innermost first (the statement's
+    /// syntactic *control ancestors*).
+    pub fn control_ancestors(&self, stmt: StmtId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(stmt);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// All loops enclosing a statement, innermost first.
+    pub fn enclosing_loops(&self, stmt: StmtId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut cur = self.enclosing_loop(stmt);
+        while let Some(l) = cur {
+            out.push(l);
+            cur = self.enclosing_loop(l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::FuncId;
+
+    fn setup(src: &str) -> StructInfo {
+        let p = hps_lang::parse(src).expect("parses");
+        StructInfo::compute(p.func(FuncId::new(0)))
+    }
+
+    #[test]
+    fn clauses_and_parents() {
+        // s0 if, s1 then-print, s2 else-print, s3 after
+        let si = setup("fn f(x: int) { if (x > 0) { print(1); } else { print(2); } print(3); }");
+        assert_eq!(si.clause(StmtId::new(1)), Clause::Then(StmtId::new(0)));
+        assert_eq!(si.clause(StmtId::new(2)), Clause::Else(StmtId::new(0)));
+        assert_eq!(si.clause(StmtId::new(3)), Clause::Root);
+        assert_eq!(si.parent(StmtId::new(1)), Some(StmtId::new(0)));
+        assert_eq!(si.parent(StmtId::new(3)), None);
+        assert_eq!(
+            si.children(StmtId::new(0)),
+            &[StmtId::new(1), StmtId::new(2)]
+        );
+    }
+
+    #[test]
+    fn loop_nesting() {
+        // s0 i=0, s1 while, s2 while(inner), s3 print, s4 i=i+1
+        let si = setup(
+            "fn f(n: int) {
+                var i: int = 0;
+                while (i < n) {
+                    while (true) { print(i); }
+                    i = i + 1;
+                }
+            }",
+        );
+        assert_eq!(si.loop_depth(StmtId::new(0)), 0);
+        assert_eq!(si.loop_depth(StmtId::new(2)), 1);
+        assert_eq!(si.loop_depth(StmtId::new(3)), 2);
+        assert!(si.is_in_loop(StmtId::new(4)));
+        assert_eq!(si.enclosing_loop(StmtId::new(3)), Some(StmtId::new(2)));
+        assert_eq!(
+            si.enclosing_loops(StmtId::new(3)),
+            vec![StmtId::new(2), StmtId::new(1)]
+        );
+        assert_eq!(
+            si.control_ancestors(StmtId::new(3)),
+            vec![StmtId::new(2), StmtId::new(1)]
+        );
+    }
+
+    #[test]
+    fn descendants_are_transitive() {
+        let si = setup(
+            "fn f(n: int) {
+                while (n > 0) {
+                    if (n > 5) { print(1); }
+                    n = n - 1;
+                }
+            }",
+        );
+        let d = si.descendants(StmtId::new(0));
+        assert_eq!(d, vec![StmtId::new(1), StmtId::new(2), StmtId::new(3)]);
+    }
+}

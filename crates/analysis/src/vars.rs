@@ -1,0 +1,216 @@
+//! Variable identities for dataflow.
+
+use hps_ir::{
+    ClassId, Expr, FieldId, Function, GlobalId, LocalId, Place, PlaceRoot, Stmt, StmtKind,
+};
+
+/// The identity of a variable as tracked by the dataflow analyses.
+///
+/// Array variables are tracked as a whole (element stores are *weak*
+/// updates); object fields are tracked per `(class, field)` pair across all
+/// instances, which is conservative but sound for the intraprocedural
+/// analyses the splitter needs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum VarId {
+    /// A local variable or parameter.
+    Local(LocalId),
+    /// A global variable.
+    Global(GlobalId),
+    /// A field, summarized over all instances of the class.
+    Field(ClassId, FieldId),
+}
+
+impl VarId {
+    /// Converts the root of an assigned place into a variable identity.
+    pub fn of_root(root: PlaceRoot) -> VarId {
+        match root {
+            PlaceRoot::Local(l) => VarId::Local(l),
+            PlaceRoot::Global(g) => VarId::Global(g),
+            PlaceRoot::FieldOf(_, c, f) => VarId::Field(c, f),
+        }
+    }
+
+    /// Returns the local id if this is a local.
+    pub fn as_local(&self) -> Option<LocalId> {
+        match self {
+            VarId::Local(l) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+/// The effect of one statement on variables: which it defines (and whether
+/// the definition overwrites the whole variable) and which it uses.
+#[derive(Clone, Debug, Default)]
+pub struct StmtEffect {
+    /// Variables defined; `true` means a *strong* (killing) definition.
+    pub defs: Vec<(VarId, bool)>,
+    /// Variables whose value is read.
+    pub uses: Vec<VarId>,
+}
+
+impl StmtEffect {
+    fn use_var(&mut self, v: VarId) {
+        if !self.uses.contains(&v) {
+            self.uses.push(v);
+        }
+    }
+
+    fn def_var(&mut self, v: VarId, strong: bool) {
+        if let Some(entry) = self.defs.iter_mut().find(|(d, _)| *d == v) {
+            entry.1 = entry.1 || strong;
+        } else {
+            self.defs.push((v, strong));
+        }
+    }
+
+    fn uses_of_expr(&mut self, e: &Expr) {
+        e.walk(&mut |e| match e {
+            Expr::Local(l) => self.use_var(VarId::Local(*l)),
+            Expr::Global(g) => self.use_var(VarId::Global(*g)),
+            Expr::FieldGet { class, field, .. } => self.use_var(VarId::Field(*class, *field)),
+            _ => {}
+        });
+    }
+
+    fn uses_of_place_eval(&mut self, p: &Place) {
+        match p {
+            Place::Local(_) | Place::Global(_) => {}
+            Place::Index { base, index } => {
+                // The base array variable is read to locate the aggregate.
+                match base.root() {
+                    PlaceRoot::Local(l) => self.use_var(VarId::Local(l)),
+                    PlaceRoot::Global(g) => self.use_var(VarId::Global(g)),
+                    PlaceRoot::FieldOf(_, c, f) => self.use_var(VarId::Field(c, f)),
+                }
+                self.uses_of_expr(index);
+                if let Place::Field { obj, .. } = base.as_ref() {
+                    self.uses_of_expr(obj);
+                }
+            }
+            Place::Field { obj, .. } => self.uses_of_expr(obj),
+        }
+    }
+}
+
+/// Computes the def/use effect of a statement.
+///
+/// `call_effect` supplies the (interprocedural) effect of calls appearing in
+/// the statement: given the callee, it should return the globals the call
+/// may define and use (see [`crate::modref::ModRef`]). Pass a closure
+/// returning empty vectors for a purely intraprocedural view.
+pub fn stmt_effect(
+    func: &Function,
+    stmt: &Stmt,
+    call_effect: &mut dyn FnMut(hps_ir::FuncId) -> (Vec<VarId>, Vec<VarId>),
+) -> StmtEffect {
+    let mut eff = StmtEffect::default();
+    let mut handle_calls_in = |eff: &mut StmtEffect, e: &Expr| {
+        e.walk(&mut |e| {
+            if let Expr::Call { callee, args } = e {
+                let (defs, uses) = call_effect(callee.func());
+                for d in defs {
+                    eff.def_var(d, false);
+                }
+                for u in uses {
+                    eff.use_var(u);
+                }
+                // A call may mutate aggregates passed to it.
+                for a in args {
+                    if let Expr::Local(l) = a {
+                        if func.local(*l).ty.is_aggregate() {
+                            eff.def_var(VarId::Local(*l), false);
+                        }
+                    }
+                    if let Expr::Global(g) = a {
+                        eff.def_var(VarId::Global(*g), false);
+                    }
+                    if let Expr::FieldGet { class, field, .. } = a {
+                        eff.def_var(VarId::Field(*class, *field), false);
+                    }
+                }
+            }
+        });
+    };
+    match &stmt.kind {
+        StmtKind::Assign { place, value } => {
+            eff.uses_of_expr(value);
+            handle_calls_in(&mut eff, value);
+            eff.uses_of_place_eval(place);
+            let strong = place.is_whole_var();
+            eff.def_var(VarId::of_root(place.root()), strong);
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            eff.uses_of_expr(cond);
+            handle_calls_in(&mut eff, cond);
+        }
+        StmtKind::Return(Some(e)) | StmtKind::Print(e) | StmtKind::ExprStmt(e) => {
+            eff.uses_of_expr(e);
+            handle_calls_in(&mut eff, e);
+        }
+        StmtKind::HiddenCall { args, result, .. } => {
+            for a in args {
+                eff.uses_of_expr(a);
+            }
+            if let Some(place) = result {
+                eff.uses_of_place_eval(place);
+                let strong = place.is_whole_var();
+                eff.def_var(VarId::of_root(place.root()), strong);
+            }
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Nop => {}
+    }
+    eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::build::FnBuilder;
+    use hps_ir::{BinOp, Ty};
+
+    fn no_calls(_: hps_ir::FuncId) -> (Vec<VarId>, Vec<VarId>) {
+        (Vec::new(), Vec::new())
+    }
+
+    #[test]
+    fn assignment_defs_and_uses() {
+        let mut fb = FnBuilder::new("t", Ty::Void);
+        let x = fb.param("x", Ty::Int);
+        let y = fb.local("y", Ty::Int);
+        fb.assign_local(y, Expr::binary(BinOp::Add, Expr::local(x), Expr::int(1)));
+        let f = fb.finish();
+        let eff = stmt_effect(&f, &f.body.stmts[0], &mut no_calls);
+        assert_eq!(eff.defs, vec![(VarId::Local(y), true)]);
+        assert_eq!(eff.uses, vec![VarId::Local(x)]);
+    }
+
+    #[test]
+    fn array_store_is_weak_and_reads_base() {
+        let mut fb = FnBuilder::new("t", Ty::Void);
+        let a = fb.param("a", Ty::Int.array_of());
+        let i = fb.param("i", Ty::Int);
+        fb.assign_index(a, Expr::local(i), Expr::int(0));
+        let f = fb.finish();
+        let eff = stmt_effect(&f, &f.body.stmts[0], &mut no_calls);
+        assert_eq!(eff.defs, vec![(VarId::Local(a), false)]);
+        assert!(eff.uses.contains(&VarId::Local(a)));
+        assert!(eff.uses.contains(&VarId::Local(i)));
+    }
+
+    #[test]
+    fn call_in_value_applies_callee_effect_and_clobbers_aggregate_args() {
+        let mut fb = FnBuilder::new("t", Ty::Void);
+        let a = fb.param("a", Ty::Int.array_of());
+        let y = fb.local("y", Ty::Int);
+        fb.assign_local(y, Expr::call(hps_ir::FuncId::new(7), vec![Expr::local(a)]));
+        let f = fb.finish();
+        let g0 = VarId::Global(hps_ir::GlobalId::new(0));
+        let mut effect = |_: hps_ir::FuncId| (vec![g0], vec![g0]);
+        let eff = stmt_effect(&f, &f.body.stmts[0], &mut effect);
+        assert!(eff.defs.contains(&(g0, false)));
+        assert!(eff.defs.contains(&(VarId::Local(a), false)));
+        assert!(eff.uses.contains(&g0));
+        assert!(eff.defs.contains(&(VarId::Local(y), true)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Debug: why does a quadratic leak resist the polynomial fit?
+
+use hps_attack::dataset::{Dataset, Sample};
+use hps_attack::models::{Model, ModelClass};
+
+fn main() {
+    // Mimic the attack_demo L3 dataset: features [x, y, x, y, z] (dup cols),
+    // label = 3x^2 + xy + yz.
+    let mut samples = Vec::new();
+    for run in 0..200i64 {
+        let (x, y, z) = ((run % 13) + 1, (run % 7) + 2, (run % 11) + 3);
+        samples.push(Sample {
+            inputs: vec![x as f64, y as f64, x as f64, y as f64, z as f64],
+            label: (3 * x * x + x * y + y * z) as f64,
+        });
+    }
+    let ds = Dataset {
+        component: hps_ir::ComponentId::new(0),
+        label: hps_ir::FragLabel::new(0),
+        arity: 5,
+        samples,
+    };
+    let (red, keep) = ds.reduce();
+    println!("kept cols: {keep:?}, arity {}", red.arity);
+    let (train, holdout) = red.split();
+    for d in 2..=4u32 {
+        match Model::fit(ModelClass::Polynomial(d), red.arity, &train) {
+            Some(m) => {
+                let ok = m.validates(&holdout);
+                let errs: Vec<f64> = holdout
+                    .iter()
+                    .take(5)
+                    .map(|s| m.predict(&s.inputs).unwrap() - s.label)
+                    .collect();
+                println!("poly({d}): fit ok, validates={ok}, sample errors {errs:?}");
+            }
+            None => println!("poly({d}): fit failed (needs more samples or singular)"),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! From wiretap traces to training data.
+//!
+//! The adversary's observable information per returned value: the scalars
+//! the open component sent to the hidden component earlier in the *same
+//! activation/instance session* (plus this call's own arguments). The paper:
+//! "the adversary must assume that it is dependent upon all the variables
+//! whose values are sent to the hidden component from the open component."
+
+use hps_ir::{ComponentId, FragLabel, Value};
+use hps_runtime::Trace;
+
+/// One training sample for a call site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Sample {
+    /// Candidate inputs: the most recent scalars sent on this session, this
+    /// call's arguments last, padded with zeros to the dataset's arity.
+    pub inputs: Vec<f64>,
+    /// The returned value.
+    pub label: f64,
+}
+
+/// All observations for one `(component, label)` call site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dataset {
+    /// The component addressed.
+    pub component: ComponentId,
+    /// The fragment label addressed.
+    pub label: FragLabel,
+    /// Input arity (the window of recently sent values considered).
+    pub arity: usize,
+    /// The samples, in observation order.
+    pub samples: Vec<Sample>,
+}
+
+fn value_to_f64(v: Value) -> f64 {
+    match v {
+        Value::Int(i) => i as f64,
+        Value::Float(f) => f,
+        Value::Bool(b) => f64::from(u8::from(b)),
+    }
+}
+
+impl Dataset {
+    /// Builds the dataset for one call site from a trace.
+    ///
+    /// `window` is the number of most recently sent scalars the adversary
+    /// includes as candidate inputs (they do not know the true arity; a
+    /// window over the session history approximates "all values sent").
+    pub fn from_trace(
+        trace: &Trace,
+        component: ComponentId,
+        label: FragLabel,
+        window: usize,
+    ) -> Dataset {
+        let mut samples = Vec::new();
+        for key in trace.keys_of(component) {
+            // Re-walk the session, accumulating sent values.
+            let mut sent: Vec<f64> = Vec::new();
+            for e in trace.session(component, key) {
+                for &a in &e.args {
+                    sent.push(value_to_f64(a));
+                }
+                if e.label == label {
+                    let start = sent.len().saturating_sub(window);
+                    let mut inputs: Vec<f64> = sent[start..].to_vec();
+                    while inputs.len() < window {
+                        inputs.insert(0, 0.0);
+                    }
+                    samples.push(Sample {
+                        inputs,
+                        label: value_to_f64(e.ret),
+                    });
+                }
+            }
+        }
+        Dataset {
+            component,
+            label,
+            arity: window,
+            samples,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were observed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into training and held-out validation parts (3:1,
+    /// interleaved so both parts cover the observation period).
+    pub fn split(&self) -> (Vec<&Sample>, Vec<&Sample>) {
+        let mut train = Vec::new();
+        let mut holdout = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if i % 4 == 3 {
+                holdout.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+        (train, holdout)
+    }
+
+    /// Drops constant input columns and exact duplicates of earlier
+    /// columns (they carry no information and bloat the monomial basis);
+    /// returns the reduced dataset and the kept column indices.
+    pub fn reduce(&self) -> (Dataset, Vec<usize>) {
+        if self.samples.is_empty() {
+            return (self.clone(), Vec::new());
+        }
+        let arity = self.arity;
+        let first = &self.samples[0].inputs;
+        let mut keep: Vec<usize> = Vec::new();
+        for (j, &first_j) in first.iter().enumerate().take(arity) {
+            let varies = self.samples.iter().any(|s| s.inputs[j] != first_j);
+            let duplicate = keep
+                .iter()
+                .any(|&k| self.samples.iter().all(|s| s.inputs[j] == s.inputs[k]));
+            if varies && !duplicate {
+                keep.push(j);
+            }
+        }
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| Sample {
+                inputs: keep.iter().map(|&j| s.inputs[j]).collect(),
+                label: s.label,
+            })
+            .collect();
+        (
+            Dataset {
+                component: self.component,
+                label: self.label,
+                arity: keep.len(),
+                samples,
+            },
+            keep,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_runtime::TraceEvent;
+
+    fn ev(key: u64, label: u32, args: Vec<i64>, ret: i64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            component: ComponentId::new(0),
+            key,
+            label: FragLabel::new(label as usize),
+            args: args.into_iter().map(Value::Int).collect(),
+            ret: Value::Int(ret),
+        }
+    }
+
+    #[test]
+    fn sessions_accumulate_sent_values() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, vec![2, 3], 0), // send x=2, y=3
+                ev(1, 1, vec![], 9),     // leak: f(2,3) = 9
+                ev(2, 0, vec![5, 7], 0),
+                ev(2, 1, vec![], 26),
+            ],
+        };
+        let ds = Dataset::from_trace(&trace, ComponentId::new(0), FragLabel::new(1), 2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.samples[0].inputs, vec![2.0, 3.0]);
+        assert_eq!(ds.samples[0].label, 9.0);
+        assert_eq!(ds.samples[1].inputs, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn window_pads_and_truncates() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, vec![1], 0),
+                ev(1, 0, vec![2], 0),
+                ev(1, 0, vec![3], 0),
+                ev(1, 1, vec![], 42),
+            ],
+        };
+        let ds = Dataset::from_trace(&trace, ComponentId::new(0), FragLabel::new(1), 2);
+        assert_eq!(ds.samples[0].inputs, vec![2.0, 3.0]);
+        let ds = Dataset::from_trace(&trace, ComponentId::new(0), FragLabel::new(1), 5);
+        assert_eq!(ds.samples[0].inputs, vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn split_is_three_to_one() {
+        let trace = Trace {
+            events: (0..8).map(|i| ev(1, 0, vec![i], i)).collect(),
+        };
+        let ds = Dataset::from_trace(&trace, ComponentId::new(0), FragLabel::new(0), 1);
+        let (train, holdout) = ds.split();
+        assert_eq!(train.len(), 6);
+        assert_eq!(holdout.len(), 2);
+    }
+
+    #[test]
+    fn reduce_drops_constant_columns() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, vec![7, 1], 1),
+                ev(2, 0, vec![7, 2], 2),
+                ev(3, 0, vec![7, 3], 3),
+            ],
+        };
+        let ds = Dataset::from_trace(&trace, ComponentId::new(0), FragLabel::new(0), 2);
+        let (reduced, keep) = ds.reduce();
+        assert_eq!(keep, vec![1]);
+        assert_eq!(reduced.arity, 1);
+        assert_eq!(reduced.samples[2].inputs, vec![3.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The escalation driver.
+//!
+//! "First the adversary does not know the complexity of hidden code and
+//! hence he must try all of the above techniques" (§3). The driver runs the
+//! hypothesis ladder — constant → linear → polynomial(2..) → rational(1..)
+//! — over a call site's dataset and reports the first model that validates
+//! on held-out observations, or failure.
+
+use crate::dataset::Dataset;
+use crate::models::{Model, ModelClass};
+use hps_ir::{ComponentId, FragLabel};
+use hps_runtime::Trace;
+
+/// Attack parameters.
+#[derive(Clone, Debug)]
+pub struct AttackConfig {
+    /// How many recently sent scalars count as candidate inputs.
+    pub window: usize,
+    /// Highest polynomial degree attempted.
+    pub max_poly_degree: u32,
+    /// Highest rational numerator/denominator degree attempted.
+    pub max_rational_degree: u32,
+    /// Minimum samples before attempting recovery at all.
+    pub min_samples: usize,
+}
+
+impl Default for AttackConfig {
+    fn default() -> AttackConfig {
+        AttackConfig {
+            window: 6,
+            max_poly_degree: 4,
+            max_rational_degree: 2,
+            min_samples: 8,
+        }
+    }
+}
+
+/// The verdict for one call site.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Verdict {
+    /// A model validated on held-out data: the ILP is broken.
+    Recovered(Model),
+    /// Every hypothesis class failed.
+    Resistant {
+        /// Classes that were attempted.
+        tried: Vec<ModelClass>,
+    },
+    /// Not enough observations to attempt recovery.
+    InsufficientData {
+        /// Samples observed.
+        observed: usize,
+        /// Samples required.
+        required: usize,
+    },
+}
+
+impl Verdict {
+    /// Did the adversary break this ILP?
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, Verdict::Recovered(_))
+    }
+}
+
+/// Result of attacking one call site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AttackOutcome {
+    /// The component addressed.
+    pub component: ComponentId,
+    /// The fragment label addressed.
+    pub label: FragLabel,
+    /// Samples available.
+    pub samples: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Attacks one call site of a trace.
+pub fn attack_site(
+    trace: &Trace,
+    component: ComponentId,
+    label: FragLabel,
+    config: &AttackConfig,
+) -> AttackOutcome {
+    let full = Dataset::from_trace(trace, component, label, config.window);
+    let samples = full.len();
+    if samples < config.min_samples {
+        return AttackOutcome {
+            component,
+            label,
+            samples,
+            verdict: Verdict::InsufficientData {
+                observed: samples,
+                required: config.min_samples,
+            },
+        };
+    }
+    let (ds, _kept) = full.reduce();
+    let (train, holdout) = ds.split();
+    let mut ladder: Vec<ModelClass> = vec![ModelClass::Constant, ModelClass::Linear];
+    for d in 2..=config.max_poly_degree {
+        ladder.push(ModelClass::Polynomial(d));
+    }
+    for d in 1..=config.max_rational_degree {
+        ladder.push(ModelClass::Rational(d));
+    }
+    let mut tried = Vec::new();
+    for class in ladder {
+        tried.push(class);
+        if let Some(model) = Model::fit(class, ds.arity, &train) {
+            if model.validates(&holdout) {
+                return AttackOutcome {
+                    component,
+                    label,
+                    samples,
+                    verdict: Verdict::Recovered(model),
+                };
+            }
+        }
+    }
+    AttackOutcome {
+        component,
+        label,
+        samples,
+        verdict: Verdict::Resistant { tried },
+    }
+}
+
+/// Attacks every call site observed in a trace.
+///
+/// # Examples
+///
+/// ```
+/// use hps_attack::{attack_trace, AttackConfig, Verdict};
+/// use hps_ir::{ComponentId, FragLabel, Value};
+/// use hps_runtime::{Trace, TraceEvent};
+///
+/// // Synthetic wiretap: each session sends x then observes 2x + 1.
+/// let mut trace = Trace::default();
+/// for k in 0..40i64 {
+///     trace.events.push(TraceEvent {
+///         seq: k as u64, component: ComponentId::new(0), key: k as u64,
+///         label: FragLabel::new(0), args: vec![Value::Int(k)],
+///         ret: Value::Int(2 * k + 1),
+///     });
+/// }
+/// let outcomes = attack_trace(&trace, &AttackConfig::default());
+/// assert!(matches!(outcomes[0].verdict, Verdict::Recovered(_)));
+/// ```
+pub fn attack_trace(trace: &Trace, config: &AttackConfig) -> Vec<AttackOutcome> {
+    trace
+        .call_sites()
+        .into_iter()
+        .map(|(c, l)| attack_site(trace, c, l, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::Value;
+    use hps_runtime::TraceEvent;
+
+    /// A synthetic trace: per session k, send (x, y), then observe leaks
+    /// through three "fragments": linear (L1), quadratic (L2), and a
+    /// path-dependent arbitrary one (L3).
+    fn synthetic_trace(n: usize) -> Trace {
+        let mut events = Vec::new();
+        for k in 0..n {
+            let x = (k % 11) as i64 + 1;
+            let y = (k % 7) as i64 + 2;
+            let key = k as u64;
+            let push = |events: &mut Vec<TraceEvent>, label: usize, args: Vec<i64>, ret: i64| {
+                events.push(TraceEvent {
+                    seq: events.len() as u64,
+                    component: ComponentId::new(0),
+                    key,
+                    label: FragLabel::new(label),
+                    args: args.into_iter().map(Value::Int).collect(),
+                    ret: Value::Int(ret),
+                });
+            };
+            push(&mut events, 0, vec![x, y], 0);
+            push(&mut events, 1, vec![], 3 * x + 2 * y - 5);
+            push(&mut events, 2, vec![], x * x + x * y);
+            // Path-dependent: parity of an (unobserved) hidden state.
+            let hidden = (x * 31 + y * 17) % 13;
+            push(&mut events, 3, vec![], if hidden % 2 == 0 { x } else { -y });
+        }
+        Trace { events }
+    }
+
+    #[test]
+    fn linear_and_polynomial_sites_are_recovered() {
+        let trace = synthetic_trace(120);
+        let cfg = AttackConfig::default();
+        let lin = attack_site(&trace, ComponentId::new(0), FragLabel::new(1), &cfg);
+        assert!(lin.verdict.is_recovered(), "{:?}", lin.verdict);
+        if let Verdict::Recovered(m) = &lin.verdict {
+            assert_eq!(m.class, ModelClass::Linear);
+        }
+        let poly = attack_site(&trace, ComponentId::new(0), FragLabel::new(2), &cfg);
+        assert!(poly.verdict.is_recovered(), "{:?}", poly.verdict);
+        if let Verdict::Recovered(m) = &poly.verdict {
+            assert!(matches!(m.class, ModelClass::Polynomial(_)));
+        }
+    }
+
+    #[test]
+    fn path_dependent_site_resists() {
+        let trace = synthetic_trace(160);
+        let cfg = AttackConfig::default();
+        let out = attack_site(&trace, ComponentId::new(0), FragLabel::new(3), &cfg);
+        assert!(
+            matches!(out.verdict, Verdict::Resistant { .. }),
+            "{:?}",
+            out.verdict
+        );
+    }
+
+    #[test]
+    fn few_samples_is_insufficient_data() {
+        let trace = synthetic_trace(3);
+        let cfg = AttackConfig::default();
+        let out = attack_site(&trace, ComponentId::new(0), FragLabel::new(1), &cfg);
+        assert!(matches!(out.verdict, Verdict::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn attack_trace_covers_all_sites() {
+        let trace = synthetic_trace(60);
+        let outcomes = attack_trace(&trace, &AttackConfig::default());
+        assert_eq!(outcomes.len(), 4);
+        let recovered = outcomes.iter().filter(|o| o.verdict.is_recovered()).count();
+        // L0 returns constant 0, L1 linear, L2 quadratic; L3 resists.
+        assert_eq!(recovered, 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hps-attack — the adversary's recovery toolbox
+//!
+//! §3 of the paper argues security by pointing at what an adversary would
+//! have to do: "Linear regression, polynomial interpolation, and rational
+//! interpolation are known techniques that can be applied to recover a
+//! `f_ILP` of the corresponding arithmetic complexity. However, as far as
+//! we know, there are no automatic methods that can recover an *arbitrary*
+//! type `f_ILP`." This crate makes that argument executable:
+//!
+//! * [`dataset`] — turns a recorded [`hps_runtime::Trace`] into per-call-site
+//!   training data (the values the open side sent earlier in the same
+//!   activation are the candidate inputs; the returned value is the label —
+//!   exactly the adversary's observable information);
+//! * [`linalg`] — dense Gaussian elimination, least squares and null-space
+//!   extraction, from scratch;
+//! * [`models`] — constant / linear / polynomial / rational hypothesis
+//!   classes with exact-fit validation on held-out samples;
+//! * [`driver`] — the escalation ladder (constant → linear → polynomial of
+//!   increasing degree → rational), mirroring the adversary who "does not
+//!   know the complexity of hidden code and hence … must try all of the
+//!   above techniques".
+//!
+//! The headline experiment (see `examples/attack_demo.rs` and the
+//! `hps-bench` harness): ILPs the security analysis classifies `Constant`,
+//! `Linear`, `Polynomial` or `Rational` are mechanically recovered given
+//! enough samples; `Arbitrary` ILPs and path-dependent leaks survive.
+
+pub mod dataset;
+pub mod driver;
+pub mod linalg;
+pub mod models;
+
+pub use dataset::{Dataset, Sample};
+pub use driver::{attack_site, attack_trace, AttackConfig, AttackOutcome, Verdict};
+pub use linalg::Matrix;
+pub use models::{Model, ModelClass};

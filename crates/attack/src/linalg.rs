@@ -1,0 +1,290 @@
+//! Dense linear algebra for the recovery models.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `Aᵀ·A` (for the normal equations).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in 0..self.cols {
+                let mut s = 0.0;
+                for k in 0..self.rows {
+                    s += self[(k, i)] * self[(k, j)];
+                }
+                g[(i, j)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ·b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows`.
+    pub fn transpose_mul_vec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)] * b[i]).sum())
+            .collect()
+    }
+
+    /// `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial pivoting.
+    /// Returns `None` for (numerically) singular systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        for col in 0..n {
+            // Pivot.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[(r, col)].abs()))
+                .max_by(|l, r| l.1.total_cmp(&r.1))
+                .expect("non-empty range");
+            if pivot_val < 1e-9 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let t = a[(col, j)];
+                    a[(col, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = t;
+                }
+                x.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            for r in col + 1..n {
+                let factor = a[(r, col)] / a[(col, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    let v = a[(col, j)];
+                    a[(r, j)] -= factor * v;
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            x[col] /= a[(col, col)];
+            for r in 0..col {
+                x[r] -= a[(r, col)] * x[col];
+                a[(r, col)] = 0.0;
+            }
+        }
+        Some(x)
+    }
+
+    /// Least-squares solution of `self · x ≈ b` via the normal equations
+    /// with Tikhonov damping for rank-deficient systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows`.
+    pub fn least_squares(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let mut gram = self.gram();
+        let rhs = self.transpose_mul_vec(b);
+        // Damping relative to the gram's scale keeps rank-deficient systems
+        // (e.g. duplicated feature columns) solvable; the driver validates
+        // exactness on held-out data anyway, so the tiny bias is harmless.
+        let scale = (0..gram.cols)
+            .map(|i| gram[(i, i)].abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        for i in 0..gram.cols {
+            gram[(i, i)] += 1e-8 * scale;
+        }
+        gram.solve(&rhs)
+    }
+
+    /// A unit-norm vector `x` with `self · x ≈ 0`, found by inverse-free
+    /// elimination: fixes the free variable with the largest residual
+    /// freedom to 1 and solves for the rest. Returns `None` when only the
+    /// trivial solution exists (full column rank).
+    pub fn null_vector(&self) -> Option<Vec<f64>> {
+        let n = self.cols;
+        // Try fixing each column to 1, solve the least squares for the
+        // remaining coefficients, and keep the best residual.
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for fixed in 0..n {
+            let mut reduced_rows = Vec::with_capacity(self.rows);
+            let mut rhs = Vec::with_capacity(self.rows);
+            for i in 0..self.rows {
+                let mut row = Vec::with_capacity(n - 1);
+                for j in 0..n {
+                    if j != fixed {
+                        row.push(self[(i, j)]);
+                    }
+                }
+                reduced_rows.push(row);
+                rhs.push(-self[(i, fixed)]);
+            }
+            let reduced = Matrix::from_rows(&reduced_rows);
+            if let Some(sol) = reduced.least_squares(&rhs) {
+                let mut full = Vec::with_capacity(n);
+                let mut k = 0;
+                for j in 0..n {
+                    if j == fixed {
+                        full.push(1.0);
+                    } else {
+                        full.push(sol[k]);
+                        k += 1;
+                    }
+                }
+                let residual: f64 = self
+                    .mul_vec(&full)
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    .sqrt();
+                if best.as_ref().is_none_or(|(r, _)| residual < *r) {
+                    best = Some((residual, full));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_systems() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = a.solve(&[5.0, 1.0]).expect("solvable");
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[3.0, 4.0]).expect("solvable with pivoting");
+        assert!((x[0] - 4.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_fit() {
+        // y = 3 + 2a - b over 5 samples.
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64 % 3.0])
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let truth = [3.0, 2.0, -1.0];
+        let b = a.mul_vec(&truth);
+        let x = a.least_squares(&b).expect("solvable");
+        for (got, want) in x.iter().zip(truth) {
+            assert!((got - want).abs() < 1e-5, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn null_vector_of_rank_deficient_matrix() {
+        // Rows all orthogonal to (1, -1, 0).
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![2.0, 2.0, 1.0],
+            vec![3.0, 3.0, -1.0],
+        ]);
+        let v = a.null_vector().expect("null vector exists");
+        let r = a.mul_vec(&v);
+        let norm: f64 = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm < 1e-6, "residual {norm}, v = {v:?}");
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 7.0;
+        assert_eq!(m[(1, 2)], 7.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Hypothesis classes: constant, linear, polynomial, rational.
+//!
+//! Each class fits its coefficients on training samples and counts as
+//! *recovered* only when it predicts the held-out samples exactly (integer
+//! leaks) or within a tight relative tolerance (float leaks) — a wrong but
+//! plausible model is no recovery.
+
+use crate::dataset::Sample;
+use crate::linalg::Matrix;
+
+/// The model family, mirroring the paper's arithmetic-complexity types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelClass {
+    /// `f() = c`
+    Constant,
+    /// `f(x) = c₀ + Σ cᵢ xᵢ`
+    Linear,
+    /// A multivariate polynomial of the given total degree.
+    Polynomial(u32),
+    /// A ratio of polynomials of the given numerator/denominator degree.
+    Rational(u32),
+}
+
+impl std::fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelClass::Constant => write!(f, "constant"),
+            ModelClass::Linear => write!(f, "linear"),
+            ModelClass::Polynomial(d) => write!(f, "polynomial(deg {d})"),
+            ModelClass::Rational(d) => write!(f, "rational(deg {d})"),
+        }
+    }
+}
+
+/// A fitted model.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Model {
+    /// Which family it belongs to.
+    pub class: ModelClass,
+    /// Number of inputs.
+    pub arity: usize,
+    /// Coefficients over the monomial basis (numerator then denominator
+    /// for rational models).
+    pub coeffs: Vec<f64>,
+}
+
+/// Multi-indices of total degree ≤ `degree` over `arity` variables, in a
+/// deterministic order; index 0 is the constant monomial.
+pub fn monomials(arity: usize, degree: u32) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![0; arity]];
+    for _ in 0..degree {
+        let mut next = Vec::new();
+        for m in &out {
+            // Extend by one more factor of each variable with index ≥ the
+            // last raised one, to enumerate each multiset once.
+            let start = m.iter().rposition(|&e| e > 0).unwrap_or(0);
+            for v in start..arity {
+                let mut m2 = m.clone();
+                m2[v] += 1;
+                if !next.contains(&m2) && !out.contains(&m2) {
+                    next.push(m2);
+                }
+            }
+        }
+        out.extend(next);
+    }
+    out
+}
+
+fn eval_monomial(m: &[u32], x: &[f64]) -> f64 {
+    m.iter().zip(x).map(|(&e, &xi)| xi.powi(e as i32)).product()
+}
+
+fn design_matrix(samples: &[&Sample], mons: &[Vec<u32>]) -> Matrix {
+    let rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| mons.iter().map(|m| eval_monomial(m, &s.inputs)).collect())
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+impl Model {
+    /// Fits a model of `class` on training samples; `None` when the system
+    /// is unsolvable or there is too little data.
+    pub fn fit(class: ModelClass, arity: usize, train: &[&Sample]) -> Option<Model> {
+        match class {
+            ModelClass::Constant => {
+                let first = train.first()?.label;
+                if train.iter().all(|s| s.label == first) {
+                    Some(Model {
+                        class,
+                        arity,
+                        coeffs: vec![first],
+                    })
+                } else {
+                    None
+                }
+            }
+            ModelClass::Linear => Self::fit_poly(class, arity, 1, train),
+            ModelClass::Polynomial(d) => Self::fit_poly(class, arity, d, train),
+            ModelClass::Rational(d) => Self::fit_rational(arity, d, train),
+        }
+    }
+
+    fn fit_poly(class: ModelClass, arity: usize, degree: u32, train: &[&Sample]) -> Option<Model> {
+        let mons = monomials(arity, degree);
+        if train.len() < mons.len() {
+            return None;
+        }
+        let a = design_matrix(train, &mons);
+        let b: Vec<f64> = train.iter().map(|s| s.label).collect();
+        let coeffs = a.least_squares(&b)?;
+        Some(Model {
+            class,
+            arity,
+            coeffs,
+        })
+    }
+
+    /// Rational fit: find P, Q with `y·Q(x) − P(x) = 0` (a homogeneous
+    /// linear system in the coefficients of P and Q).
+    fn fit_rational(arity: usize, degree: u32, train: &[&Sample]) -> Option<Model> {
+        let mons = monomials(arity, degree);
+        let n = mons.len();
+        if train.len() < 2 * n {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = train
+            .iter()
+            .map(|s| {
+                let mut row = Vec::with_capacity(2 * n);
+                // -P coefficients…
+                for m in &mons {
+                    row.push(-eval_monomial(m, &s.inputs));
+                }
+                // …plus y·Q coefficients.
+                for m in &mons {
+                    row.push(s.label * eval_monomial(m, &s.inputs));
+                }
+                row
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let coeffs = a.null_vector()?;
+        Some(Model {
+            class: ModelClass::Rational(degree),
+            arity,
+            coeffs,
+        })
+    }
+
+    /// Predicts the label for one input vector; `None` when undefined
+    /// (rational with a vanishing denominator).
+    pub fn predict(&self, x: &[f64]) -> Option<f64> {
+        match self.class {
+            ModelClass::Constant => Some(self.coeffs[0]),
+            ModelClass::Linear => {
+                let mons = monomials(self.arity, 1);
+                Some(
+                    mons.iter()
+                        .zip(&self.coeffs)
+                        .map(|(m, c)| c * eval_monomial(m, x))
+                        .sum(),
+                )
+            }
+            ModelClass::Polynomial(d) => {
+                let mons = monomials(self.arity, d);
+                Some(
+                    mons.iter()
+                        .zip(&self.coeffs)
+                        .map(|(m, c)| c * eval_monomial(m, x))
+                        .sum(),
+                )
+            }
+            ModelClass::Rational(d) => {
+                let mons = monomials(self.arity, d);
+                let n = mons.len();
+                let p: f64 = mons
+                    .iter()
+                    .zip(&self.coeffs[..n])
+                    .map(|(m, c)| c * eval_monomial(m, x))
+                    .sum();
+                let q: f64 = mons
+                    .iter()
+                    .zip(&self.coeffs[n..])
+                    .map(|(m, c)| c * eval_monomial(m, x))
+                    .sum();
+                if q.abs() < 1e-12 {
+                    None
+                } else {
+                    Some(p / q)
+                }
+            }
+        }
+    }
+
+    /// Validates the model on held-out samples: every prediction must match
+    /// exactly (after rounding, for integer-valued labels) or within a
+    /// `1e-6` relative tolerance.
+    pub fn validates(&self, holdout: &[&Sample]) -> bool {
+        if holdout.is_empty() {
+            return false;
+        }
+        holdout.iter().all(|s| match self.predict(&s.inputs) {
+            None => false,
+            Some(pred) => {
+                let integral = s.label.fract() == 0.0 && s.label.abs() < 2f64.powi(52);
+                if integral {
+                    (pred - s.label).abs() < 0.5 && pred.round() == s.label
+                } else {
+                    let scale = s.label.abs().max(1.0);
+                    (pred - s.label).abs() / scale < 1e-6
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(f: impl Fn(f64, f64) -> f64, n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 7) as f64 + 1.0;
+                let y = (i / 7) as f64 + 2.0;
+                Sample {
+                    inputs: vec![x, y],
+                    label: f(x, y),
+                }
+            })
+            .collect()
+    }
+
+    fn fit_and_check(class: ModelClass, f: impl Fn(f64, f64) -> f64) -> bool {
+        let all = samples(f, 60);
+        let refs: Vec<&Sample> = all.iter().collect();
+        let (train, holdout) = (refs[..45].to_vec(), refs[45..].to_vec());
+        match Model::fit(class, 2, &train) {
+            Some(m) => m.validates(&holdout),
+            None => false,
+        }
+    }
+
+    #[test]
+    fn monomial_enumeration() {
+        let m = monomials(2, 2);
+        // 1, x, y, x², xy, y²
+        assert_eq!(m.len(), 6);
+        assert!(m.contains(&vec![0, 0]));
+        assert!(m.contains(&vec![1, 1]));
+        assert!(m.contains(&vec![2, 0]));
+        assert_eq!(monomials(3, 1).len(), 4);
+    }
+
+    #[test]
+    fn recovers_constant_and_rejects_nonconstant() {
+        assert!(fit_and_check(ModelClass::Constant, |_, _| 5.0));
+        assert!(!fit_and_check(ModelClass::Constant, |x, _| x));
+    }
+
+    #[test]
+    fn recovers_linear() {
+        assert!(fit_and_check(ModelClass::Linear, |x, y| 3.0 * x + y - 7.0));
+        // A quadratic is NOT validated by a linear model.
+        assert!(!fit_and_check(ModelClass::Linear, |x, y| x * y));
+    }
+
+    #[test]
+    fn recovers_polynomial() {
+        assert!(fit_and_check(ModelClass::Polynomial(2), |x, y| {
+            x * x + 2.0 * x * y - y + 1.0
+        }));
+        assert!(!fit_and_check(ModelClass::Polynomial(2), |x, y| {
+            x * x * x + y
+        }));
+    }
+
+    #[test]
+    fn recovers_rational() {
+        assert!(fit_and_check(ModelClass::Rational(1), |x, y| {
+            (2.0 * x + 1.0) / (y + 3.0)
+        }));
+    }
+
+    #[test]
+    fn does_not_recover_exponential() {
+        assert!(!fit_and_check(ModelClass::Linear, |x, _| x.exp()));
+        assert!(!fit_and_check(ModelClass::Polynomial(3), |x, _| x.exp()));
+        assert!(!fit_and_check(ModelClass::Rational(2), |x, y| {
+            x.exp() + y
+        }));
+    }
+
+    #[test]
+    fn integer_labels_validate_by_rounding() {
+        let all = samples(|x, y| 2.0 * x + y, 40);
+        let refs: Vec<&Sample> = all.iter().collect();
+        let m = Model::fit(ModelClass::Linear, 2, &refs[..30]).unwrap();
+        assert!(m.validates(&refs[30..]));
+    }
+}

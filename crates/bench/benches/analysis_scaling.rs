@@ -1,0 +1,39 @@
+//! Scaling of the from-scratch analysis infrastructure (DESIGN.md
+//! ablation: statement-level CFG + bitset dataflow): FuncAnalysis cost on
+//! synthetic functions of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_analysis::FuncAnalysis;
+use std::fmt::Write;
+
+/// Builds a function with `blocks` sequential loop-plus-branch regions.
+fn synthetic_function(blocks: usize) -> hps_ir::Program {
+    let mut src = String::from("fn f(n: int) -> int {\n var acc: int = 0;\n");
+    for i in 0..blocks {
+        let _ = write!(
+            src,
+            " var i{i}: int = 0;\n while (i{i} < n) {{\n  if (i{i} % 2 == 0) {{ acc = acc + i{i}; }} else {{ acc = acc - 1; }}\n  i{i} = i{i} + 1;\n }}\n"
+        );
+    }
+    src.push_str(" return acc;\n}\n");
+    hps_lang::parse(&src).expect("synthetic parses")
+}
+
+fn analysis_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_scaling");
+    group.sample_size(10);
+    for blocks in [8usize, 32, 128] {
+        let program = synthetic_function(blocks);
+        group.bench_with_input(
+            BenchmarkId::new("func_analysis", blocks),
+            &program,
+            |bench, p| {
+                bench.iter(|| FuncAnalysis::compute(p, hps_ir::FuncId::new(0)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analysis_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Cost of the adversary's recovery attempt as a function of how many
+//! executions were observed (§3: "a large number of input output pairs for
+//! the f_ILP may be needed").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_attack::{attack_trace, AttackConfig};
+use hps_bench::{record_trace, split_benchmark};
+
+fn attack_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_cost");
+    group.sample_size(10);
+    let b = hps_suite::benchmark("calcc").expect("exists");
+    let (_, split) = split_benchmark(&b);
+    for runs in [4usize, 16, 48] {
+        let trace = record_trace(&b, &split, runs, 200);
+        group.bench_with_input(
+            BenchmarkId::new("attack_all_sites", runs),
+            &trace,
+            |bench, trace| {
+                bench.iter(|| attack_trace(trace, &AttackConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, attack_cost);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock cross-check of Table 5: original vs split execution of every
+//! benchmark (small workloads; virtual-time `tables -- table5` is the
+//! deterministic source of truth, this confirms the shape in real time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_bench::split_benchmark;
+use hps_runtime::{run_program, run_split};
+
+fn runtime_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_overhead");
+    group.sample_size(10);
+    for b in hps_suite::benchmarks() {
+        let (program, split) = split_benchmark(&b);
+        let size = 300;
+        group.bench_with_input(
+            BenchmarkId::new("original", b.name),
+            &size,
+            |bench, &size| {
+                bench.iter(|| run_program(&program, &[b.workload(size, 1)]).expect("runs"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("split", b.name), &size, |bench, &size| {
+            bench.iter(|| {
+                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runtime_overhead);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Cost of the static pipeline itself: parsing, the paper-pipeline split
+//! (selection + seed choice + rewriting) and the security analysis, per
+//! benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_bench::paper_plan;
+use hps_core::split_program;
+use hps_security::analyze_split;
+
+fn transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+    for b in hps_suite::benchmarks() {
+        group.bench_with_input(BenchmarkId::new("parse", b.name), &b, |bench, b| {
+            bench.iter(|| b.program().expect("parses"));
+        });
+        let program = b.program().expect("parses");
+        group.bench_with_input(BenchmarkId::new("split", b.name), &b, |bench, _| {
+            bench.iter(|| {
+                let plan = paper_plan(&program);
+                split_program(&program, &plan).expect("splits")
+            });
+        });
+        let plan = paper_plan(&program);
+        let split = split_program(&program, &plan).expect("splits");
+        group.bench_with_input(BenchmarkId::new("analyze", b.name), &b, |bench, _| {
+            bench.iter(|| analyze_split(&program, &split));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transform);
+criterion_main!(benches);

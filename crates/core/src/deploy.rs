@@ -1,0 +1,206 @@
+//! Deployment-weight checks for the paper's two scenarios (§1).
+//!
+//! *Untrustworthy user*: "the hidden components can be installed on a smart
+//! card if they are sufficiently light weight … If the hidden components
+//! are heavy weight, they can be installed on a secure server."
+//! *Untrustworthy server*: "The hidden components will be constructed to be
+//! light weight so that they can be executed on the user's mobile device."
+//!
+//! [`DeviceProfile`] captures a secure device's capacity; [`check_deployment`]
+//! reports whether a hidden program fits and why not.
+
+use hps_ir::{HiddenComponent, HiddenProgram};
+
+/// Capacity of a secure device class.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Maximum persistent hidden variables per component (storage: each is
+    /// one scalar slot per live activation/instance).
+    pub max_vars_per_component: usize,
+    /// Maximum fragments per component (code storage).
+    pub max_fragments_per_component: usize,
+    /// Maximum statements across a component's fragments.
+    pub max_stmts_per_component: usize,
+    /// Maximum scalars shipped per call (I/O buffer).
+    pub max_fragment_params: usize,
+}
+
+impl DeviceProfile {
+    /// A smart card: a few counters and short code fragments.
+    pub fn smart_card() -> DeviceProfile {
+        DeviceProfile {
+            name: "smart card",
+            max_vars_per_component: 8,
+            max_fragments_per_component: 16,
+            max_stmts_per_component: 48,
+            max_fragment_params: 8,
+        }
+    }
+
+    /// A mobile device (the untrustworthy-server scenario's secure side).
+    pub fn mobile_device() -> DeviceProfile {
+        DeviceProfile {
+            name: "mobile device",
+            max_vars_per_component: 64,
+            max_fragments_per_component: 128,
+            max_stmts_per_component: 1024,
+            max_fragment_params: 32,
+        }
+    }
+
+    /// A secure server: effectively unconstrained.
+    pub fn secure_server() -> DeviceProfile {
+        DeviceProfile {
+            name: "secure server",
+            max_vars_per_component: usize::MAX,
+            max_fragments_per_component: usize::MAX,
+            max_stmts_per_component: usize::MAX,
+            max_fragment_params: usize::MAX,
+        }
+    }
+
+    fn component_violations(&self, c: &HiddenComponent, out: &mut Vec<String>) {
+        if c.vars.len() > self.max_vars_per_component {
+            out.push(format!(
+                "component {} ({}): {} hidden vars exceed the {}'s limit of {}",
+                c.id,
+                c.entity_name(),
+                c.vars.len(),
+                self.name,
+                self.max_vars_per_component
+            ));
+        }
+        if c.fragments.len() > self.max_fragments_per_component {
+            out.push(format!(
+                "component {} ({}): {} fragments exceed the {}'s limit of {}",
+                c.id,
+                c.entity_name(),
+                c.fragments.len(),
+                self.name,
+                self.max_fragments_per_component
+            ));
+        }
+        let stmts = c.stmt_count();
+        if stmts > self.max_stmts_per_component {
+            out.push(format!(
+                "component {} ({}): {} statements exceed the {}'s limit of {}",
+                c.id,
+                c.entity_name(),
+                stmts,
+                self.name,
+                self.max_stmts_per_component
+            ));
+        }
+        for f in &c.fragments {
+            if f.params.len() > self.max_fragment_params {
+                out.push(format!(
+                    "component {} fragment {}: {} parameters exceed the {}'s I/O limit of {}",
+                    c.id,
+                    f.label,
+                    f.params.len(),
+                    self.name,
+                    self.max_fragment_params
+                ));
+            }
+        }
+    }
+}
+
+/// The outcome of a deployment check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeploymentCheck {
+    /// The profile checked against.
+    pub device: &'static str,
+    /// Why the hidden program does not fit (empty = fits).
+    pub violations: Vec<String>,
+}
+
+impl DeploymentCheck {
+    /// Does the hidden program fit on the device?
+    pub fn fits(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks every component of a hidden program against a device profile.
+pub fn check_deployment(hidden: &HiddenProgram, profile: &DeviceProfile) -> DeploymentCheck {
+    let mut violations = Vec::new();
+    for c in &hidden.components {
+        profile.component_violations(c, &mut violations);
+    }
+    DeploymentCheck {
+        device: profile.name,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{split_program, SplitPlan};
+
+    fn small_split() -> HiddenProgram {
+        let program = hps_lang::parse(
+            "fn f(x: int) -> int { var a: int = x * 3 + 1; return a; }
+             fn main() { print(f(4)); }",
+        )
+        .unwrap();
+        let plan = SplitPlan::single(&program, "f", "a").unwrap();
+        split_program(&program, &plan).unwrap().hidden
+    }
+
+    #[test]
+    fn small_splits_fit_everywhere() {
+        let hidden = small_split();
+        for profile in [
+            DeviceProfile::smart_card(),
+            DeviceProfile::mobile_device(),
+            DeviceProfile::secure_server(),
+        ] {
+            let check = check_deployment(&hidden, &profile);
+            assert!(check.fits(), "{}: {:?}", profile.name, check.violations);
+        }
+    }
+
+    #[test]
+    fn oversized_components_report_specific_violations() {
+        // Build a component with too many vars/statements for a smart card.
+        let src = {
+            let mut body = String::new();
+            let mut decls = String::new();
+            for i in 0..20 {
+                decls.push_str(&format!("var v{i}: int;\n"));
+            }
+            body.push_str("v0 = x * 2;\n");
+            for i in 1..20 {
+                body.push_str(&format!("v{i} = v{} + {i};\n", i - 1));
+            }
+            for i in 0..20 {
+                body.push_str(&format!("v0 = v0 + v{i} * 2 + 1;\nv0 = v0 - v{i};\n"));
+            }
+            format!(
+                "fn f(x: int) -> int {{ {decls} {body} return v0; }}
+                 fn main() {{ print(f(1)); }}"
+            )
+        };
+        let program = hps_lang::parse(&src).unwrap();
+        let plan = SplitPlan::single(&program, "f", "v0").unwrap();
+        let hidden = split_program(&program, &plan).unwrap().hidden;
+        let check = check_deployment(&hidden, &DeviceProfile::smart_card());
+        assert!(!check.fits());
+        assert!(
+            check.violations.iter().any(|v| v.contains("hidden vars")),
+            "{:?}",
+            check.violations
+        );
+        assert!(
+            check.violations.iter().any(|v| v.contains("statements")),
+            "{:?}",
+            check.violations
+        );
+        // The same split fits a secure server.
+        assert!(check_deployment(&hidden, &DeviceProfile::secure_server()).fits());
+    }
+}

@@ -1,0 +1,65 @@
+//! Splitting errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error constructing a split.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SplitError {
+    /// Named function not found.
+    NoSuchFunction(String),
+    /// Named variable not found in the target function.
+    NoSuchVariable {
+        /// The function searched.
+        func: String,
+        /// The missing variable.
+        var: String,
+    },
+    /// Named global not found.
+    NoSuchGlobal(String),
+    /// Named class not found.
+    NoSuchClass(String),
+    /// The seed variable cannot initiate a split (wrong kind or type).
+    BadSeed(String),
+    /// The slice plan cannot be realized (e.g. a method writes hidden
+    /// fields of objects other than `self`).
+    Unrealizable(String),
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::NoSuchFunction(name) => write!(f, "no function named `{name}`"),
+            SplitError::NoSuchVariable { func, var } => {
+                write!(f, "function `{func}` has no local variable `{var}`")
+            }
+            SplitError::NoSuchGlobal(name) => write!(f, "no global named `{name}`"),
+            SplitError::NoSuchClass(name) => write!(f, "no class named `{name}`"),
+            SplitError::BadSeed(msg) => write!(f, "bad seed variable: {msg}"),
+            SplitError::Unrealizable(msg) => write!(f, "split cannot be realized: {msg}"),
+        }
+    }
+}
+
+impl Error for SplitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SplitError::NoSuchFunction("f".into()).to_string(),
+            "no function named `f`"
+        );
+        assert!(SplitError::NoSuchVariable {
+            func: "f".into(),
+            var: "v".into()
+        }
+        .to_string()
+        .contains("`v`"));
+        let boxed: Box<dyn Error + Send + Sync> = Box::new(SplitError::BadSeed("x".into()));
+        assert!(boxed.to_string().contains("bad seed"));
+    }
+}

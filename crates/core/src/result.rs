@@ -1,0 +1,82 @@
+//! Split results and per-function reports.
+
+use hps_analysis::VarId;
+use hps_ir::{ComponentId, Expr, FragLabel, FuncId, HiddenProgram, Program, StmtId};
+use hps_slicing::SlicePlan;
+
+/// Why a hidden call's returned value matters to the adversary.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IlpKind {
+    /// Paper case (iii): the hidden side computes an expression and returns
+    /// it for the open side to store into an open place / return / print.
+    HiddenCompute,
+    /// A fetch of a partially hidden variable's current value before an
+    /// open use (step 4 of the algorithm).
+    Fetch(VarId),
+}
+
+/// One *information leak point*: "a point in the open component at which
+/// part of the state of the hidden component is revealed" (§3).
+#[derive(Clone, PartialEq, Debug)]
+pub struct IlpInfo {
+    /// The original (pre-split) statement at which the leak occurs.
+    pub stmt: StmtId,
+    /// The component whose fragment returns the value.
+    pub component: ComponentId,
+    /// The fragment label.
+    pub label: FragLabel,
+    /// What kind of leak this is.
+    pub kind: IlpKind,
+    /// The leaked value as an expression over the *original* function's
+    /// variables (input to the security analysis).
+    pub leaked_expr: Expr,
+}
+
+/// Report for one split target.
+#[derive(Clone, Debug)]
+pub struct SplitReport {
+    /// The split function (for class targets, one report per method).
+    pub func: FuncId,
+    /// The component holding this function's fragments.
+    pub component: ComponentId,
+    /// Seed variables.
+    pub seeds: Vec<VarId>,
+    /// All hidden variables with their fully/partially-hidden status
+    /// (`true` = fully hidden: every definition lives in the hidden
+    /// component).
+    pub hidden_vars: Vec<(VarId, bool)>,
+    /// Number of statements in the slice (Table 2).
+    pub slice_stmts: usize,
+    /// The information leak points created (Table 2's "ILPs").
+    pub ilps: Vec<IlpInfo>,
+    /// The slice plan, kept for the security analysis.
+    pub plan: SlicePlan,
+}
+
+/// The full result of splitting a program.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// The transformed open program (install on the unsecure machine).
+    pub open: Program,
+    /// The hidden program (install on the secure device).
+    pub hidden: HiddenProgram,
+    /// Per-target reports.
+    pub reports: Vec<SplitReport>,
+}
+
+impl SplitResult {
+    /// Total ILPs across all reports.
+    pub fn total_ilps(&self) -> usize {
+        self.reports.iter().map(|r| r.ilps.len()).sum()
+    }
+
+    /// Total slice statements across all reports (Table 2).
+    pub fn total_slice_stmts(&self) -> usize {
+        self.reports.iter().map(|r| r.slice_stmts).sum()
+    }
+
+    /// Number of functions sliced (Table 2).
+    pub fn functions_sliced(&self) -> usize {
+        self.reports.len()
+    }
+}

@@ -1,0 +1,181 @@
+//! Function selection (§2.2 "Function Selection").
+//!
+//! "We construct the call graph for the program and find a cut across the
+//! call graph. The functions that are part of the cut are split. This
+//! approach guarantees that during any execution at least some split
+//! function would be executed. … In constructing a cut through the call
+//! graph we avoid functions that are called from inside a loop" and
+//! preference is given to non-recursive functions (recursive ones work —
+//! activation ids keep instances apart — but need per-instance storage).
+
+use hps_analysis::CallGraph;
+use hps_ir::{FuncId, LocalId, Program};
+
+/// Why a function is or is not a splitting candidate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionEligibility {
+    /// The function.
+    pub func: FuncId,
+    /// Eligible for the call-graph cut.
+    pub eligible: bool,
+    /// Called from inside a loop of some caller (paper restriction:
+    /// avoided, to not split functions that are called repeatedly).
+    pub called_in_loop: bool,
+    /// Involved in direct/indirect recursion (deprioritized, not banned).
+    pub recursive: bool,
+    /// Has at least one scalar non-parameter local to seed the slice from.
+    pub has_seed: bool,
+}
+
+/// Computes eligibility for every function.
+pub fn eligibility(program: &Program, cg: &CallGraph) -> Vec<FunctionEligibility> {
+    program
+        .iter_funcs()
+        .map(|(fid, f)| {
+            let called_in_loop = cg.is_called_in_loop(fid);
+            let recursive = cg.is_recursive(fid);
+            let has_seed = f
+                .locals
+                .iter()
+                .enumerate()
+                .any(|(i, l)| !f.is_param(LocalId::new(i)) && l.ty.is_scalar());
+            FunctionEligibility {
+                func: fid,
+                eligible: !called_in_loop && has_seed,
+                called_in_loop,
+                recursive,
+                has_seed,
+            }
+        })
+        .collect()
+}
+
+/// Selects the functions to split: a minimum vertex cut through the call
+/// graph between `main` and the leaves, restricted to eligible functions
+/// and preferring non-recursive ones. Falls back to "every eligible
+/// function reachable from `main`" when no cut through eligible functions
+/// exists (e.g. `main` is itself a leaf).
+///
+/// # Examples
+///
+/// ```
+/// let program = hps_lang::parse(
+///     "fn leaf(x: int) -> int { return x; }
+///      fn mid(x: int) -> int { var t: int = leaf(x); return t; }
+///      fn main() { print(mid(1)); }",
+/// )?;
+/// let cut = hps_core::select_functions(&program);
+/// // `mid` separates main from the leaf and has a seedable local.
+/// assert_eq!(cut, vec![program.func_by_name("mid").unwrap()]);
+/// # Ok::<(), hps_lang::LangError>(())
+/// ```
+pub fn select_functions(program: &Program) -> Vec<FuncId> {
+    let cg = CallGraph::build(program);
+    let main = match program.entry() {
+        Some(m) => m,
+        None => return Vec::new(),
+    };
+    let elig = eligibility(program, &cg);
+    let is_eligible = |f: FuncId| elig[f.index()].eligible;
+    // First try a cut through eligible, non-recursive functions; then relax
+    // the recursion preference.
+    let strict = |f: FuncId| is_eligible(f) && !elig[f.index()].recursive;
+    if let Some(cut) = cg.vertex_cut(main, &strict) {
+        if !cut.is_empty() {
+            return cut;
+        }
+    }
+    if let Some(cut) = cg.vertex_cut(main, &is_eligible) {
+        if !cut.is_empty() {
+            return cut;
+        }
+    }
+    // Fallback: all eligible reachable functions except main itself when it
+    // has callees (splitting the entry is legal but gains little coverage).
+    cg.reachable_from(main)
+        .into_iter()
+        .filter(|&f| is_eligible(f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_avoids_functions_called_in_loops() {
+        let p = hps_lang::parse(
+            "fn hot(x: int) -> int { var t: int = x * 2; return t; }
+             fn cold(x: int) -> int { var t: int = hot(x); return t + 1; }
+             fn main() {
+                 var i: int = 0;
+                 var s: int = 0;
+                 while (i < 10) { s = s + hot(i); i = i + 1; }
+                 print(cold(s));
+             }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&p);
+        let elig = eligibility(&p, &cg);
+        let hot = p.func_by_name("hot").unwrap();
+        let cold = p.func_by_name("cold").unwrap();
+        assert!(elig[hot.index()].called_in_loop);
+        assert!(!elig[hot.index()].eligible);
+        assert!(elig[cold.index()].eligible);
+        // hot is ineligible, so the selection cannot contain it.
+        let sel = select_functions(&p);
+        assert!(!sel.contains(&hot));
+        assert!(sel.contains(&cold));
+    }
+
+    #[test]
+    fn cut_separates_main_from_leaves() {
+        let p = hps_lang::parse(
+            "fn leaf(x: int) -> int { var t: int = x; return t; }
+             fn l(x: int) -> int { var t: int = leaf(x); return t; }
+             fn r(x: int) -> int { var t: int = leaf(x) + 1; return t; }
+             fn main() { print(l(1) + r(2)); }",
+        )
+        .unwrap();
+        let sel = select_functions(&p);
+        let l = p.func_by_name("l").unwrap();
+        let r = p.func_by_name("r").unwrap();
+        // {l, r} is the minimum eligible cut (leaf has infinite capacity as
+        // a leaf endpoint).
+        assert_eq!(sel, vec![l, r]);
+    }
+
+    #[test]
+    fn functions_without_seeds_are_skipped() {
+        let p = hps_lang::parse(
+            "fn noseed(x: int) -> int { return x + 1; }
+             fn seeded(x: int) -> int { var t: int = x; return t; }
+             fn main() { print(noseed(1) + seeded(2)); }",
+        )
+        .unwrap();
+        let sel = select_functions(&p);
+        assert_eq!(sel, vec![p.func_by_name("seeded").unwrap()]);
+    }
+
+    #[test]
+    fn recursive_functions_deprioritized_but_usable() {
+        let p = hps_lang::parse(
+            "fn fact(n: int) -> int {
+                 var t: int = 1;
+                 if (n > 1) { t = n * fact(n - 1); }
+                 return t;
+             }
+             fn main() { print(fact(5)); }",
+        )
+        .unwrap();
+        // Only path main -> fact; fact is recursive but the only option.
+        let sel = select_functions(&p);
+        assert_eq!(sel, vec![p.func_by_name("fact").unwrap()]);
+    }
+
+    #[test]
+    fn empty_without_entry() {
+        let p = hps_lang::parse("fn helper() { }").unwrap();
+        assert!(select_functions(&p).is_empty());
+    }
+}

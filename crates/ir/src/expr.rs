@@ -1,0 +1,589 @@
+//! Expressions.
+
+use crate::{ClassId, FieldId, FuncId, GlobalId, LocalId, Ty, Value};
+use std::fmt;
+
+/// A binary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating on `int`)
+    Div,
+    /// `%` (`int` only)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    /// Returns `true` for `== != < <= > >=`.
+    pub fn is_relational(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Returns `true` for `&& ||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Source-level spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// Binding strength used by the parser and pretty-printer; larger binds
+    /// tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical negation `!`.
+    Not,
+}
+
+impl UnOp {
+    /// Source-level spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Built-in scalar operations.
+///
+/// These count as plain operators for the splitting transformation (they can
+/// be evaluated on the secure device), except that the transcendental ones
+/// make the computed value's arithmetic complexity *Arbitrary* in the sense
+/// of the paper's lattice ("arithmetically more complex operators (e.g.,
+/// exponential, log, mod)").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// `len(a)` — array length.
+    Len,
+    /// `exp(x)` — natural exponential on floats.
+    Exp,
+    /// `log(x)` — natural logarithm on floats.
+    Log,
+    /// `sqrt(x)` — square root on floats.
+    Sqrt,
+    /// `abs(x)` — absolute value on ints and floats.
+    Abs,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `floor(x)` — float floor.
+    Floor,
+    /// `int(x)` — cast float/bool to int.
+    IntCast,
+    /// `float(x)` — cast int to float.
+    FloatCast,
+}
+
+impl Builtin {
+    /// Source-level name of the builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Len => "len",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Abs => "abs",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Floor => "floor",
+            Builtin::IntCast => "int",
+            Builtin::FloatCast => "float",
+        }
+    }
+
+    /// Looks a builtin up by its source-level name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "len" => Builtin::Len,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "floor" => Builtin::Floor,
+            "int" => Builtin::IntCast,
+            "float" => Builtin::FloatCast,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Min | Builtin::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the builtin is "arithmetically complex" in the paper's sense
+    /// (makes any value computed through it `Arbitrary`).
+    pub fn is_transcendental(self) -> bool {
+        matches!(
+            self,
+            Builtin::Exp | Builtin::Log | Builtin::Sqrt | Builtin::Floor
+        )
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The target of a call expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Callee {
+    /// A free function. Arguments are the call's `args`.
+    Func(FuncId),
+    /// A method of `class`; the receiver object is the first element of the
+    /// call's `args`.
+    Method(ClassId, FuncId),
+}
+
+impl Callee {
+    /// The function actually invoked.
+    pub fn func(self) -> FuncId {
+        match self {
+            Callee::Func(f) => f,
+            Callee::Method(_, f) => f,
+        }
+    }
+}
+
+/// A side-effect-free expression (calls are the one exception: they may
+/// write globals, fields and arrays reachable from their arguments).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A scalar literal.
+    Const(Value),
+    /// A local variable or parameter.
+    Local(LocalId),
+    /// A global variable.
+    Global(GlobalId),
+    /// An array element load `base[index]`.
+    Index {
+        /// The array being indexed.
+        base: Box<Expr>,
+        /// The element index.
+        index: Box<Expr>,
+    },
+    /// A field load `obj.field`.
+    FieldGet {
+        /// The receiver object.
+        obj: Box<Expr>,
+        /// The class declaring the field.
+        class: ClassId,
+        /// The field.
+        field: FieldId,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A call to a user function or method.
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Arguments (for methods the receiver is `args[0]`).
+        args: Vec<Expr>,
+    },
+    /// A call to a [`Builtin`].
+    BuiltinCall {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Allocation of a fresh array `new elem[len]`, zero-initialized.
+    NewArray {
+        /// Element type.
+        elem: Ty,
+        /// Number of elements.
+        len: Box<Expr>,
+    },
+    /// Allocation of a fresh instance of `class`, fields zero-initialized.
+    NewObject(ClassId),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Const(Value::Float(v))
+    }
+
+    /// Boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Const(Value::Bool(v))
+    }
+
+    /// Local variable reference.
+    pub fn local(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+
+    /// Global variable reference.
+    pub fn global(id: GlobalId) -> Expr {
+        Expr::Global(id)
+    }
+
+    /// Binary operation.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Unary operation.
+    pub fn unary(op: UnOp, arg: Expr) -> Expr {
+        Expr::Unary {
+            op,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Array element load.
+    pub fn index(base: Expr, index: Expr) -> Expr {
+        Expr::Index {
+            base: Box::new(base),
+            index: Box::new(index),
+        }
+    }
+
+    /// Call to a free function.
+    pub fn call(func: FuncId, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            callee: Callee::Func(func),
+            args,
+        }
+    }
+
+    /// Call to a builtin.
+    pub fn builtin(builtin: Builtin, args: Vec<Expr>) -> Expr {
+        Expr::BuiltinCall { builtin, args }
+    }
+
+    /// Returns `true` if the expression contains any call (user function or
+    /// method; builtins do not count — they are scalar operators).
+    pub fn contains_call(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Returns `true` if the expression contains an array load, a field
+    /// load, or an allocation — i.e. anything touching an aggregate.
+    pub fn touches_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(
+                e,
+                Expr::Index { .. }
+                    | Expr::FieldGet { .. }
+                    | Expr::NewArray { .. }
+                    | Expr::NewObject(_)
+                    | Expr::BuiltinCall {
+                        builtin: Builtin::Len,
+                        ..
+                    }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Returns the constant value if this is a literal.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Calls `f` on this expression and every sub-expression, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Local(_) | Expr::Global(_) | Expr::NewObject(_) => {}
+            Expr::Index { base, index } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::FieldGet { obj, .. } => obj.walk(f),
+            Expr::Unary { arg, .. } => arg.walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::NewArray { len, .. } => len.walk(f),
+        }
+    }
+
+    /// Calls `f` on this expression and every sub-expression, pre-order,
+    /// allowing mutation.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Local(_) | Expr::Global(_) | Expr::NewObject(_) => {}
+            Expr::Index { base, index } => {
+                base.walk_mut(f);
+                index.walk_mut(f);
+            }
+            Expr::FieldGet { obj, .. } => obj.walk_mut(f),
+            Expr::Unary { arg, .. } => arg.walk_mut(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk_mut(f);
+                rhs.walk_mut(f);
+            }
+            Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+                for a in args {
+                    a.walk_mut(f);
+                }
+            }
+            Expr::NewArray { len, .. } => len.walk_mut(f),
+        }
+    }
+
+    /// Collects the local variables read by this expression, in first-use
+    /// order without duplicates.
+    pub fn locals_read(&self) -> Vec<LocalId> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Local(id) = e {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects the global variables read by this expression, in first-use
+    /// order without duplicates.
+    pub fn globals_read(&self) -> Vec<GlobalId> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Global(id) = e {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // (x + y) * a[i] + g0
+        Expr::binary(
+            BinOp::Add,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::local(LocalId::new(0)),
+                    Expr::local(LocalId::new(1)),
+                ),
+                Expr::index(Expr::local(LocalId::new(2)), Expr::local(LocalId::new(3))),
+            ),
+            Expr::global(GlobalId::new(0)),
+        )
+    }
+
+    #[test]
+    fn locals_read_in_order_without_dups() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::local(LocalId::new(1)),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::local(LocalId::new(0)),
+                Expr::local(LocalId::new(1)),
+            ),
+        );
+        assert_eq!(e.locals_read(), vec![LocalId::new(1), LocalId::new(0)]);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(sample().touches_aggregate());
+        assert!(!Expr::binary(BinOp::Add, Expr::int(1), Expr::int(2)).touches_aggregate());
+        assert!(
+            Expr::builtin(Builtin::Len, vec![Expr::local(LocalId::new(0))]).touches_aggregate()
+        );
+        // Transcendental builtins are scalar operators, not aggregate touches.
+        assert!(!Expr::builtin(Builtin::Exp, vec![Expr::float(1.0)]).touches_aggregate());
+    }
+
+    #[test]
+    fn call_detection() {
+        assert!(!sample().contains_call());
+        let call = Expr::call(FuncId::new(1), vec![Expr::int(3)]);
+        assert!(call.contains_call());
+        assert!(Expr::binary(BinOp::Add, call, Expr::int(1)).contains_call());
+    }
+
+    #[test]
+    fn globals_read() {
+        assert_eq!(sample().globals_read(), vec![GlobalId::new(0)]);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::Add.is_relational());
+        assert!(BinOp::Lt.is_relational());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+    }
+
+    #[test]
+    fn builtin_round_trip() {
+        for b in [
+            Builtin::Len,
+            Builtin::Exp,
+            Builtin::Log,
+            Builtin::Sqrt,
+            Builtin::Abs,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::Floor,
+            Builtin::IntCast,
+            Builtin::FloatCast,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+        assert_eq!(Builtin::Min.arity(), 2);
+        assert_eq!(Builtin::Exp.arity(), 1);
+        assert!(Builtin::Exp.is_transcendental());
+        assert!(!Builtin::Abs.is_transcendental());
+    }
+
+    #[test]
+    fn callee_func() {
+        assert_eq!(Callee::Func(FuncId::new(2)).func(), FuncId::new(2));
+        assert_eq!(
+            Callee::Method(ClassId::new(0), FuncId::new(5)).func(),
+            FuncId::new(5)
+        );
+    }
+
+    #[test]
+    fn as_const() {
+        assert_eq!(Expr::int(4).as_const(), Some(Value::Int(4)));
+        assert_eq!(Expr::local(LocalId::new(0)).as_const(), None);
+    }
+}

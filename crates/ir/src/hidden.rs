@@ -1,0 +1,244 @@
+//! Hidden-component representation.
+//!
+//! The splitting transformation removes code fragments from a function `f`
+//! and collects them — together with the *hidden variables* whose values
+//! they maintain — into a [`HiddenComponent`] `Hf`. The paper: "the hidden
+//! component `Hf` is constructed such that it consists of a set of code
+//! fragments removed from `f` and each of these fragments is identified by a
+//! unique label. … The function `Hf` has two parameters, a label *id* that
+//! identifies the statements in `Hf` that needs to be executed and an array
+//! which contains values from `Of` which are needed by `Hf` to perform the
+//! computation. `Hf` also returns a single value."
+//!
+//! A [`HiddenProgram`] is installed on the secure device; the open program
+//! triggers fragments through [`StmtKind::HiddenCall`](crate::StmtKind)
+//! statements.
+//!
+//! # Variable numbering inside fragments
+//!
+//! Fragment bodies reuse the ordinary [`Block`]/[`crate::Stmt`] types, but their
+//! `Place::Local` / `Expr::Local` indices refer to the *hidden frame*:
+//! indices `0 .. component.vars.len()` name the component's persistent
+//! hidden variables, and indices `vars.len() ..` name the fragment's
+//! parameters (bound from the argument array on each call).
+
+use crate::{Block, ComponentId, Expr, FragLabel, Ty};
+
+/// What program entity a hidden component was carved out of.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ComponentKind {
+    /// Split of a function: hidden state lives per *activation* (the open
+    /// side allocates an activation id per call of the function, so
+    /// recursive functions keep their instances apart — the paper's
+    /// "instance id").
+    Function {
+        /// Name of the split function (for reports only).
+        func_name: String,
+    },
+    /// Split of a class: hidden state lives per *object instance id*.
+    Class {
+        /// Name of the split class (for reports only).
+        class_name: String,
+    },
+    /// Hiding of a single global variable: one shared hidden state for the
+    /// whole program (key 0 on the wire).
+    Global {
+        /// Name of the hidden global (for reports only).
+        global_name: String,
+    },
+}
+
+/// A persistent hidden variable maintained on the secure side.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HiddenVar {
+    /// Original source-level name (for reports only; the open component
+    /// never sees it).
+    pub name: String,
+    /// Scalar type.
+    pub ty: Ty,
+    /// Initial value of the hidden slot (zero when `None`). Hidden globals
+    /// carry their declared initializer here.
+    pub init: Option<crate::Value>,
+}
+
+/// One labeled code fragment of a hidden component.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fragment {
+    /// The unique label the open side uses to trigger this fragment.
+    pub label: FragLabel,
+    /// Parameters bound from the call's argument array, in order.
+    pub params: Vec<(String, Ty)>,
+    /// The statements to execute (see the module docs for the local
+    /// numbering convention). Must not contain `Return`, calls, aggregate
+    /// accesses or nested hidden calls.
+    pub body: Block,
+    /// The value returned to the open side; `None` returns the paper's
+    /// "arbitrary value denoted as *any*".
+    pub ret: Option<Expr>,
+}
+
+/// The hidden half of one split function or class.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HiddenComponent {
+    /// This component's id (matching `HiddenCall::component` in the open
+    /// program).
+    pub id: ComponentId,
+    /// Whether state is keyed by activation or by object instance.
+    pub kind: ComponentKind,
+    /// Persistent hidden variables (the hidden part of the program state).
+    pub vars: Vec<HiddenVar>,
+    /// The labeled code fragments.
+    pub fragments: Vec<Fragment>,
+}
+
+impl HiddenComponent {
+    /// Looks up a fragment by label.
+    pub fn fragment(&self, label: FragLabel) -> Option<&Fragment> {
+        self.fragments.iter().find(|f| f.label == label)
+    }
+
+    /// Total number of statements across all fragments.
+    pub fn stmt_count(&self) -> usize {
+        self.fragments
+            .iter()
+            .map(|f| crate::visit::count_stmts(&f.body))
+            .sum()
+    }
+
+    /// Human-readable name of the split entity.
+    pub fn entity_name(&self) -> &str {
+        match &self.kind {
+            ComponentKind::Function { func_name } => func_name,
+            ComponentKind::Class { class_name } => class_name,
+            ComponentKind::Global { global_name } => global_name,
+        }
+    }
+}
+
+/// The complete hidden side of a split program, installed on the secure
+/// machine.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct HiddenProgram {
+    /// All components, indexed by [`ComponentId`].
+    pub components: Vec<HiddenComponent>,
+}
+
+impl HiddenProgram {
+    /// An empty hidden program.
+    pub fn new() -> HiddenProgram {
+        HiddenProgram::default()
+    }
+
+    /// Adds a component, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component's preassigned id does not match its slot.
+    pub fn add(&mut self, component: HiddenComponent) -> ComponentId {
+        let id = ComponentId::new(self.components.len());
+        assert_eq!(component.id, id, "component id must match its slot");
+        self.components.push(component);
+        id
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn component(&self, id: ComponentId) -> &HiddenComponent {
+        &self.components[id.index()]
+    }
+
+    /// Renders the hidden program for human inspection (fragment labels,
+    /// hidden variables, statement counts).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for c in &self.components {
+            let _ = writeln!(
+                out,
+                "component {} ({}): {} hidden vars, {} fragments, {} stmts",
+                c.id,
+                c.entity_name(),
+                c.vars.len(),
+                c.fragments.len(),
+                c.stmt_count()
+            );
+            for v in &c.vars {
+                let _ = writeln!(out, "  hidden var {}: {}", v.name, v.ty);
+            }
+            for f in &c.fragments {
+                let _ = writeln!(
+                    out,
+                    "  fragment {} ({} params, {} stmts, returns {})",
+                    f.label,
+                    f.params.len(),
+                    crate::visit::count_stmts(&f.body),
+                    if f.ret.is_some() { "value" } else { "any" }
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Place, Stmt, StmtKind};
+
+    fn sample_component() -> HiddenComponent {
+        // hidden var a (index 0); fragment L0(p0) { a = p0; } returns a
+        let body = Block::of(vec![Stmt::new(StmtKind::Assign {
+            place: Place::Local(crate::LocalId::new(0)),
+            value: Expr::local(crate::LocalId::new(1)),
+        })]);
+        HiddenComponent {
+            id: ComponentId::new(0),
+            kind: ComponentKind::Function {
+                func_name: "f".into(),
+            },
+            vars: vec![HiddenVar {
+                name: "a".into(),
+                ty: Ty::Int,
+                init: None,
+            }],
+            fragments: vec![Fragment {
+                label: FragLabel::new(0),
+                params: vec![("p0".into(), Ty::Int)],
+                body,
+                ret: Some(Expr::local(crate::LocalId::new(0))),
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let c = sample_component();
+        assert!(c.fragment(FragLabel::new(0)).is_some());
+        assert!(c.fragment(FragLabel::new(1)).is_none());
+        assert_eq!(c.stmt_count(), 1);
+        assert_eq!(c.entity_name(), "f");
+    }
+
+    #[test]
+    fn program_add_checks_slot() {
+        let mut hp = HiddenProgram::new();
+        let id = hp.add(sample_component());
+        assert_eq!(id, ComponentId::new(0));
+        assert_eq!(hp.component(id).vars.len(), 1);
+        let text = hp.summary();
+        assert!(text.contains("component H0 (f)"), "got: {text}");
+        assert!(text.contains("fragment L0"), "got: {text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match its slot")]
+    fn program_add_rejects_wrong_id() {
+        let mut hp = HiddenProgram::new();
+        let mut c = sample_component();
+        c.id = ComponentId::new(5);
+        hp.add(c);
+    }
+}

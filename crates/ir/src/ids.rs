@@ -1,0 +1,118 @@
+//! Newtype identifiers for IR entities.
+//!
+//! Every entity that analyses need to reference — statements, locals,
+//! globals, functions, classes, fields and hidden-component fragments — gets
+//! a dedicated index newtype ([C-NEWTYPE]), so that e.g. a [`LocalId`] can
+//! never be confused with a [`GlobalId`].
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index, for table lookups.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a statement within one [`Function`](crate::Function).
+    ///
+    /// Statement ids are unique *per function* and are assigned densely by
+    /// [`Function::renumber`](crate::Function::renumber); they stay stable as
+    /// long as the body is not mutated, which makes them suitable as keys for
+    /// analysis results, slices and split metadata.
+    StmtId, "s"
+);
+id_type!(
+    /// Identifies a local variable (including parameters) of a function.
+    LocalId, "l"
+);
+id_type!(
+    /// Identifies a global variable of a [`Program`](crate::Program).
+    GlobalId, "g"
+);
+id_type!(
+    /// Identifies a function of a [`Program`](crate::Program).
+    FuncId, "f"
+);
+id_type!(
+    /// Identifies a class of a [`Program`](crate::Program).
+    ClassId, "c"
+);
+id_type!(
+    /// Identifies a field within a [`ClassDef`](crate::ClassDef).
+    FieldId, "fld"
+);
+id_type!(
+    /// Identifies a hidden component within a
+    /// [`HiddenProgram`](https://docs.rs/hps-core) produced by the splitting
+    /// transformation. One component exists per split function (or per split
+    /// class).
+    ComponentId, "H"
+);
+id_type!(
+    /// Identifies a code fragment of a hidden component.
+    ///
+    /// The paper: "the hidden component `Hf` … consists of a set of code
+    /// fragments removed from `f` and each of these fragments is identified
+    /// by a unique label".
+    FragLabel, "L"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let id = StmtId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(LocalId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", StmtId::new(3)), "s3");
+        assert_eq!(format!("{:?}", FragLabel::new(9)), "L9");
+        assert_eq!(format!("{}", GlobalId::new(0)), "g0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(StmtId::new(1) < StmtId::new(2));
+        assert_eq!(FuncId::default(), FuncId::new(0));
+    }
+}

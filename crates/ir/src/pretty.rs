@@ -1,0 +1,420 @@
+//! Pretty-printer emitting MiniLang-compatible source.
+//!
+//! Printing a [`Program`] that was produced by the front end yields source
+//! the front end parses back to an equal program (round-trip property, see
+//! the `hps-lang` tests). Post-split programs additionally contain
+//! [`StmtKind::HiddenCall`] statements which are printed in a pseudo-syntax
+//! (`place = __hidden(H0.L1, x, y);`) purely for human consumption.
+
+use crate::{Block, Callee, Expr, Function, LocalKind, Place, Program, Stmt, StmtKind, Ty, Value};
+
+/// Renders a whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut pr = Printer::new(program);
+    pr.program();
+    pr.out
+}
+
+/// Renders a single function.
+pub fn function_to_string(program: &Program, func: &Function) -> String {
+    let mut pr = Printer::new(program);
+    pr.function(func);
+    pr.out
+}
+
+/// Renders a single function with `/*sN*/` statement-id annotations, for
+/// reports and debugging.
+pub fn function_to_annotated_string(program: &Program, func: &Function) -> String {
+    let mut pr = Printer::new(program);
+    pr.show_ids = true;
+    pr.function(func);
+    pr.out
+}
+
+struct Printer<'a> {
+    program: &'a Program,
+    out: String,
+    indent: usize,
+    show_ids: bool,
+}
+
+impl<'a> Printer<'a> {
+    fn new(program: &'a Program) -> Printer<'a> {
+        Printer {
+            program,
+            out: String::new(),
+            indent: 0,
+            show_ids: false,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn program(&mut self) {
+        for g in &self.program.globals {
+            let init = match (&g.init, &g.array_len) {
+                (_, Some(n)) => format!(" = new {}[{}]", elem_ty_str(self.program, &g.ty), n),
+                (Some(v), None) => format!(" = {}", value_str(v)),
+                (None, None) => String::new(),
+            };
+            self.line(&format!(
+                "global {}: {}{};",
+                g.name,
+                ty_str_in(self.program, &g.ty),
+                init
+            ));
+        }
+        if !self.program.globals.is_empty() {
+            self.out.push('\n');
+        }
+        for class in &self.program.classes {
+            self.line(&format!("class {} {{", class.name));
+            self.indent += 1;
+            for field in &class.fields {
+                self.line(&format!(
+                    "{}: {};",
+                    field.name,
+                    ty_str_in(self.program, &field.ty)
+                ));
+            }
+            for &m in &class.methods {
+                self.function(self.program.func(m));
+            }
+            self.indent -= 1;
+            self.line("}");
+            self.out.push('\n');
+        }
+        for (_, f) in self.program.iter_funcs() {
+            if f.class.is_none() {
+                self.function(f);
+                self.out.push('\n');
+            }
+        }
+    }
+
+    fn function(&mut self, func: &Function) {
+        let is_method = func.class.is_some();
+        let params: Vec<String> = func
+            .locals
+            .iter()
+            .take(func.num_params)
+            .enumerate()
+            .filter(|(i, _)| !(is_method && *i == 0))
+            .map(|(_, l)| format!("{}: {}", l.name, ty_str_in(self.program, &l.ty)))
+            .collect();
+        let ret = if func.ret_ty == Ty::Void {
+            String::new()
+        } else {
+            format!(" -> {}", ty_str_in(self.program, &func.ret_ty))
+        };
+        self.line(&format!(
+            "fn {}({}){} {{",
+            func.name,
+            params.join(", "),
+            ret
+        ));
+        self.indent += 1;
+        for local in func.locals.iter().skip(func.num_params) {
+            if local.kind == LocalKind::Var || local.kind == LocalKind::Temp {
+                self.line(&format!(
+                    "var {}: {};",
+                    local.name,
+                    ty_str_in(self.program, &local.ty)
+                ));
+            }
+        }
+        self.block_body(func, &func.body);
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block_body(&mut self, func: &Function, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(func, stmt);
+        }
+    }
+
+    fn stmt(&mut self, func: &Function, stmt: &Stmt) {
+        let tag = if self.show_ids {
+            format!("/*{}*/ ", stmt.id)
+        } else {
+            String::new()
+        };
+        match &stmt.kind {
+            StmtKind::Assign { place, value } => {
+                let p = self.place(func, place);
+                let v = self.expr(func, value, 0);
+                self.line(&format!("{tag}{p} = {v};"));
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.expr(func, cond, 0);
+                self.line(&format!("{tag}if ({c}) {{"));
+                self.indent += 1;
+                self.block_body(func, then_blk);
+                self.indent -= 1;
+                if else_blk.is_empty() {
+                    self.line("}");
+                } else {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.block_body(func, else_blk);
+                    self.indent -= 1;
+                    self.line("}");
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let c = self.expr(func, cond, 0);
+                self.line(&format!("{tag}while ({c}) {{"));
+                self.indent += 1;
+                self.block_body(func, body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Return(None) => self.line(&format!("{tag}return;")),
+            StmtKind::Return(Some(e)) => {
+                let v = self.expr(func, e, 0);
+                self.line(&format!("{tag}return {v};"));
+            }
+            StmtKind::Break => self.line(&format!("{tag}break;")),
+            StmtKind::Continue => self.line(&format!("{tag}continue;")),
+            StmtKind::ExprStmt(e) => {
+                let v = self.expr(func, e, 0);
+                self.line(&format!("{tag}{v};"));
+            }
+            StmtKind::Print(e) => {
+                let v = self.expr(func, e, 0);
+                self.line(&format!("{tag}print({v});"));
+            }
+            StmtKind::HiddenCall {
+                component,
+                label,
+                args,
+                result,
+            } => {
+                let args: Vec<String> = args.iter().map(|a| self.expr(func, a, 0)).collect();
+                let call = format!(
+                    "__hidden({component}.{label}{}{})",
+                    if args.is_empty() { "" } else { ", " },
+                    args.join(", ")
+                );
+                match result {
+                    Some(place) => {
+                        let p = self.place(func, place);
+                        self.line(&format!("{tag}{p} = {call};"));
+                    }
+                    None => self.line(&format!("{tag}{call};")),
+                }
+            }
+            StmtKind::Nop => self.line(&format!("{tag}// nop")),
+        }
+    }
+
+    fn place(&mut self, func: &Function, place: &Place) -> String {
+        match place {
+            Place::Local(id) => func.local(*id).name.clone(),
+            Place::Global(id) => self.program.globals[id.index()].name.clone(),
+            Place::Index { base, index } => {
+                let b = self.place(func, base);
+                let i = self.expr(func, index, 0);
+                format!("{b}[{i}]")
+            }
+            Place::Field { obj, class, field } => {
+                let o = self.expr(func, obj, 10);
+                let name = &self.program.class(*class).field(*field).name;
+                format!("{o}.{name}")
+            }
+        }
+    }
+
+    fn expr(&mut self, func: &Function, expr: &Expr, parent_prec: u8) -> String {
+        match expr {
+            Expr::Const(v) => value_str(v),
+            Expr::Local(id) => func.local(*id).name.clone(),
+            Expr::Global(id) => self.program.globals[id.index()].name.clone(),
+            Expr::Index { base, index } => {
+                let b = self.expr(func, base, 10);
+                let i = self.expr(func, index, 0);
+                format!("{b}[{i}]")
+            }
+            Expr::FieldGet { obj, class, field } => {
+                let o = self.expr(func, obj, 10);
+                let name = &self.program.class(*class).field(*field).name;
+                format!("{o}.{name}")
+            }
+            Expr::Unary { op, arg } => {
+                let a = self.expr(func, arg, 9);
+                format!("{}{a}", op.symbol())
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let prec = op.precedence();
+                let l = self.expr(func, lhs, prec);
+                // Right operand needs parens at equal precedence: ops are
+                // left-associative.
+                let r = self.expr(func, rhs, prec + 1);
+                let text = format!("{l} {} {r}", op.symbol());
+                if prec < parent_prec {
+                    format!("({text})")
+                } else {
+                    text
+                }
+            }
+            Expr::Call { callee, args } => {
+                let fname = self.program.func(callee.func()).name.clone();
+                match callee {
+                    Callee::Func(_) => {
+                        let args: Vec<String> =
+                            args.iter().map(|a| self.expr(func, a, 0)).collect();
+                        format!("{fname}({})", args.join(", "))
+                    }
+                    Callee::Method(_, _) => {
+                        let recv = self.expr(func, &args[0], 10);
+                        let rest: Vec<String> =
+                            args[1..].iter().map(|a| self.expr(func, a, 0)).collect();
+                        format!("{recv}.{fname}({})", rest.join(", "))
+                    }
+                }
+            }
+            Expr::BuiltinCall { builtin, args } => {
+                let args: Vec<String> = args.iter().map(|a| self.expr(func, a, 0)).collect();
+                format!("{}({})", builtin.name(), args.join(", "))
+            }
+            Expr::NewArray { elem, len } => {
+                let l = self.expr(func, len, 0);
+                format!("new {}[{l}]", ty_str_in(self.program, elem))
+            }
+            Expr::NewObject(class) => {
+                format!("new {}()", self.program.class(*class).name)
+            }
+        }
+    }
+}
+
+fn ty_str_in(program: &Program, ty: &Ty) -> String {
+    match ty {
+        Ty::Int => "int".into(),
+        Ty::Float => "float".into(),
+        Ty::Bool => "bool".into(),
+        Ty::Array(elem) => format!("{}[]", ty_str_in(program, elem)),
+        Ty::Object(c) => program.class(*c).name.clone(),
+        Ty::Void => "void".into(),
+    }
+}
+
+fn elem_ty_str(program: &Program, ty: &Ty) -> String {
+    match ty {
+        Ty::Array(elem) => ty_str_in(program, elem),
+        other => ty_str_in(program, other),
+    }
+}
+
+fn value_str(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FnBuilder;
+    use crate::{BinOp, Expr};
+
+    #[test]
+    fn prints_precedence_parens_only_where_needed() {
+        let mut fb = FnBuilder::new("t", Ty::Int);
+        let x = fb.param("x", Ty::Int);
+        let y = fb.param("y", Ty::Int);
+        // (x + y) * x  — parens required
+        fb.ret(Some(Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::local(x), Expr::local(y)),
+            Expr::local(x),
+        )));
+        let f = fb.finish();
+        let mut p = Program::new();
+        let text = function_to_string(&p.clone(), &f);
+        assert!(text.contains("return (x + y) * x;"), "got:\n{text}");
+        p.add_function(f);
+    }
+
+    #[test]
+    fn no_parens_for_natural_precedence() {
+        let mut fb = FnBuilder::new("t", Ty::Int);
+        let x = fb.param("x", Ty::Int);
+        // x * x + x
+        fb.ret(Some(Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::local(x), Expr::local(x)),
+            Expr::local(x),
+        )));
+        let f = fb.finish();
+        let p = Program::new();
+        let text = function_to_string(&p, &f);
+        assert!(text.contains("return x * x + x;"), "got:\n{text}");
+    }
+
+    #[test]
+    fn left_associativity_parenthesizes_right_nesting() {
+        let mut fb = FnBuilder::new("t", Ty::Int);
+        let x = fb.param("x", Ty::Int);
+        // x - (x - x) must keep its parens
+        fb.ret(Some(Expr::binary(
+            BinOp::Sub,
+            Expr::local(x),
+            Expr::binary(BinOp::Sub, Expr::local(x), Expr::local(x)),
+        )));
+        let f = fb.finish();
+        let p = Program::new();
+        let text = function_to_string(&p, &f);
+        assert!(text.contains("return x - (x - x);"), "got:\n{text}");
+    }
+
+    #[test]
+    fn annotated_output_shows_stmt_ids() {
+        let mut fb = FnBuilder::new("t", Ty::Void);
+        fb.ret(None);
+        let f = fb.finish();
+        let p = Program::new();
+        let text = function_to_annotated_string(&p, &f);
+        assert!(text.contains("/*s0*/ return;"), "got:\n{text}");
+    }
+
+    #[test]
+    fn prints_globals_and_loops() {
+        let mut p = Program::new();
+        let g = p.add_global("count", Ty::Int, Some(Value::Int(3)));
+        let mut fb = FnBuilder::new("main", Ty::Void);
+        fb.while_loop(
+            Expr::binary(BinOp::Lt, Expr::global(g), Expr::int(10)),
+            |fb| {
+                fb.assign(
+                    crate::Place::Global(g),
+                    Expr::binary(BinOp::Add, Expr::global(g), Expr::int(1)),
+                );
+            },
+        );
+        p.add_function(fb.finish());
+        let text = program_to_string(&p);
+        assert!(text.contains("global count: int = 3;"), "got:\n{text}");
+        assert!(text.contains("while (count < 10) {"), "got:\n{text}");
+        assert!(text.contains("count = count + 1;"), "got:\n{text}");
+    }
+}

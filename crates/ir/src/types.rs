@@ -1,0 +1,228 @@
+//! Types and constant values.
+
+use crate::ClassId;
+use std::fmt;
+
+/// The type of an IR expression, local, global or field.
+///
+/// The scalar types ([`Ty::Int`], [`Ty::Float`], [`Ty::Bool`]) are exactly
+/// the values that may cross the open/hidden boundary: the paper restricts
+/// hidden components to "simply transferring a set of scalar values between
+/// the unsecure machine and the secure device". Aggregates ([`Ty::Array`],
+/// [`Ty::Object`]) always stay in the open component.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Array of an element type (elements are always scalars in MiniLang).
+    Array(Box<Ty>),
+    /// Reference to an instance of a class.
+    Object(ClassId),
+    /// The type of functions that return nothing.
+    Void,
+}
+
+impl Ty {
+    /// Returns `true` for the scalar types that may be hidden or transferred
+    /// between components.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Float | Ty::Bool)
+    }
+
+    /// Returns `true` for aggregate types (arrays and objects).
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Ty::Array(_) | Ty::Object(_))
+    }
+
+    /// Returns the element type of an array type.
+    pub fn element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Array(elem) => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for an array of this type.
+    pub fn array_of(self) -> Ty {
+        Ty::Array(Box::new(self))
+    }
+
+    /// Returns `true` if the two types are compatible for assignment.
+    ///
+    /// Types are invariant; this is plain equality, but kept as a named
+    /// method so call sites read as intent.
+    pub fn assignable_from(&self, other: &Ty) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Float => write!(f, "float"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Array(elem) => write!(f, "{elem}[]"),
+            Ty::Object(c) => write!(f, "object({c})"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A compile-time constant scalar value.
+///
+/// Runtime values (which additionally include array and object references)
+/// live in `hps-runtime`; the IR itself only ever embeds scalars as literal
+/// operands and global initializers.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// Boolean constant.
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this constant.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Float(_) => Ty::Float,
+            Value::Bool(_) => Ty::Bool,
+        }
+    }
+
+    /// The default (zero) value of a scalar type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not scalar.
+    pub fn zero_of(ty: &Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Float => Value::Float(0.0),
+            Ty::Bool => Value::Bool(false),
+            other => panic!("no zero value for non-scalar type {other}"),
+        }
+    }
+
+    /// Interprets the value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float, if it is one.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Ty::Int.is_scalar());
+        assert!(Ty::Float.is_scalar());
+        assert!(Ty::Bool.is_scalar());
+        assert!(!Ty::Int.clone().array_of().is_scalar());
+        assert!(Ty::Int.clone().array_of().is_aggregate());
+        assert!(Ty::Object(ClassId::new(0)).is_aggregate());
+        assert!(!Ty::Void.is_scalar());
+        assert!(!Ty::Void.is_aggregate());
+    }
+
+    #[test]
+    fn array_element_type() {
+        let t = Ty::Float.array_of();
+        assert_eq!(t.element(), Some(&Ty::Float));
+        assert_eq!(Ty::Int.element(), None);
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(Ty::Int.array_of().to_string(), "int[]");
+        assert_eq!(Ty::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(&Ty::Int), Value::Int(0));
+        assert_eq!(Value::zero_of(&Ty::Float), Value::Float(0.0));
+        assert_eq!(Value::zero_of(&Ty::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "no zero value")]
+    fn zero_of_array_panics() {
+        let _ = Value::zero_of(&Ty::Int.array_of());
+    }
+
+    #[test]
+    fn value_accessors_and_display() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from(7i64).ty(), Ty::Int);
+        assert_eq!(Value::from(true).ty(), Ty::Bool);
+        assert_eq!(Value::from(1.5f64).ty(), Ty::Float);
+    }
+}

@@ -1,0 +1,233 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! Names are unresolved strings; the [`lower`](crate::lower) pass resolves
+//! them against the program's globals, functions, classes and local scopes
+//! and performs type checking.
+
+use crate::error::Span;
+
+/// A parsed type annotation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AType {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `bool`
+    Bool,
+    /// `T[]`
+    Array(Box<AType>),
+    /// A class name.
+    Named(String),
+}
+
+/// A whole source file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct AProgram {
+    /// Global variable declarations.
+    pub globals: Vec<AGlobal>,
+    /// Free functions.
+    pub funcs: Vec<AFunc>,
+    /// Class definitions.
+    pub classes: Vec<AClass>,
+}
+
+/// `global name: ty (= init)?;`
+#[derive(Clone, PartialEq, Debug)]
+pub struct AGlobal {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AType,
+    /// Scalar initializer literal.
+    pub init: Option<AExpr>,
+    /// Element count for `= new T[N]` array globals.
+    pub array_len: Option<i64>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A class with fields and methods.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AClass {
+    /// Class name.
+    pub name: String,
+    /// `name: ty;` field declarations.
+    pub fields: Vec<(String, AType, Span)>,
+    /// Methods (receive an implicit `self`).
+    pub methods: Vec<AFunc>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AFunc {
+    /// Function name.
+    pub name: String,
+    /// `(name, type)` parameters.
+    pub params: Vec<(String, AType, Span)>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<AType>,
+    /// Body statements.
+    pub body: Vec<AStmt>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A statement with position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AStmt {
+    /// What the statement does.
+    pub kind: AStmtKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Statement forms.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AStmtKind {
+    /// `var name: ty (= init)?;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: AType,
+        /// Optional initializer.
+        init: Option<AExpr>,
+    },
+    /// `place = value;`
+    Assign {
+        /// Assignment target (validated as a place during lowering).
+        place: AExpr,
+        /// Assigned value.
+        value: AExpr,
+    },
+    /// `if (cond) {..} (else {..})?`
+    If {
+        /// Condition.
+        cond: AExpr,
+        /// Then branch.
+        then_blk: Vec<AStmt>,
+        /// Else branch (empty when absent).
+        else_blk: Vec<AStmt>,
+    },
+    /// `while (cond) {..}`
+    While {
+        /// Condition.
+        cond: AExpr,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `for (init; cond; step) {..}` — desugared to `while` in lowering.
+    For {
+        /// Initialization statement.
+        init: Option<Box<AStmt>>,
+        /// Condition (`true` when absent).
+        cond: Option<AExpr>,
+        /// Step statement.
+        step: Option<Box<AStmt>>,
+        /// Body.
+        body: Vec<AStmt>,
+    },
+    /// `return expr?;`
+    Return(Option<AExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `print(expr);`
+    Print(AExpr),
+    /// A bare expression statement (a call).
+    Expr(AExpr),
+}
+
+/// An expression with position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AExpr {
+    /// The expression form.
+    pub kind: AExprKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Binary operators (front-end view; mapped 1:1 onto `hps_ir::BinOp`).
+pub type ABinOp = hps_ir::BinOp;
+/// Unary operators (front-end view; mapped 1:1 onto `hps_ir::UnOp`).
+pub type AUnOp = hps_ir::UnOp;
+
+/// Expression forms.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Bool literal.
+    Bool(bool),
+    /// Unresolved name (local, global, or function in call position).
+    Ident(String),
+    /// `self`
+    SelfRef,
+    /// `base[index]`
+    Index {
+        /// Array expression.
+        base: Box<AExpr>,
+        /// Index expression.
+        index: Box<AExpr>,
+    },
+    /// `obj.name` (field access) — also the callee shape of method calls.
+    Field {
+        /// Receiver.
+        obj: Box<AExpr>,
+        /// Member name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: AUnOp,
+        /// Operand.
+        arg: Box<AExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: ABinOp,
+        /// Left operand.
+        lhs: Box<AExpr>,
+        /// Right operand.
+        rhs: Box<AExpr>,
+    },
+    /// `callee(args)` — `callee` is an [`AExprKind::Ident`] (free function
+    /// or builtin) or an [`AExprKind::Field`] (method call).
+    Call {
+        /// Callee expression.
+        callee: Box<AExpr>,
+        /// Arguments.
+        args: Vec<AExpr>,
+    },
+    /// `new elem[len]`
+    NewArray {
+        /// Element type.
+        elem: AType,
+        /// Length expression.
+        len: Box<AExpr>,
+    },
+    /// `new Class()`
+    NewObject(String),
+}
+
+impl AExpr {
+    /// Convenience constructor.
+    pub fn new(kind: AExprKind, span: Span) -> AExpr {
+        AExpr { kind, span }
+    }
+}
+
+impl AStmt {
+    /// Convenience constructor.
+    pub fn new(kind: AStmtKind, span: Span) -> AStmt {
+        AStmt { kind, span }
+    }
+}

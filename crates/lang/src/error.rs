@@ -1,0 +1,130 @@
+//! Front-end diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given position.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which phase produced a [`LangError`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution / type checking.
+    Check,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex error"),
+            Phase::Parse => write!(f, "parse error"),
+            Phase::Check => write!(f, "type error"),
+        }
+    }
+}
+
+/// An error produced while turning MiniLang source into IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    phase: Phase,
+    message: String,
+    span: Span,
+}
+
+impl LangError {
+    /// Creates an error for the given phase.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> LangError {
+        LangError {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A lexical error.
+    pub fn lex(message: impl Into<String>, span: Span) -> LangError {
+        Self::new(Phase::Lex, message, span)
+    }
+
+    /// A syntax error.
+    pub fn parse(message: impl Into<String>, span: Span) -> LangError {
+        Self::new(Phase::Parse, message, span)
+    }
+
+    /// A type / resolution error.
+    pub fn check(message: impl Into<String>, span: Span) -> LangError {
+        Self::new(Phase::Check, message, span)
+    }
+
+    /// Human-readable description without the position.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The phase that failed.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
+
+    /// 1-based source column of the error.
+    pub fn col(&self) -> u32 {
+        self.span.col
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_position_and_message() {
+        let e = LangError::parse("expected ';'", Span::new(3, 7));
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.col(), 7);
+        assert_eq!(e.phase(), Phase::Parse);
+        assert_eq!(e.message(), "expected ';'");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn take(_: Box<dyn Error + Send + Sync>) {}
+        take(Box::new(LangError::lex("bad char", Span::default())));
+    }
+}

@@ -1,0 +1,326 @@
+//! The MiniLang lexer.
+//!
+//! Hand-written, one-pass, with `//` line comments and `/* ... */` block
+//! comments.
+
+use crate::error::{LangError, Span};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Tokenizes MiniLang source.
+///
+/// The returned vector always ends with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters, malformed numbers and
+/// unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _source: source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LangError::lex("unterminated block comment", span));
+                    }
+                }
+                c if c.is_ascii_digit() => self.number(span)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(span),
+                _ => self.punct(span)?,
+            }
+        }
+        let span = self.span();
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn number(&mut self, span: Span) -> Result<(), LangError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A fractional part requires a digit after the dot, so `a.0` style
+        // member access never lexes as a float.
+        let mut is_float = false;
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.peek() == Some('e') || self.peek() == Some('E') {
+            let save = (self.pos, self.line, self.col);
+            let mut exp = String::from("e");
+            self.bump();
+            if self.peek() == Some('+') || self.peek() == Some('-') {
+                exp.push(self.bump().expect("peeked"));
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        exp.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                text.push_str(&exp);
+                is_float = true;
+            } else {
+                // Not an exponent after all (e.g. `3eggs`); rewind.
+                (self.pos, self.line, self.col) = save;
+            }
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| LangError::lex(format!("malformed float literal `{text}`"), span))?;
+            self.push(TokenKind::Float(v), span);
+        } else {
+            let v: i64 = text.parse().map_err(|_| {
+                LangError::lex(format!("integer literal `{text}` out of range"), span)
+            })?;
+            self.push(TokenKind::Int(v), span);
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::lookup(&text) {
+            Some(kw) => self.push(TokenKind::Keyword(kw), span),
+            None => self.push(TokenKind::Ident(text), span),
+        }
+    }
+
+    fn punct(&mut self, span: Span) -> Result<(), LangError> {
+        let c = self.bump().expect("caller peeked");
+        let two = |lexer: &mut Lexer<'_>, expect: char, yes: Punct, no: Option<Punct>| {
+            if lexer.peek() == Some(expect) {
+                lexer.bump();
+                Ok(yes)
+            } else {
+                no.ok_or(())
+            }
+        };
+        let p = match c {
+            '(' => Punct::LParen,
+            ')' => Punct::RParen,
+            '{' => Punct::LBrace,
+            '}' => Punct::RBrace,
+            '[' => Punct::LBracket,
+            ']' => Punct::RBracket,
+            ';' => Punct::Semi,
+            ':' => Punct::Colon,
+            ',' => Punct::Comma,
+            '.' => Punct::Dot,
+            '+' => Punct::Plus,
+            '*' => Punct::Star,
+            '/' => Punct::Slash,
+            '%' => Punct::Percent,
+            '-' => two(self, '>', Punct::Arrow, Some(Punct::Minus)).expect("fallback provided"),
+            '=' => two(self, '=', Punct::EqEq, Some(Punct::Assign)).expect("fallback provided"),
+            '!' => two(self, '=', Punct::NotEq, Some(Punct::Bang)).expect("fallback provided"),
+            '<' => two(self, '=', Punct::Le, Some(Punct::Lt)).expect("fallback provided"),
+            '>' => two(self, '=', Punct::Ge, Some(Punct::Gt)).expect("fallback provided"),
+            '&' => two(self, '&', Punct::AndAnd, None)
+                .map_err(|_| LangError::lex("expected `&&`", span))?,
+            '|' => two(self, '|', Punct::OrOr, None)
+                .map_err(|_| LangError::lex("expected `||`", span))?,
+            other => {
+                return Err(LangError::lex(
+                    format!("unexpected character `{other}`"),
+                    span,
+                ))
+            }
+        };
+        self.push(TokenKind::Punct(p), span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_mixed_tokens() {
+        let ks = kinds("fn f(x: int) -> int { return x * 2; }");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Fn));
+        assert_eq!(ks[1], TokenKind::Ident("f".into()));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::Int(2)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn float_literals_and_exponents() {
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+        // `2.` is int 2 followed by a dot, not a float
+        assert_eq!(kinds("2.x")[0], TokenKind::Int(2));
+        assert_eq!(kinds("2.x")[1], TokenKind::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("1 // comment\n 2 /* multi\nline */ 3");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let ks = kinds("== != <= >= && || = < >");
+        assert_eq!(ks[0], TokenKind::Punct(Punct::EqEq));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::NotEq));
+        assert_eq!(ks[2], TokenKind::Punct(Punct::Le));
+        assert_eq!(ks[3], TokenKind::Punct(Punct::Ge));
+        assert_eq!(ks[4], TokenKind::Punct(Punct::AndAnd));
+        assert_eq!(ks[5], TokenKind::Punct(Punct::OrOr));
+        assert_eq!(ks[6], TokenKind::Punct(Punct::Assign));
+        assert_eq!(ks[7], TokenKind::Punct(Punct::Lt));
+        assert_eq!(ks[8], TokenKind::Punct(Punct::Gt));
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = lex("fn\n  x").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn error_on_unknown_char() {
+        let err = lex("let a = #;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_on_single_ampersand() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let ks = kinds("whilex while_ while");
+        assert_eq!(ks[0], TokenKind::Ident("whilex".into()));
+        assert_eq!(ks[1], TokenKind::Ident("while_".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::While));
+    }
+}

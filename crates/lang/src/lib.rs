@@ -1,0 +1,97 @@
+//! # hps-lang — the MiniLang front end
+//!
+//! MiniLang is the small imperative language this reproduction uses in place
+//! of Java bytecode: C-like syntax, scalar types `int`/`float`/`bool`,
+//! arrays, globals, classes with fields and methods, `if`/`while`/`for`
+//! control flow and a handful of builtins (`len`, `exp`, `log`, `sqrt`,
+//! `abs`, `min`, `max`, `floor`, plus the casts `int(..)` and `float(..)`).
+//!
+//! The pipeline is conventional: [`lexer`] → [`parser`] (AST, [`ast`]) →
+//! [`lower`] (name resolution + type checking → `hps_ir::Program`). The
+//! one-call entry point is [`parse`].
+//!
+//! # Examples
+//!
+//! ```
+//! let program = hps_lang::parse(r#"
+//!     global total: int;
+//!
+//!     fn add(x: int, y: int) -> int {
+//!         return x + y;
+//!     }
+//!
+//!     fn main() {
+//!         total = add(2, 3);
+//!         print(total);
+//!     }
+//! "#)?;
+//! assert_eq!(program.functions.len(), 2);
+//! # Ok::<(), hps_lang::LangError>(())
+//! ```
+//!
+//! # Grammar (informal)
+//!
+//! ```text
+//! program  := (global | fn | class)*
+//! global   := "global" IDENT ":" type ("=" literal | "=" "new" scalar "[" INT "]")? ";"
+//! class    := "class" IDENT "{" (IDENT ":" type ";")* fn* "}"
+//! fn       := "fn" IDENT "(" (IDENT ":" type),* ")" ("->" type)? block
+//! type     := ("int" | "float" | "bool" | IDENT) "[]"*
+//! stmt     := "var" IDENT ":" type ("=" expr)? ";"
+//!           | place "=" expr ";"            | expr ";"
+//!           | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//!           | "while" "(" expr ")" block
+//!           | "for" "(" simple? ";" expr? ";" simple? ")" block
+//!           | "return" expr? ";" | "break" ";" | "continue" ";"
+//!           | "print" "(" expr ")" ";"
+//! expr     := precedence climbing over || && == != < <= > >= + - * / % ! -
+//! primary  := literal | IDENT | "self" | "(" expr ")" | "new" ...
+//!           | primary "[" expr "]" | primary "." IDENT ( "(" args ")" )?
+//!           | IDENT "(" args ")"
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::LangError;
+
+use hps_ir::Program;
+
+/// Parses, type checks and lowers MiniLang source into an IR [`Program`].
+///
+/// Statement ids are already assigned (the lowering calls
+/// [`Program::renumber_all`]).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] carrying a message and a source position for
+/// lexical errors, syntax errors and type errors.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse_tokens(&tokens)?;
+    lower::lower(&ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_smoke() {
+        let p = parse("fn main() { print(1 + 2 * 3); }").expect("parses");
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.entry().is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse("fn main( { }").unwrap_err();
+        assert!(err.line() >= 1);
+        let text = err.to_string();
+        assert!(text.contains("expected"), "got: {text}");
+    }
+}

@@ -1,0 +1,1074 @@
+//! Name resolution, type checking and AST → IR lowering.
+//!
+//! Two phases:
+//!
+//! 1. **Declare** — collect globals, classes (fields + method signatures)
+//!    and free-function signatures so bodies can reference anything declared
+//!    anywhere in the file.
+//! 2. **Lower** — translate each body, resolving names innermost-first
+//!    (locals shadow globals) and checking types as it goes. `for` loops are
+//!    desugared to `while`.
+//!
+//! MiniLang typing rules are strict: no implicit numeric conversions (use
+//! `int(..)` / `float(..)`), conditions must be `bool`, `%` is `int`-only,
+//! and array elements are always scalars.
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use std::collections::HashMap;
+
+use hps_ir::{
+    BinOp, Builtin, Callee, ClassDef, ClassId, Expr, FieldDecl, FuncId, Function, GlobalId,
+    LocalId, Place, Program, Stmt, StmtKind, Ty, UnOp, Value,
+};
+
+/// Lowers a parsed program to IR, performing name resolution and type
+/// checking. Statement ids are assigned before returning.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for duplicate or unknown names, type mismatches,
+/// misuse of `break`/`continue`/`self`, and other static errors.
+pub fn lower(ast: &AProgram) -> Result<Program, LangError> {
+    Lowerer::new().run(ast)
+}
+
+struct FuncSig {
+    params: Vec<Ty>,
+    ret: Ty,
+}
+
+struct Lowerer {
+    program: Program,
+    globals: HashMap<String, GlobalId>,
+    classes: HashMap<String, ClassId>,
+    free_funcs: HashMap<String, FuncId>,
+    methods: HashMap<(ClassId, String), FuncId>,
+    sigs: Vec<FuncSig>,
+}
+
+struct BodyCtx {
+    func: FuncId,
+    locals: HashMap<String, LocalId>,
+    loop_depth: usize,
+    /// Depth of the innermost `for` loop, to reject `continue` whose
+    /// desugaring would skip the step statement.
+    for_depth: Option<usize>,
+}
+
+impl Lowerer {
+    fn new() -> Lowerer {
+        Lowerer {
+            program: Program::new(),
+            globals: HashMap::new(),
+            classes: HashMap::new(),
+            free_funcs: HashMap::new(),
+            methods: HashMap::new(),
+            sigs: Vec::new(),
+        }
+    }
+
+    fn run(mut self, ast: &AProgram) -> Result<Program, LangError> {
+        self.declare_classes(ast)?;
+        self.declare_globals(ast)?;
+        self.declare_functions(ast)?;
+        // Lower bodies. Function ids were assigned in declaration order:
+        // free functions first, then methods class by class.
+        let mut bodies: Vec<(&AFunc, FuncId)> = Vec::new();
+        for f in &ast.funcs {
+            let id = self.free_funcs[&f.name];
+            bodies.push((f, id));
+        }
+        for class in &ast.classes {
+            let cid = self.classes[&class.name];
+            for m in &class.methods {
+                let id = self.methods[&(cid, m.name.clone())];
+                bodies.push((m, id));
+            }
+        }
+        for (afunc, id) in bodies {
+            self.lower_body(afunc, id)?;
+        }
+        self.program.renumber_all();
+        Ok(self.program)
+    }
+
+    fn declare_classes(&mut self, ast: &AProgram) -> Result<(), LangError> {
+        // First the names (so fields may reference other classes)…
+        for class in &ast.classes {
+            if self.classes.contains_key(&class.name) {
+                return Err(LangError::check(
+                    format!("duplicate class `{}`", class.name),
+                    class.span,
+                ));
+            }
+            let id = ClassId::new(self.program.classes.len());
+            self.program.classes.push(ClassDef {
+                name: class.name.clone(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+            });
+            self.classes.insert(class.name.clone(), id);
+        }
+        // …then the fields.
+        for class in &ast.classes {
+            let id = self.classes[&class.name];
+            let mut fields = Vec::new();
+            let mut seen = HashMap::new();
+            for (fname, fty, fspan) in &class.fields {
+                if seen.insert(fname.clone(), ()).is_some() {
+                    return Err(LangError::check(
+                        format!("duplicate field `{fname}` in class `{}`", class.name),
+                        *fspan,
+                    ));
+                }
+                fields.push(FieldDecl {
+                    name: fname.clone(),
+                    ty: self.resolve_type(fty, *fspan)?,
+                });
+            }
+            self.program.classes[id.index()].fields = fields;
+        }
+        Ok(())
+    }
+
+    fn declare_globals(&mut self, ast: &AProgram) -> Result<(), LangError> {
+        for g in &ast.globals {
+            if self.globals.contains_key(&g.name) {
+                return Err(LangError::check(
+                    format!("duplicate global `{}`", g.name),
+                    g.span,
+                ));
+            }
+            let ty = self.resolve_type(&g.ty, g.span)?;
+            if let Ty::Object(_) = ty {
+                return Err(LangError::check(
+                    "globals of class type are not supported",
+                    g.span,
+                ));
+            }
+            let init = match &g.init {
+                None => None,
+                Some(e) => Some(self.const_literal(e, &ty)?),
+            };
+            if g.array_len.is_some() && !matches!(ty, Ty::Array(_)) {
+                return Err(LangError::check(
+                    format!(
+                        "global `{}` initialized with `new T[..]` must have array type",
+                        g.name
+                    ),
+                    g.span,
+                ));
+            }
+            if matches!(ty, Ty::Array(_)) && g.array_len.is_none() {
+                return Err(LangError::check(
+                    format!(
+                        "array global `{}` needs a length: `= new {}[N]`",
+                        g.name,
+                        match &ty {
+                            Ty::Array(e) => e.to_string(),
+                            _ => unreachable!(),
+                        }
+                    ),
+                    g.span,
+                ));
+            }
+            let gid = GlobalId::new(self.program.globals.len());
+            self.program.globals.push(hps_ir::GlobalDecl {
+                name: g.name.clone(),
+                ty,
+                init,
+                array_len: g.array_len.map(|n| n as usize),
+            });
+            self.globals.insert(g.name.clone(), gid);
+        }
+        Ok(())
+    }
+
+    fn const_literal(&self, e: &AExpr, expect: &Ty) -> Result<Value, LangError> {
+        let v = match (&e.kind, expect) {
+            (AExprKind::Int(v), Ty::Int) => Value::Int(*v),
+            (AExprKind::Float(v), Ty::Float) => Value::Float(*v),
+            (AExprKind::Bool(v), Ty::Bool) => Value::Bool(*v),
+            (AExprKind::Unary { op: UnOp::Neg, arg }, _) => match (&arg.kind, expect) {
+                (AExprKind::Int(v), Ty::Int) => Value::Int(-*v),
+                (AExprKind::Float(v), Ty::Float) => Value::Float(-*v),
+                _ => {
+                    return Err(LangError::check(
+                        "global initializer must be a literal of the declared type",
+                        e.span,
+                    ))
+                }
+            },
+            _ => {
+                return Err(LangError::check(
+                    "global initializer must be a literal of the declared type",
+                    e.span,
+                ))
+            }
+        };
+        Ok(v)
+    }
+
+    fn declare_functions(&mut self, ast: &AProgram) -> Result<(), LangError> {
+        let declare =
+            |this: &mut Self, f: &AFunc, class: Option<ClassId>| -> Result<FuncId, LangError> {
+                if Builtin::from_name(&f.name).is_some() || f.name == "print" {
+                    return Err(LangError::check(
+                        format!("`{}` is a builtin and cannot be redefined", f.name),
+                        f.span,
+                    ));
+                }
+                let ret = match &f.ret {
+                    None => Ty::Void,
+                    Some(t) => {
+                        let t = this.resolve_type(t, f.span)?;
+                        if !t.is_scalar() && !matches!(t, Ty::Array(_) | Ty::Object(_)) {
+                            return Err(LangError::check("invalid return type", f.span));
+                        }
+                        t
+                    }
+                };
+                let mut func = Function::new(f.name.clone(), ret.clone());
+                func.class = class;
+                if let Some(cid) = class {
+                    func.add_param("self", Ty::Object(cid));
+                }
+                let mut sig_params = Vec::new();
+                if let Some(cid) = class {
+                    sig_params.push(Ty::Object(cid));
+                }
+                for (pname, pty, pspan) in &f.params {
+                    let t = this.resolve_type(pty, *pspan)?;
+                    sig_params.push(t.clone());
+                    func.add_param(pname.clone(), t);
+                }
+                let id = this.program.add_function(func);
+                this.sigs.push(FuncSig {
+                    params: sig_params,
+                    ret,
+                });
+                Ok(id)
+            };
+
+        for f in &ast.funcs {
+            if self.free_funcs.contains_key(&f.name) {
+                return Err(LangError::check(
+                    format!("duplicate function `{}`", f.name),
+                    f.span,
+                ));
+            }
+            let id = declare(self, f, None)?;
+            self.free_funcs.insert(f.name.clone(), id);
+        }
+        for class in &ast.classes {
+            let cid = self.classes[&class.name];
+            for m in &class.methods {
+                if self.methods.contains_key(&(cid, m.name.clone())) {
+                    return Err(LangError::check(
+                        format!("duplicate method `{}` in class `{}`", m.name, class.name),
+                        m.span,
+                    ));
+                }
+                let id = declare(self, m, Some(cid))?;
+                self.methods.insert((cid, m.name.clone()), id);
+                self.program.classes[cid.index()].methods.push(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_type(&self, t: &AType, span: Span) -> Result<Ty, LangError> {
+        Ok(match t {
+            AType::Int => Ty::Int,
+            AType::Float => Ty::Float,
+            AType::Bool => Ty::Bool,
+            AType::Array(elem) => {
+                let e = self.resolve_type(elem, span)?;
+                if !e.is_scalar() {
+                    return Err(LangError::check(
+                        "array elements must be scalars (int, float or bool)",
+                        span,
+                    ));
+                }
+                Ty::Array(Box::new(e))
+            }
+            AType::Named(name) => match self.classes.get(name) {
+                Some(id) => Ty::Object(*id),
+                None => return Err(LangError::check(format!("unknown type `{name}`"), span)),
+            },
+        })
+    }
+
+    fn lower_body(&mut self, afunc: &AFunc, id: FuncId) -> Result<(), LangError> {
+        let mut ctx = BodyCtx {
+            func: id,
+            locals: HashMap::new(),
+            loop_depth: 0,
+            for_depth: None,
+        };
+        {
+            let func = self.program.func(id);
+            for (i, l) in func.locals.iter().enumerate().take(func.num_params) {
+                ctx.locals.insert(l.name.clone(), LocalId::new(i));
+            }
+        }
+        let stmts = self.lower_block(&mut ctx, &afunc.body)?;
+        self.program.func_mut(id).body = hps_ir::Block::of(stmts);
+        Ok(())
+    }
+
+    fn lower_block(&mut self, ctx: &mut BodyCtx, stmts: &[AStmt]) -> Result<Vec<Stmt>, LangError> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.lower_stmt(ctx, s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn lower_stmt(
+        &mut self,
+        ctx: &mut BodyCtx,
+        stmt: &AStmt,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LangError> {
+        match &stmt.kind {
+            AStmtKind::VarDecl { name, ty, init } => {
+                if ctx.locals.contains_key(name) {
+                    return Err(LangError::check(
+                        format!(
+                            "duplicate variable `{name}` (MiniLang locals are function-scoped)"
+                        ),
+                        stmt.span,
+                    ));
+                }
+                let t = self.resolve_type(ty, stmt.span)?;
+                let lid = self
+                    .program
+                    .func_mut(ctx.func)
+                    .add_local(name.clone(), t.clone());
+                ctx.locals.insert(name.clone(), lid);
+                if let Some(init) = init {
+                    let (e, ety) = self.lower_expr(ctx, init)?;
+                    self.check_assignable(&t, &ety, init.span)?;
+                    out.push(Stmt::new(StmtKind::Assign {
+                        place: Place::Local(lid),
+                        value: e,
+                    }));
+                }
+                Ok(())
+            }
+            AStmtKind::Assign { place, value } => {
+                let (p, pty) = self.lower_place(ctx, place)?;
+                let (v, vty) = self.lower_expr(ctx, value)?;
+                self.check_assignable(&pty, &vty, value.span)?;
+                out.push(Stmt::new(StmtKind::Assign { place: p, value: v }));
+                Ok(())
+            }
+            AStmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let (c, cty) = self.lower_expr(ctx, cond)?;
+                self.expect_ty(&cty, &Ty::Bool, "if condition", cond.span)?;
+                let t = self.lower_block(ctx, then_blk)?;
+                let e = self.lower_block(ctx, else_blk)?;
+                out.push(Stmt::new(StmtKind::If {
+                    cond: c,
+                    then_blk: hps_ir::Block::of(t),
+                    else_blk: hps_ir::Block::of(e),
+                }));
+                Ok(())
+            }
+            AStmtKind::While { cond, body } => {
+                let (c, cty) = self.lower_expr(ctx, cond)?;
+                self.expect_ty(&cty, &Ty::Bool, "while condition", cond.span)?;
+                ctx.loop_depth += 1;
+                let saved_for = ctx.for_depth;
+                let b = self.lower_block(ctx, body)?;
+                ctx.for_depth = saved_for;
+                ctx.loop_depth -= 1;
+                out.push(Stmt::new(StmtKind::While {
+                    cond: c,
+                    body: hps_ir::Block::of(b),
+                }));
+                Ok(())
+            }
+            AStmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.lower_stmt(ctx, init, out)?;
+                }
+                let c = match cond {
+                    Some(cond) => {
+                        let (c, cty) = self.lower_expr(ctx, cond)?;
+                        self.expect_ty(&cty, &Ty::Bool, "for condition", cond.span)?;
+                        c
+                    }
+                    None => Expr::bool(true),
+                };
+                ctx.loop_depth += 1;
+                let saved_for = ctx.for_depth;
+                ctx.for_depth = Some(ctx.loop_depth);
+                let mut b = self.lower_block(ctx, body)?;
+                ctx.for_depth = saved_for;
+                ctx.loop_depth -= 1;
+                if let Some(step) = step {
+                    self.lower_stmt(ctx, step, &mut b)?;
+                }
+                out.push(Stmt::new(StmtKind::While {
+                    cond: c,
+                    body: hps_ir::Block::of(b),
+                }));
+                Ok(())
+            }
+            AStmtKind::Return(value) => {
+                let ret_ty = self.program.func(ctx.func).ret_ty.clone();
+                match (value, &ret_ty) {
+                    (None, Ty::Void) => out.push(Stmt::new(StmtKind::Return(None))),
+                    (None, other) => {
+                        return Err(LangError::check(
+                            format!("function returns `{other}` but `return;` has no value"),
+                            stmt.span,
+                        ))
+                    }
+                    (Some(_), Ty::Void) => {
+                        return Err(LangError::check(
+                            "void function cannot return a value",
+                            stmt.span,
+                        ))
+                    }
+                    (Some(v), expected) => {
+                        let (e, ety) = self.lower_expr(ctx, v)?;
+                        self.check_assignable(expected, &ety, v.span)?;
+                        out.push(Stmt::new(StmtKind::Return(Some(e))));
+                    }
+                }
+                Ok(())
+            }
+            AStmtKind::Break => {
+                if ctx.loop_depth == 0 {
+                    return Err(LangError::check("`break` outside of a loop", stmt.span));
+                }
+                out.push(Stmt::new(StmtKind::Break));
+                Ok(())
+            }
+            AStmtKind::Continue => {
+                if ctx.loop_depth == 0 {
+                    return Err(LangError::check("`continue` outside of a loop", stmt.span));
+                }
+                if ctx.for_depth == Some(ctx.loop_depth) {
+                    return Err(LangError::check(
+                        "`continue` directly inside a `for` body is not supported \
+                         (the desugaring would skip the step); use a `while` loop",
+                        stmt.span,
+                    ));
+                }
+                out.push(Stmt::new(StmtKind::Continue));
+                Ok(())
+            }
+            AStmtKind::Print(e) => {
+                let (v, vty) = self.lower_expr(ctx, e)?;
+                if !vty.is_scalar() {
+                    return Err(LangError::check(
+                        format!("`print` takes a scalar, found `{vty}`"),
+                        e.span,
+                    ));
+                }
+                out.push(Stmt::new(StmtKind::Print(v)));
+                Ok(())
+            }
+            AStmtKind::Expr(e) => {
+                let (v, _) = self.lower_expr_allow_void(ctx, e)?;
+                match v {
+                    Expr::Call { .. } => {
+                        out.push(Stmt::new(StmtKind::ExprStmt(v)));
+                        Ok(())
+                    }
+                    _ => Err(LangError::check(
+                        "only call expressions may be used as statements",
+                        e.span,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn lower_place(&mut self, ctx: &mut BodyCtx, e: &AExpr) -> Result<(Place, Ty), LangError> {
+        match &e.kind {
+            AExprKind::Ident(name) => {
+                if let Some(&lid) = ctx.locals.get(name) {
+                    let ty = self.program.func(ctx.func).local(lid).ty.clone();
+                    Ok((Place::Local(lid), ty))
+                } else if let Some(&gid) = self.globals.get(name) {
+                    let ty = self.program.globals[gid.index()].ty.clone();
+                    Ok((Place::Global(gid), ty))
+                } else {
+                    Err(LangError::check(
+                        format!("unknown variable `{name}`"),
+                        e.span,
+                    ))
+                }
+            }
+            AExprKind::Index { base, index } => {
+                let (b, bty) = self.lower_place(ctx, base)?;
+                let elem = match bty.element() {
+                    Some(elem) => elem.clone(),
+                    None => {
+                        return Err(LangError::check(
+                            format!("cannot index non-array type `{bty}`"),
+                            base.span,
+                        ))
+                    }
+                };
+                let (i, ity) = self.lower_expr(ctx, index)?;
+                self.expect_ty(&ity, &Ty::Int, "array index", index.span)?;
+                Ok((
+                    Place::Index {
+                        base: Box::new(b),
+                        index: i,
+                    },
+                    elem,
+                ))
+            }
+            AExprKind::Field { obj, name } => {
+                let (o, oty) = self.lower_expr(ctx, obj)?;
+                let cid = match oty {
+                    Ty::Object(cid) => cid,
+                    other => {
+                        return Err(LangError::check(
+                            format!("cannot access field `{name}` on non-object type `{other}`"),
+                            obj.span,
+                        ))
+                    }
+                };
+                let class = self.program.class(cid);
+                let fid = class.field_by_name(name).ok_or_else(|| {
+                    LangError::check(
+                        format!("class `{}` has no field `{name}`", class.name),
+                        e.span,
+                    )
+                })?;
+                let fty = class.field(fid).ty.clone();
+                Ok((
+                    Place::Field {
+                        obj: o,
+                        class: cid,
+                        field: fid,
+                    },
+                    fty,
+                ))
+            }
+            AExprKind::SelfRef => Err(LangError::check("cannot assign to `self`", e.span)),
+            _ => Err(LangError::check("invalid assignment target", e.span)),
+        }
+    }
+
+    fn lower_expr(&mut self, ctx: &mut BodyCtx, e: &AExpr) -> Result<(Expr, Ty), LangError> {
+        let (expr, ty) = self.lower_expr_allow_void(ctx, e)?;
+        if ty == Ty::Void {
+            return Err(LangError::check(
+                "void call used where a value is required",
+                e.span,
+            ));
+        }
+        Ok((expr, ty))
+    }
+
+    fn lower_expr_allow_void(
+        &mut self,
+        ctx: &mut BodyCtx,
+        e: &AExpr,
+    ) -> Result<(Expr, Ty), LangError> {
+        match &e.kind {
+            AExprKind::Int(v) => Ok((Expr::int(*v), Ty::Int)),
+            AExprKind::Float(v) => Ok((Expr::float(*v), Ty::Float)),
+            AExprKind::Bool(v) => Ok((Expr::bool(*v), Ty::Bool)),
+            AExprKind::SelfRef => {
+                let func = self.program.func(ctx.func);
+                match func.class {
+                    Some(cid) => Ok((Expr::local(LocalId::new(0)), Ty::Object(cid))),
+                    None => Err(LangError::check("`self` outside of a method", e.span)),
+                }
+            }
+            AExprKind::Ident(name) => {
+                if let Some(&lid) = ctx.locals.get(name) {
+                    let ty = self.program.func(ctx.func).local(lid).ty.clone();
+                    Ok((Expr::local(lid), ty))
+                } else if let Some(&gid) = self.globals.get(name) {
+                    let ty = self.program.globals[gid.index()].ty.clone();
+                    Ok((Expr::global(gid), ty))
+                } else {
+                    Err(LangError::check(
+                        format!("unknown variable `{name}`"),
+                        e.span,
+                    ))
+                }
+            }
+            AExprKind::Index { base, index } => {
+                let (b, bty) = self.lower_expr(ctx, base)?;
+                let elem = match bty.element() {
+                    Some(elem) => elem.clone(),
+                    None => {
+                        return Err(LangError::check(
+                            format!("cannot index non-array type `{bty}`"),
+                            base.span,
+                        ))
+                    }
+                };
+                let (i, ity) = self.lower_expr(ctx, index)?;
+                self.expect_ty(&ity, &Ty::Int, "array index", index.span)?;
+                Ok((Expr::index(b, i), elem))
+            }
+            AExprKind::Field { obj, name } => {
+                let (o, oty) = self.lower_expr(ctx, obj)?;
+                let cid = match oty {
+                    Ty::Object(cid) => cid,
+                    other => {
+                        return Err(LangError::check(
+                            format!("cannot access field `{name}` on non-object type `{other}`"),
+                            obj.span,
+                        ))
+                    }
+                };
+                let class = self.program.class(cid);
+                let fid = class.field_by_name(name).ok_or_else(|| {
+                    LangError::check(
+                        format!("class `{}` has no field `{name}`", class.name),
+                        e.span,
+                    )
+                })?;
+                let fty = class.field(fid).ty.clone();
+                Ok((
+                    Expr::FieldGet {
+                        obj: Box::new(o),
+                        class: cid,
+                        field: fid,
+                    },
+                    fty,
+                ))
+            }
+            AExprKind::Unary { op, arg } => {
+                let (a, aty) = self.lower_expr(ctx, arg)?;
+                match op {
+                    UnOp::Neg if aty == Ty::Int || aty == Ty::Float => {
+                        Ok((Expr::unary(UnOp::Neg, a), aty))
+                    }
+                    UnOp::Not if aty == Ty::Bool => Ok((Expr::unary(UnOp::Not, a), Ty::Bool)),
+                    _ => Err(LangError::check(
+                        format!("cannot apply `{}` to `{aty}`", op.symbol()),
+                        e.span,
+                    )),
+                }
+            }
+            AExprKind::Binary { op, lhs, rhs } => {
+                let (l, lty) = self.lower_expr(ctx, lhs)?;
+                let (r, rty) = self.lower_expr(ctx, rhs)?;
+                let result = self.binary_result(*op, &lty, &rty, e.span)?;
+                Ok((Expr::binary(*op, l, r), result))
+            }
+            AExprKind::Call { callee, args } => self.lower_call(ctx, e, callee, args),
+            AExprKind::NewArray { elem, len } => {
+                let et = self.resolve_type(elem, e.span)?;
+                if !et.is_scalar() {
+                    return Err(LangError::check("array elements must be scalars", e.span));
+                }
+                let (l, lty) = self.lower_expr(ctx, len)?;
+                self.expect_ty(&lty, &Ty::Int, "array length", len.span)?;
+                Ok((
+                    Expr::NewArray {
+                        elem: et.clone(),
+                        len: Box::new(l),
+                    },
+                    Ty::Array(Box::new(et)),
+                ))
+            }
+            AExprKind::NewObject(name) => match self.classes.get(name) {
+                Some(&cid) => Ok((Expr::NewObject(cid), Ty::Object(cid))),
+                None => Err(LangError::check(format!("unknown class `{name}`"), e.span)),
+            },
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        ctx: &mut BodyCtx,
+        whole: &AExpr,
+        callee: &AExpr,
+        args: &[AExpr],
+    ) -> Result<(Expr, Ty), LangError> {
+        match &callee.kind {
+            AExprKind::Ident(name) => {
+                if let Some(builtin) = Builtin::from_name(name) {
+                    return self.lower_builtin(ctx, whole, builtin, args);
+                }
+                let fid = *self.free_funcs.get(name).ok_or_else(|| {
+                    LangError::check(format!("unknown function `{name}`"), callee.span)
+                })?;
+                let mut lowered = Vec::new();
+                let mut tys = Vec::new();
+                for a in args {
+                    let (e, t) = self.lower_expr(ctx, a)?;
+                    lowered.push(e);
+                    tys.push(t);
+                }
+                self.check_call_sig(fid, &tys, whole.span)?;
+                let ret = self.sigs[fid.index()].ret.clone();
+                Ok((
+                    Expr::Call {
+                        callee: Callee::Func(fid),
+                        args: lowered,
+                    },
+                    ret,
+                ))
+            }
+            AExprKind::Field { obj, name } => {
+                let (recv, rty) = self.lower_expr(ctx, obj)?;
+                let cid = match rty {
+                    Ty::Object(cid) => cid,
+                    other => {
+                        return Err(LangError::check(
+                            format!("cannot call method `{name}` on non-object type `{other}`"),
+                            obj.span,
+                        ))
+                    }
+                };
+                let fid = *self.methods.get(&(cid, name.clone())).ok_or_else(|| {
+                    LangError::check(
+                        format!(
+                            "class `{}` has no method `{name}`",
+                            self.program.class(cid).name
+                        ),
+                        callee.span,
+                    )
+                })?;
+                let mut lowered = vec![recv];
+                let mut tys = vec![Ty::Object(cid)];
+                for a in args {
+                    let (e, t) = self.lower_expr(ctx, a)?;
+                    lowered.push(e);
+                    tys.push(t);
+                }
+                self.check_call_sig(fid, &tys, whole.span)?;
+                let ret = self.sigs[fid.index()].ret.clone();
+                Ok((
+                    Expr::Call {
+                        callee: Callee::Method(cid, fid),
+                        args: lowered,
+                    },
+                    ret,
+                ))
+            }
+            _ => Err(LangError::check(
+                "call target must be a function or method name",
+                callee.span,
+            )),
+        }
+    }
+
+    fn lower_builtin(
+        &mut self,
+        ctx: &mut BodyCtx,
+        whole: &AExpr,
+        builtin: Builtin,
+        args: &[AExpr],
+    ) -> Result<(Expr, Ty), LangError> {
+        if args.len() != builtin.arity() {
+            return Err(LangError::check(
+                format!(
+                    "builtin `{}` takes {} argument(s), found {}",
+                    builtin.name(),
+                    builtin.arity(),
+                    args.len()
+                ),
+                whole.span,
+            ));
+        }
+        let mut lowered = Vec::new();
+        let mut tys = Vec::new();
+        for a in args {
+            let (e, t) = self.lower_expr(ctx, a)?;
+            lowered.push(e);
+            tys.push(t);
+        }
+        let bad = |msg: &str| -> LangError {
+            LangError::check(format!("builtin `{}`: {msg}", builtin.name()), whole.span)
+        };
+        let ret = match builtin {
+            Builtin::Len => match &tys[0] {
+                Ty::Array(_) => Ty::Int,
+                _ => return Err(bad("argument must be an array")),
+            },
+            Builtin::Exp | Builtin::Log | Builtin::Sqrt | Builtin::Floor => match &tys[0] {
+                Ty::Float => Ty::Float,
+                _ => return Err(bad("argument must be a float")),
+            },
+            Builtin::Abs => match &tys[0] {
+                Ty::Int => Ty::Int,
+                Ty::Float => Ty::Float,
+                _ => return Err(bad("argument must be int or float")),
+            },
+            Builtin::Min | Builtin::Max => match (&tys[0], &tys[1]) {
+                (Ty::Int, Ty::Int) => Ty::Int,
+                (Ty::Float, Ty::Float) => Ty::Float,
+                _ => return Err(bad("arguments must both be int or both be float")),
+            },
+            Builtin::IntCast => match &tys[0] {
+                Ty::Int | Ty::Float | Ty::Bool => Ty::Int,
+                _ => return Err(bad("argument must be scalar")),
+            },
+            Builtin::FloatCast => match &tys[0] {
+                Ty::Int | Ty::Float => Ty::Float,
+                _ => return Err(bad("argument must be int or float")),
+            },
+        };
+        Ok((Expr::builtin(builtin, lowered), ret))
+    }
+
+    fn check_call_sig(&self, fid: FuncId, args: &[Ty], span: Span) -> Result<(), LangError> {
+        let sig = &self.sigs[fid.index()];
+        let name = &self.program.func(fid).name;
+        if sig.params.len() != args.len() {
+            return Err(LangError::check(
+                format!(
+                    "`{name}` takes {} argument(s), found {}",
+                    sig.params.len() - usize::from(self.program.func(fid).class.is_some()),
+                    args.len() - usize::from(self.program.func(fid).class.is_some())
+                ),
+                span,
+            ));
+        }
+        for (i, (expected, found)) in sig.params.iter().zip(args).enumerate() {
+            if !expected.assignable_from(found) {
+                return Err(LangError::check(
+                    format!(
+                        "`{name}` argument {} expects `{expected}`, found `{found}`",
+                        i + 1
+                    ),
+                    span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn binary_result(&self, op: BinOp, l: &Ty, r: &Ty, span: Span) -> Result<Ty, LangError> {
+        let err = || {
+            LangError::check(
+                format!("cannot apply `{}` to `{l}` and `{r}`", op.symbol()),
+                span,
+            )
+        };
+        if op.is_arithmetic() {
+            return match (l, r) {
+                (Ty::Int, Ty::Int) => Ok(Ty::Int),
+                (Ty::Float, Ty::Float) if op != BinOp::Rem => Ok(Ty::Float),
+                _ => Err(err()),
+            };
+        }
+        if op.is_relational() {
+            return match (l, r) {
+                (Ty::Int, Ty::Int) | (Ty::Float, Ty::Float) => Ok(Ty::Bool),
+                (Ty::Bool, Ty::Bool) if matches!(op, BinOp::Eq | BinOp::Ne) => Ok(Ty::Bool),
+                _ => Err(err()),
+            };
+        }
+        // logical
+        match (l, r) {
+            (Ty::Bool, Ty::Bool) => Ok(Ty::Bool),
+            _ => Err(err()),
+        }
+    }
+
+    fn check_assignable(&self, to: &Ty, from: &Ty, span: Span) -> Result<(), LangError> {
+        if to.assignable_from(from) {
+            Ok(())
+        } else {
+            Err(LangError::check(
+                format!("type mismatch: expected `{to}`, found `{from}`"),
+                span,
+            ))
+        }
+    }
+
+    fn expect_ty(&self, found: &Ty, want: &Ty, what: &str, span: Span) -> Result<(), LangError> {
+        if found == want {
+            Ok(())
+        } else {
+            Err(LangError::check(
+                format!("{what} must be `{want}`, found `{found}`"),
+                span,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use hps_ir::{StmtKind, Ty};
+
+    fn check_err(src: &str, needle: &str) {
+        let err = parse(src).expect_err("should fail to lower");
+        assert!(
+            err.to_string().contains(needle),
+            "expected error containing `{needle}`, got: {err}"
+        );
+    }
+
+    #[test]
+    fn lowers_locals_and_params() {
+        let p = parse("fn f(x: int) -> int { var y: int = x + 1; return y; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.num_params, 1);
+        assert_eq!(f.locals.len(), 2);
+        assert_eq!(f.stmt_count(), 2);
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let p =
+            parse("fn f() { var i: int; for (i = 0; i < 3; i = i + 1) { print(i); } }").unwrap();
+        let f = &p.functions[0];
+        // i = 0; while ...
+        assert_eq!(f.body.stmts.len(), 2);
+        match &f.body.stmts[1].kind {
+            StmtKind::While { body, .. } => {
+                // print; step
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected while, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn methods_get_self_param() {
+        let p =
+            parse("class C { x: int; fn get() -> int { return self.x; } } fn main() { }").unwrap();
+        let c = p.class_by_name("C").unwrap();
+        let m = p.method_by_name(c, "get").unwrap();
+        let f = p.func(m);
+        assert_eq!(f.num_params, 1);
+        assert_eq!(f.local(hps_ir::LocalId::new(0)).name, "self");
+        assert_eq!(f.local(hps_ir::LocalId::new(0)).ty, Ty::Object(c));
+    }
+
+    #[test]
+    fn method_calls_resolve() {
+        let p = parse(
+            "class C { x: int; fn get() -> int { return self.x; } }
+             fn main() { var c: C = new C(); c.x = 4; print(c.get()); }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn global_arrays_and_scalars() {
+        let p =
+            parse("global n: int = 3; global buf: float[] = new float[8]; fn main() { }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].array_len, Some(8));
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let p = parse("global n: int = -3; fn main() { }").unwrap();
+        assert_eq!(p.globals[0].init, Some(hps_ir::Value::Int(-3)));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        check_err("fn f() { var x: int = 1.5; }", "type mismatch");
+        check_err("fn f() { var x: float = 1; }", "type mismatch");
+        check_err("fn f(x: int) { if (x) { } }", "must be `bool`");
+        check_err("fn f() { var b: bool = 1 < 2.0; }", "cannot apply `<`");
+        check_err("fn f() { var x: float = 1.0 % 2.0; }", "cannot apply `%`");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        check_err("fn f() { x = 1; }", "unknown variable");
+        check_err("fn f() { g(); }", "unknown function");
+        check_err("fn f() { var p: Nope = new Nope(); }", "unknown type");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        check_err("fn f() { } fn f() { }", "duplicate function");
+        check_err("global g: int; global g: int;", "duplicate global");
+        check_err("class C { x: int; x: int; }", "duplicate field");
+        check_err("fn f() { var x: int; var x: int; }", "duplicate variable");
+    }
+
+    #[test]
+    fn rejects_control_flow_misuse() {
+        check_err("fn f() { break; }", "outside of a loop");
+        check_err("fn f() { continue; }", "outside of a loop");
+        check_err(
+            "fn f() { var i: int; for (i = 0; i < 3; i = i + 1) { continue; } }",
+            "directly inside a `for`",
+        );
+    }
+
+    #[test]
+    fn continue_ok_in_while_nested_in_for() {
+        let src = "fn f() { var i: int; var j: int;
+            for (i = 0; i < 3; i = i + 1) {
+                j = 0;
+                while (j < 2) { j = j + 1; continue; }
+            } }";
+        parse(src).expect("nested continue is fine");
+    }
+
+    #[test]
+    fn rejects_void_in_value_position() {
+        check_err("fn v() { } fn f() { var x: int = v(); }", "void call");
+    }
+
+    #[test]
+    fn rejects_builtin_redefinition() {
+        check_err("fn len(x: int) -> int { return x; }", "builtin");
+    }
+
+    #[test]
+    fn rejects_self_outside_method() {
+        check_err("fn f() -> int { return self.x; }", "`self` outside");
+    }
+
+    #[test]
+    fn rejects_return_mismatches() {
+        check_err("fn f() -> int { return; }", "no value");
+        check_err("fn f() { return 1; }", "void function");
+        check_err("fn f() -> int { return 1.5; }", "type mismatch");
+    }
+
+    #[test]
+    fn builtins_type_check() {
+        parse("fn f(a: float) -> float { return exp(a) + log(a) + sqrt(a); }").unwrap();
+        parse("fn f(a: int[]) -> int { return len(a); }").unwrap();
+        parse("fn f(a: int) -> float { return float(a); }").unwrap();
+        parse("fn f(a: float) -> int { return int(a); }").unwrap();
+        check_err(
+            "fn f(a: int) -> float { return exp(a); }",
+            "must be a float",
+        );
+        check_err("fn f(a: int) -> int { return len(a); }", "must be an array");
+        check_err("fn f(a: int) -> int { return min(a); }", "takes 2 argument");
+    }
+
+    #[test]
+    fn rejects_array_of_arrays() {
+        check_err("fn f(a: int[][]) { }", "must be scalars");
+    }
+
+    #[test]
+    fn rejects_object_globals() {
+        check_err("class C { x: int; } global c: C;", "class type");
+    }
+}

@@ -1,0 +1,269 @@
+//! Tokens produced by the lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// The different kinds of tokens.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// An identifier or type name.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A keyword.
+    Keyword(Keyword),
+    /// A punctuation or operator token.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Keyword(k) => format!("keyword `{k}`"),
+            TokenKind::Punct(p) => format!("`{p}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    /// `fn`
+    Fn,
+    /// `var`
+    Var,
+    /// `global`
+    Global,
+    /// `class`
+    Class,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `print`
+    Print,
+    /// `new`
+    New,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `self`
+    SelfKw,
+}
+
+impl Keyword {
+    /// Looks up a keyword by spelling.
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "fn" => Keyword::Fn,
+            "var" => Keyword::Var,
+            "global" => Keyword::Global,
+            "class" => Keyword::Class,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "print" => Keyword::Print,
+            "new" => Keyword::New,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "self" => Keyword::SelfKw,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Fn => "fn",
+            Keyword::Var => "var",
+            Keyword::Global => "global",
+            Keyword::Class => "class",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Print => "print",
+            Keyword::New => "new",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::SelfKw => "self",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl Punct {
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Colon => ":",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Assign => "=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::EqEq => "==",
+            Punct::NotEq => "!=",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Bang => "!",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Fn,
+            Keyword::Var,
+            Keyword::Global,
+            Keyword::Class,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+            Keyword::Print,
+            Keyword::New,
+            Keyword::True,
+            Keyword::False,
+            Keyword::SelfKw,
+        ] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::lookup("int"), None);
+        assert_eq!(Keyword::lookup("notakeyword"), None);
+    }
+
+    #[test]
+    fn token_description() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Punct(Punct::Arrow).describe(), "`->`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

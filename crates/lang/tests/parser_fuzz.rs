@@ -1,0 +1,50 @@
+//! Front-end robustness: the lexer/parser/type checker must return errors,
+//! never panic, on arbitrary input — including near-miss mutations of
+//! valid programs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,200}") {
+        let _ = hps_lang::parse(&src);
+    }
+
+    #[test]
+    fn arbitrary_token_soup_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("fn".to_string()), Just("var".to_string()), Just("while".to_string()),
+            Just("if".to_string()), Just("else".to_string()), Just("return".to_string()),
+            Just("{".to_string()), Just("}".to_string()), Just("(".to_string()),
+            Just(")".to_string()), Just(";".to_string()), Just("=".to_string()),
+            Just("+".to_string()), Just("int".to_string()), Just("x".to_string()),
+            Just("1".to_string()), Just("1.5".to_string()), Just("[".to_string()),
+            Just("]".to_string()), Just("->".to_string()), Just(",".to_string()),
+            Just(":".to_string()), Just("self".to_string()), Just("class".to_string()),
+        ],
+        0..60,
+    )) {
+        let src = tokens.join(" ");
+        let _ = hps_lang::parse(&src);
+    }
+
+    #[test]
+    fn single_char_deletion_of_valid_program_never_panics(idx in 0usize..200) {
+        let src = "global g: int = 1;\n\
+                   class C { x: int; fn get() -> int { return self.x; } }\n\
+                   fn f(a: int, b: float[]) -> int {\n\
+                       var s: int = 0;\n\
+                       var i: int;\n\
+                       for (i = 0; i < a; i = i + 1) { s = s + i; }\n\
+                       if (s > 10 && a != 0) { return s % a; }\n\
+                       return int(b[0]) + g;\n\
+                   }\n\
+                   fn main() { print(f(3, new float[2])); }";
+        if idx < src.len() && src.is_char_boundary(idx) {
+            let mut mutated = String::with_capacity(src.len());
+            mutated.push_str(&src[..idx]);
+            mutated.push_str(&src[idx + 1..]);
+            let _ = hps_lang::parse(&mutated);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The open↔hidden transport abstraction.
+
+use crate::error::RuntimeError;
+use crate::server::SecureServer;
+use hps_ir::{ComponentId, FragLabel, Value};
+
+/// Reply to a fragment call: the returned scalar plus the virtual cost the
+/// secure device reported (the open side waits for the reply, so that cost
+/// is on the critical path).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CallReply {
+    /// The value returned by the fragment (`Int(0)` for "any").
+    pub value: Value,
+    /// Virtual cost units spent on the secure device.
+    pub server_cost: u64,
+}
+
+/// Transport between the open component and the secure device.
+///
+/// Implementations: [`InProcessChannel`] (deterministic, used by tests and
+/// the virtual-time experiments), [`crate::tcp::TcpChannel`] (real sockets),
+/// [`crate::trace::TraceChannel`] (adversary's wiretap wrapper).
+pub trait Channel {
+    /// Runs fragment `label` of `component` for activation/instance `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-side execution errors and transport failures.
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError>;
+
+    /// Notifies the secure side that activation/instance `key` is finished
+    /// and its hidden state may be freed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError>;
+
+    /// Number of round-trip interactions so far (fragment calls; release
+    /// notifications are fire-and-forget and not counted, matching the
+    /// paper's "Component Interactions").
+    fn interactions(&self) -> u64;
+
+    /// Virtual cost units one round trip adds to the open side's critical
+    /// path (0 for cost-free test channels).
+    fn rtt_cost(&self) -> u64;
+}
+
+/// A channel that delivers calls directly to an in-process
+/// [`SecureServer`], charging a configurable virtual round-trip latency.
+#[derive(Debug)]
+pub struct InProcessChannel {
+    server: SecureServer,
+    rtt: u64,
+    interactions: u64,
+}
+
+impl InProcessChannel {
+    /// Creates a channel with zero round-trip cost.
+    pub fn new(server: SecureServer) -> InProcessChannel {
+        InProcessChannel {
+            server,
+            rtt: 0,
+            interactions: 0,
+        }
+    }
+
+    /// Sets the virtual round-trip cost (builder style).
+    pub fn with_rtt(mut self, rtt: u64) -> InProcessChannel {
+        self.rtt = rtt;
+        self
+    }
+
+    /// Access to the wrapped server (e.g. to inspect state in tests).
+    pub fn server(&self) -> &SecureServer {
+        &self.server
+    }
+
+    /// Consumes the channel, returning the server.
+    pub fn into_server(self) -> SecureServer {
+        self.server
+    }
+}
+
+impl Channel for InProcessChannel {
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError> {
+        self.interactions += 1;
+        let out = self.server.call(component, key, label, args)?;
+        Ok(CallReply {
+            value: out.value,
+            server_cost: out.cost,
+        })
+    }
+
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
+        self.server.release(component, key);
+        Ok(())
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.rtt
+    }
+}

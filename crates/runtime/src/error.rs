@@ -1,0 +1,135 @@
+//! Runtime errors.
+
+use hps_ir::{ComponentId, FragLabel};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised during execution of a program, a fragment, or the
+/// open↔hidden channel.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuntimeError {
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        /// Attempted index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Read of an uninitialized array/object local.
+    UninitializedValue,
+    /// A value had the wrong type at runtime (indicates a front-end or
+    /// transformation bug; the type checker should prevent this).
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// Call stack exceeded the configured limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Step budget exceeded (guards against non-terminating programs).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Entry function not found.
+    NoSuchFunction(String),
+    /// Wrong number or types of arguments to the entry function.
+    BadEntryArgs(String),
+    /// The open component called a fragment the hidden side does not have.
+    UnknownFragment {
+        /// Component addressed.
+        component: ComponentId,
+        /// Fragment label addressed.
+        label: FragLabel,
+    },
+    /// The open component addressed a component the hidden side does not
+    /// have.
+    UnknownComponent(ComponentId),
+    /// A fragment body contained a construct fragments may not execute
+    /// (calls, aggregates, returns).
+    IllegalFragmentOp(&'static str),
+    /// Transport-level failure (TCP channel).
+    Channel(String),
+    /// A hidden call was executed but no channel is attached (running an
+    /// open component without its hidden half).
+    NoChannel,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            RuntimeError::UninitializedValue => {
+                write!(f, "use of uninitialized array or object variable")
+            }
+            RuntimeError::TypeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "type mismatch at runtime: expected {expected}, found {found}"
+                )
+            }
+            RuntimeError::StackOverflow { limit } => {
+                write!(f, "call depth exceeded limit of {limit}")
+            }
+            RuntimeError::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded step limit of {limit}")
+            }
+            RuntimeError::NoSuchFunction(name) => write!(f, "no function named `{name}`"),
+            RuntimeError::BadEntryArgs(msg) => write!(f, "bad entry arguments: {msg}"),
+            RuntimeError::UnknownFragment { component, label } => {
+                write!(
+                    f,
+                    "hidden side has no fragment {label} in component {component}"
+                )
+            }
+            RuntimeError::UnknownComponent(c) => {
+                write!(f, "hidden side has no component {c}")
+            }
+            RuntimeError::IllegalFragmentOp(what) => {
+                write!(f, "fragment attempted an illegal operation: {what}")
+            }
+            RuntimeError::Channel(msg) => write!(f, "channel failure: {msg}"),
+            RuntimeError::NoChannel => {
+                write!(
+                    f,
+                    "open component made a hidden call but no channel is attached"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(RuntimeError::DivisionByZero.to_string(), "division by zero");
+        let e = RuntimeError::IndexOutOfBounds { index: 5, len: 3 };
+        assert!(e.to_string().contains("index 5"));
+        let e = RuntimeError::UnknownFragment {
+            component: ComponentId::new(1),
+            label: FragLabel::new(2),
+        };
+        assert!(e.to_string().contains("L2"));
+        assert!(e.to_string().contains("H1"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn take(_: Box<dyn Error + Send + Sync>) {}
+        take(Box::new(RuntimeError::NoChannel));
+    }
+}

@@ -1,0 +1,943 @@
+//! The open-side interpreter.
+//!
+//! A tree-walking evaluator for `hps_ir::Program` with:
+//!
+//! * deterministic virtual-time cost accounting (see [`CostModel`]),
+//! * step and call-depth limits so runaway programs fail cleanly,
+//! * split-program support: functions carrying
+//!   [`split_component`](hps_ir::Function::split_component) allocate an
+//!   *activation id* on entry (the paper's instance id, which keeps
+//!   recursive activations apart), route
+//!   [`StmtKind::HiddenCall`] statements through an attached [`Channel`],
+//!   and release the secure-side state on return. Methods of split classes
+//!   route calls by the receiver object's instance id instead.
+
+use crate::channel::Channel;
+use crate::cost::CostModel;
+use crate::error::RuntimeError;
+use crate::server::SecureServer;
+use crate::value::{ObjData, RtValue};
+use hps_ir::{
+    Block, Builtin, ClassId, ComponentId, ComponentKind, Expr, FuncId, HiddenProgram, Place,
+    Program, StmtKind, Ty,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Execution limits and cost model.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Maximum statements/iterations executed before aborting.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// The cost model used for virtual timing.
+    pub cost_model: CostModel,
+}
+
+impl ExecConfig {
+    /// Defaults: 500 M steps, depth 128, default cost model.
+    ///
+    /// The depth limit is conservative because each interpreted call uses a
+    /// few kilobytes of host stack; 128 fits comfortably in a 2 MiB test
+    /// thread stack.
+    pub fn new() -> ExecConfig {
+        ExecConfig {
+            max_steps: 500_000_000,
+            max_call_depth: 128,
+            cost_model: CostModel::new(),
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig::new()
+    }
+}
+
+/// The result of a successful run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Outcome {
+    /// Value returned by the entry function.
+    pub ret: RtValue,
+    /// Lines produced by `print` statements, in order.
+    pub output: Vec<String>,
+    /// Virtual cost units spent on the open side's critical path (includes
+    /// channel round trips and secure-side execution for split runs).
+    pub cost: u64,
+    /// Number of statements executed on the open side.
+    pub steps: u64,
+}
+
+/// The result of running a split program in process.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SplitOutcome {
+    /// The ordinary outcome (output, return value, cost, steps).
+    pub outcome: Outcome,
+    /// Open↔hidden round trips (the paper's "Component Interactions").
+    pub interactions: u64,
+    /// Virtual cost units spent by the secure device.
+    pub server_cost: u64,
+}
+
+/// Component-kind table the *open* side needs to route hidden calls (which
+/// id spaces key the state: per-activation for split functions,
+/// per-object-instance for split classes). Contains no hidden code.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SplitMeta {
+    kinds: Vec<MetaKind>,
+    class_component: Vec<Option<ComponentId>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum MetaKind {
+    Function,
+    Class,
+    Global,
+}
+
+impl SplitMeta {
+    /// Derives the routing table from the open program and the hidden
+    /// program's component list.
+    pub fn derive(open: &Program, hidden: &HiddenProgram) -> SplitMeta {
+        let mut kinds = Vec::new();
+        let mut class_component = vec![None; open.classes.len()];
+        for comp in &hidden.components {
+            match &comp.kind {
+                ComponentKind::Function { .. } => kinds.push(MetaKind::Function),
+                ComponentKind::Class { class_name } => {
+                    kinds.push(MetaKind::Class);
+                    if let Some(cid) = open.class_by_name(class_name) {
+                        class_component[cid.index()] = Some(comp.id);
+                    }
+                }
+                ComponentKind::Global { .. } => kinds.push(MetaKind::Global),
+            }
+        }
+        SplitMeta {
+            kinds,
+            class_component,
+        }
+    }
+
+    fn kind_of(&self, c: ComponentId) -> Option<MetaKind> {
+        self.kinds.get(c.index()).copied()
+    }
+
+    /// The hidden component attached to a class, if it was split.
+    pub fn component_of_class(&self, class: ClassId) -> Option<ComponentId> {
+        self.class_component.get(class.index()).copied().flatten()
+    }
+}
+
+/// Runs `main` of an ordinary (unsplit) program.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults or a missing/ill-typed
+/// entry function.
+pub fn run_program(program: &Program, args: &[RtValue]) -> Result<Outcome, RuntimeError> {
+    run_function(program, "main", args, ExecConfig::new())
+}
+
+/// Runs a named free function of an ordinary (unsplit) program.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults or a missing/ill-typed
+/// entry function.
+pub fn run_function(
+    program: &Program,
+    name: &str,
+    args: &[RtValue],
+    config: ExecConfig,
+) -> Result<Outcome, RuntimeError> {
+    let mut interp = Interp::new(program, config);
+    interp.run(name, args)
+}
+
+/// Runs `main` of a split program in process: installs `hidden` on a fresh
+/// [`SecureServer`], connects an [`InProcessChannel`](crate::InProcessChannel)
+/// with zero round-trip cost, and executes the open program against it.
+///
+/// Use [`Interp`] directly for custom channels, latencies or tracing.
+///
+/// # Examples
+///
+/// ```
+/// let program = hps_lang::parse(
+///     "fn f(x: int) -> int { var a: int = x * 2; return a; }
+///      fn main() { print(f(21)); }",
+/// )?;
+/// let plan = hps_core::SplitPlan::single(&program, "f", "a")?;
+/// let split = hps_core::split_program(&program, &plan)?;
+/// let replay = hps_runtime::run_split(&split.open, &split.hidden, &[])?;
+/// assert_eq!(replay.outcome.output, ["42"]);
+/// assert!(replay.interactions > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults on either side.
+pub fn run_split(
+    open: &Program,
+    hidden: &HiddenProgram,
+    args: &[RtValue],
+) -> Result<SplitOutcome, RuntimeError> {
+    run_split_with_rtt(open, hidden, args, 0, ExecConfig::new())
+}
+
+/// [`run_split`] with an explicit round-trip cost and configuration.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults on either side.
+pub fn run_split_with_rtt(
+    open: &Program,
+    hidden: &HiddenProgram,
+    args: &[RtValue],
+    rtt: u64,
+    config: ExecConfig,
+) -> Result<SplitOutcome, RuntimeError> {
+    let server = SecureServer::new(hidden.clone()).with_cost_model(config.cost_model.clone());
+    let mut channel = crate::channel::InProcessChannel::new(server).with_rtt(rtt);
+    let meta = SplitMeta::derive(open, hidden);
+    let mut interp = Interp::new(open, config).with_channel(&mut channel, &meta);
+    let outcome = interp.run("main", args)?;
+    drop(interp);
+    Ok(SplitOutcome {
+        outcome,
+        interactions: channel.interactions(),
+        server_cost: channel.server().cost_spent(),
+    })
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(RtValue),
+}
+
+struct Frame {
+    locals: Vec<RtValue>,
+    activation: Option<(ComponentId, u64)>,
+}
+
+/// The interpreter. Most callers use the [`run_program`] / [`run_split`]
+/// helpers; construct an [`Interp`] directly to attach a custom [`Channel`]
+/// (TCP, tracing) or to reuse global state across entry calls.
+pub struct Interp<'a> {
+    program: &'a Program,
+    config: ExecConfig,
+    globals: Vec<RtValue>,
+    output: Vec<String>,
+    cost: u64,
+    steps: u64,
+    depth: usize,
+    channel: Option<&'a mut dyn Channel>,
+    meta: Option<&'a SplitMeta>,
+    next_activation: u64,
+    next_instance: u64,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with initialized globals and no channel.
+    pub fn new(program: &'a Program, config: ExecConfig) -> Interp<'a> {
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| match (&g.ty, g.array_len) {
+                (Ty::Array(elem), Some(len)) => RtValue::new_array(elem, len),
+                (_, _) => g
+                    .init
+                    .map(RtValue::from_const)
+                    .unwrap_or_else(|| RtValue::default_of(&g.ty)),
+            })
+            .collect();
+        Interp {
+            program,
+            config,
+            globals,
+            output: Vec::new(),
+            cost: 0,
+            steps: 0,
+            depth: 0,
+            channel: None,
+            meta: None,
+            next_activation: 1,
+            next_instance: 1,
+        }
+    }
+
+    /// Attaches a channel and routing metadata for split execution
+    /// (builder style).
+    pub fn with_channel(mut self, channel: &'a mut dyn Channel, meta: &'a SplitMeta) -> Interp<'a> {
+        self.channel = Some(channel);
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Runs a named free function to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for execution faults or a missing entry.
+    pub fn run(&mut self, name: &str, args: &[RtValue]) -> Result<Outcome, RuntimeError> {
+        let fid = self
+            .program
+            .func_by_name(name)
+            .ok_or_else(|| RuntimeError::NoSuchFunction(name.to_string()))?;
+        let func = self.program.func(fid);
+        if args.len() != func.num_params {
+            return Err(RuntimeError::BadEntryArgs(format!(
+                "`{name}` takes {} argument(s), got {}",
+                func.num_params,
+                args.len()
+            )));
+        }
+        let ret = self.call_function(fid, args.to_vec())?;
+        Ok(Outcome {
+            ret,
+            output: std::mem::take(&mut self.output),
+            cost: self.cost,
+            steps: self.steps,
+        })
+    }
+
+    fn call_function(&mut self, fid: FuncId, args: Vec<RtValue>) -> Result<RtValue, RuntimeError> {
+        self.depth += 1;
+        if self.depth > self.config.max_call_depth {
+            self.depth -= 1;
+            return Err(RuntimeError::StackOverflow {
+                limit: self.config.max_call_depth,
+            });
+        }
+        self.cost += self.config.cost_model.call;
+        let func = self.program.func(fid);
+        let mut locals = args;
+        for decl in func.locals.iter().skip(locals.len()) {
+            locals.push(RtValue::default_of(&decl.ty));
+        }
+        let activation = match func.split_component {
+            Some(c) if self.meta.and_then(|m| m.kind_of(c)) == Some(MetaKind::Function) => {
+                let id = self.next_activation;
+                self.next_activation += 1;
+                Some((c, id))
+            }
+            _ => None,
+        };
+        let mut frame = Frame { locals, activation };
+        let result = self.exec_block(&mut frame, &func.body);
+        // Free secure-side state regardless of how the function exits.
+        if let Some((c, id)) = frame.activation {
+            if let Some(chan) = self.channel.as_deref_mut() {
+                chan.release(c, id)?;
+            }
+        }
+        self.depth -= 1;
+        match result? {
+            Flow::Return(v) => Ok(v),
+            // Falling off the end returns the zero value of the return type
+            // (void functions return Uninit-safe Int 0 placeholder that
+            // callers never observe — the type checker rejects using them).
+            _ => Ok(match &func.ret_ty {
+                Ty::Void => RtValue::Int(0),
+                ty => RtValue::default_of(ty),
+            }),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            return Err(RuntimeError::StepLimitExceeded {
+                limit: self.config.max_steps,
+            });
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, frame: &mut Frame, block: &Block) -> Result<Flow, RuntimeError> {
+        for stmt in &block.stmts {
+            self.tick()?;
+            match &stmt.kind {
+                StmtKind::Assign { place, value } => {
+                    let v = self.eval(frame, value)?;
+                    self.cost += self.config.cost_model.assign;
+                    self.assign_place(frame, place, v)?;
+                }
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    self.cost += self.config.cost_model.branch;
+                    let taken = self.truthy(frame, cond)?;
+                    let flow = if taken {
+                        self.exec_block(frame, then_blk)?
+                    } else {
+                        self.exec_block(frame, else_blk)?
+                    };
+                    match flow {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                StmtKind::While { cond, body } => loop {
+                    self.tick()?;
+                    self.cost += self.config.cost_model.branch;
+                    if !self.truthy(frame, cond)? {
+                        break;
+                    }
+                    match self.exec_block(frame, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                },
+                StmtKind::Return(e) => {
+                    let v = match e {
+                        Some(e) => self.eval(frame, e)?,
+                        None => RtValue::Int(0),
+                    };
+                    return Ok(Flow::Return(v));
+                }
+                StmtKind::Break => return Ok(Flow::Break),
+                StmtKind::Continue => return Ok(Flow::Continue),
+                StmtKind::ExprStmt(e) => {
+                    self.eval(frame, e)?;
+                }
+                StmtKind::Print(e) => {
+                    let v = self.eval(frame, e)?;
+                    self.cost += self.config.cost_model.print;
+                    self.output.push(v.to_string());
+                }
+                StmtKind::HiddenCall {
+                    component,
+                    label,
+                    args,
+                    result,
+                } => {
+                    let reply = self.hidden_call(frame, *component, *label, args)?;
+                    if let Some(place) = result {
+                        self.cost += self.config.cost_model.assign;
+                        self.assign_place(frame, place, RtValue::from_const(reply))?;
+                    }
+                }
+                StmtKind::Nop => {}
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn hidden_call(
+        &mut self,
+        frame: &mut Frame,
+        component: ComponentId,
+        label: hps_ir::FragLabel,
+        args: &[Expr],
+    ) -> Result<hps_ir::Value, RuntimeError> {
+        let meta = self.meta.ok_or(RuntimeError::NoChannel)?;
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            let v = self.eval(frame, a)?;
+            vals.push(v.to_const().ok_or(RuntimeError::TypeMismatch {
+                expected: "scalar hidden-call argument",
+                found: "aggregate",
+            })?);
+        }
+        let key = match meta.kind_of(component) {
+            Some(MetaKind::Class) => match frame.locals.first() {
+                Some(RtValue::Object(obj)) => obj.borrow().instance_id,
+                _ => {
+                    return Err(RuntimeError::Channel(
+                        "class-component hidden call outside a method".into(),
+                    ))
+                }
+            },
+            // One shared hidden state for a hidden global.
+            Some(MetaKind::Global) => 0,
+            _ => match frame.activation {
+                Some((c, id)) if c == component => id,
+                _ => {
+                    return Err(RuntimeError::Channel(
+                        "hidden call outside its split function's activation".into(),
+                    ))
+                }
+            },
+        };
+        let chan = self.channel.as_deref_mut().ok_or(RuntimeError::NoChannel)?;
+        let reply = chan.call(component, key, label, &vals)?;
+        self.cost += chan.rtt_cost()
+            + self.config.cost_model.marshal_per_arg * vals.len() as u64
+            + reply.server_cost;
+        Ok(reply.value)
+    }
+
+    fn truthy(&mut self, frame: &mut Frame, cond: &Expr) -> Result<bool, RuntimeError> {
+        match self.eval(frame, cond)? {
+            RtValue::Bool(b) => Ok(b),
+            v => Err(RuntimeError::TypeMismatch {
+                expected: "bool condition",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    fn read_place(&mut self, frame: &mut Frame, place: &Place) -> Result<RtValue, RuntimeError> {
+        match place {
+            Place::Local(id) => Ok(frame.locals[id.index()].clone()),
+            Place::Global(id) => Ok(self.globals[id.index()].clone()),
+            Place::Index { base, index } => {
+                let arr = self.read_place(frame, base)?;
+                let idx = self.eval_index(frame, index)?;
+                self.cost += self.config.cost_model.index;
+                match arr {
+                    RtValue::Array(a) => {
+                        let a = a.borrow();
+                        a.get(idx_usize(idx, a.len())?).cloned().ok_or(
+                            RuntimeError::IndexOutOfBounds {
+                                index: idx,
+                                len: a.len(),
+                            },
+                        )
+                    }
+                    RtValue::Uninit => Err(RuntimeError::UninitializedValue),
+                    v => Err(RuntimeError::TypeMismatch {
+                        expected: "array",
+                        found: v.type_name(),
+                    }),
+                }
+            }
+            Place::Field { obj, field, .. } => {
+                let o = self.eval(frame, obj)?;
+                self.cost += self.config.cost_model.field;
+                match o {
+                    RtValue::Object(o) => Ok(o.borrow().fields[field.index()].clone()),
+                    RtValue::Uninit => Err(RuntimeError::UninitializedValue),
+                    v => Err(RuntimeError::TypeMismatch {
+                        expected: "object",
+                        found: v.type_name(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn assign_place(
+        &mut self,
+        frame: &mut Frame,
+        place: &Place,
+        value: RtValue,
+    ) -> Result<(), RuntimeError> {
+        match place {
+            Place::Local(id) => {
+                frame.locals[id.index()] = value;
+                Ok(())
+            }
+            Place::Global(id) => {
+                self.globals[id.index()] = value;
+                Ok(())
+            }
+            Place::Index { base, index } => {
+                let arr = self.read_place(frame, base)?;
+                let idx = self.eval_index(frame, index)?;
+                self.cost += self.config.cost_model.index;
+                match arr {
+                    RtValue::Array(a) => {
+                        let mut a = a.borrow_mut();
+                        let len = a.len();
+                        let i = idx_usize(idx, len)?;
+                        if i >= len {
+                            return Err(RuntimeError::IndexOutOfBounds { index: idx, len });
+                        }
+                        a[i] = value;
+                        Ok(())
+                    }
+                    RtValue::Uninit => Err(RuntimeError::UninitializedValue),
+                    v => Err(RuntimeError::TypeMismatch {
+                        expected: "array",
+                        found: v.type_name(),
+                    }),
+                }
+            }
+            Place::Field { obj, field, .. } => {
+                let o = self.eval(frame, obj)?;
+                self.cost += self.config.cost_model.field;
+                match o {
+                    RtValue::Object(o) => {
+                        o.borrow_mut().fields[field.index()] = value;
+                        Ok(())
+                    }
+                    RtValue::Uninit => Err(RuntimeError::UninitializedValue),
+                    v => Err(RuntimeError::TypeMismatch {
+                        expected: "object",
+                        found: v.type_name(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn eval_index(&mut self, frame: &mut Frame, index: &Expr) -> Result<i64, RuntimeError> {
+        match self.eval(frame, index)? {
+            RtValue::Int(i) => Ok(i),
+            v => Err(RuntimeError::TypeMismatch {
+                expected: "int index",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    fn eval(&mut self, frame: &mut Frame, e: &Expr) -> Result<RtValue, RuntimeError> {
+        Ok(match e {
+            Expr::Const(v) => RtValue::from_const(*v),
+            Expr::Local(id) => frame.locals[id.index()].clone(),
+            Expr::Global(id) => self.globals[id.index()].clone(),
+            Expr::Index { base, index } => {
+                let arr = self.eval(frame, base)?;
+                let idx = self.eval_index(frame, index)?;
+                self.cost += self.config.cost_model.index;
+                match arr {
+                    RtValue::Array(a) => {
+                        let a = a.borrow();
+                        a.get(idx_usize(idx, a.len())?).cloned().ok_or(
+                            RuntimeError::IndexOutOfBounds {
+                                index: idx,
+                                len: a.len(),
+                            },
+                        )?
+                    }
+                    RtValue::Uninit => return Err(RuntimeError::UninitializedValue),
+                    v => {
+                        return Err(RuntimeError::TypeMismatch {
+                            expected: "array",
+                            found: v.type_name(),
+                        })
+                    }
+                }
+            }
+            Expr::FieldGet { obj, field, .. } => {
+                let o = self.eval(frame, obj)?;
+                self.cost += self.config.cost_model.field;
+                match o {
+                    RtValue::Object(o) => o.borrow().fields[field.index()].clone(),
+                    RtValue::Uninit => return Err(RuntimeError::UninitializedValue),
+                    v => {
+                        return Err(RuntimeError::TypeMismatch {
+                            expected: "object",
+                            found: v.type_name(),
+                        })
+                    }
+                }
+            }
+            Expr::Unary { op, arg } => {
+                self.cost += self.config.cost_model.unop;
+                let a = self.eval(frame, arg)?;
+                crate::ops::unop(*op, &a)?
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.cost += self.config.cost_model.binop;
+                if *op == hps_ir::BinOp::And {
+                    return if self.truthy(frame, lhs)? {
+                        self.eval(frame, rhs)
+                    } else {
+                        Ok(RtValue::Bool(false))
+                    };
+                }
+                if *op == hps_ir::BinOp::Or {
+                    return if self.truthy(frame, lhs)? {
+                        Ok(RtValue::Bool(true))
+                    } else {
+                        self.eval(frame, rhs)
+                    };
+                }
+                let a = self.eval(frame, lhs)?;
+                let b = self.eval(frame, rhs)?;
+                crate::ops::binop(*op, &a, &b)?
+            }
+            Expr::Call { callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(frame, a)?);
+                }
+                self.call_function(callee.func(), vals)?
+            }
+            Expr::BuiltinCall { builtin, args } => {
+                if *builtin == Builtin::Len {
+                    self.cost += self.config.cost_model.builtin;
+                    let a = self.eval(frame, &args[0])?;
+                    match a {
+                        RtValue::Array(arr) => RtValue::Int(arr.borrow().len() as i64),
+                        RtValue::Uninit => return Err(RuntimeError::UninitializedValue),
+                        v => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "array",
+                                found: v.type_name(),
+                            })
+                        }
+                    }
+                } else {
+                    self.cost += if builtin.is_transcendental() {
+                        self.config.cost_model.transcendental
+                    } else {
+                        self.config.cost_model.builtin
+                    };
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval(frame, a)?);
+                    }
+                    crate::ops::builtin(*builtin, &vals)?
+                }
+            }
+            Expr::NewArray { elem, len } => {
+                let n = self.eval_index(frame, len)?;
+                if n < 0 {
+                    return Err(RuntimeError::IndexOutOfBounds { index: n, len: 0 });
+                }
+                self.cost += self.config.cost_model.alloc_per_elem * n as u64;
+                RtValue::new_array(elem, n as usize)
+            }
+            Expr::NewObject(class) => {
+                self.cost += self.config.cost_model.alloc_object;
+                let cdef = self.program.class(*class);
+                let instance_id = self.next_instance;
+                self.next_instance += 1;
+                RtValue::Object(Rc::new(RefCell::new(ObjData {
+                    class: *class,
+                    instance_id,
+                    fields: cdef
+                        .fields
+                        .iter()
+                        .map(|f| RtValue::default_of(&f.ty))
+                        .collect(),
+                })))
+            }
+        })
+    }
+
+    /// The value of a global (for tests and experiment harnesses).
+    pub fn global(&self, id: hps_ir::GlobalId) -> &RtValue {
+        &self.globals[id.index()]
+    }
+
+    /// Virtual cost spent so far.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+fn idx_usize(idx: i64, len: usize) -> Result<usize, RuntimeError> {
+    if idx < 0 {
+        Err(RuntimeError::IndexOutOfBounds { index: idx, len })
+    } else {
+        Ok(idx as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Outcome {
+        let p = hps_lang::parse(src).expect("parses");
+        run_program(&p, &[]).expect("runs")
+    }
+
+    fn run_err(src: &str) -> RuntimeError {
+        let p = hps_lang::parse(src).expect("parses");
+        run_program(&p, &[]).expect_err("should fail")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("fn main() { print(2 + 3 * 4); print(10 / 3); print(10 % 3); }");
+        assert_eq!(out.output, vec!["14", "3", "1"]);
+        assert!(out.cost > 0);
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        let out = run("fn main() { print(1.5 + 1.5); print(0.1 + 0.2); }");
+        assert_eq!(out.output[0], "3.0");
+        assert!(out.output[1].starts_with("0.3"));
+    }
+
+    #[test]
+    fn loops_conditionals_break_continue() {
+        let out = run("fn main() {
+                var i: int = 0; var s: int = 0;
+                while (true) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    s = s + i;
+                }
+                print(s);
+            }");
+        assert_eq!(out.output, vec!["25"]); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn functions_recursion_and_entry_args() {
+        let p = hps_lang::parse(
+            "fn fib(n: int) -> int {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { print(fib(10)); }",
+        )
+        .unwrap();
+        assert_eq!(run_program(&p, &[]).unwrap().output, vec!["55"]);
+        let out = run_function(&p, "fib", &[RtValue::Int(12)], ExecConfig::new()).unwrap();
+        assert_eq!(out.ret, RtValue::Int(144));
+    }
+
+    #[test]
+    fn arrays_and_len() {
+        let out = run("fn main() {
+                var a: int[] = new int[5];
+                var i: int = 0;
+                while (i < len(a)) { a[i] = i * i; i = i + 1; }
+                print(a[4]);
+            }");
+        assert_eq!(out.output, vec!["16"]);
+    }
+
+    #[test]
+    fn globals_scalar_and_array() {
+        let out = run("global count: int = 10;
+             global buf: int[] = new int[3];
+             fn main() { buf[0] = count + 1; print(buf[0]); }");
+        assert_eq!(out.output, vec!["11"]);
+    }
+
+    #[test]
+    fn objects_fields_and_methods() {
+        let out = run("class Point {
+                x: int; y: int;
+                fn set(a: int, b: int) { self.x = a; self.y = b; }
+                fn norm2() -> int { return self.x * self.x + self.y * self.y; }
+            }
+            fn main() {
+                var p: Point = new Point();
+                p.set(3, 4);
+                print(p.norm2());
+                var q: Point = new Point();
+                print(q.norm2());
+            }");
+        assert_eq!(out.output, vec!["25", "0"]);
+    }
+
+    #[test]
+    fn aggregates_are_by_reference() {
+        let out = run(
+            "fn fill(a: int[], v: int) { var i: int = 0; while (i < len(a)) { a[i] = v; i = i + 1; } }
+             fn main() { var a: int[] = new int[2]; fill(a, 7); print(a[1]); }",
+        );
+        assert_eq!(out.output, vec!["7"]);
+    }
+
+    #[test]
+    fn runtime_errors() {
+        assert_eq!(
+            run_err("fn main() { print(1 / 0); }"),
+            RuntimeError::DivisionByZero
+        );
+        assert!(matches!(
+            run_err("fn main() { var a: int[] = new int[2]; print(a[5]); }"),
+            RuntimeError::IndexOutOfBounds { index: 5, len: 2 }
+        ));
+        assert!(matches!(
+            run_err("fn main() { var a: int[] = new int[2]; print(a[-1]); }"),
+            RuntimeError::IndexOutOfBounds { .. }
+        ));
+        assert_eq!(
+            run_err("fn main() { var a: int[]; print(a[0]); }"),
+            RuntimeError::UninitializedValue
+        );
+        assert!(matches!(
+            run_err("fn main() { var a: int[] = new int[0 - 3]; }"),
+            RuntimeError::IndexOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let p = hps_lang::parse("fn main() { while (true) { } }").unwrap();
+        let cfg = ExecConfig {
+            max_steps: 1000,
+            ..ExecConfig::new()
+        };
+        assert!(matches!(
+            run_function(&p, "main", &[], cfg),
+            Err(RuntimeError::StepLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_recursion_hits_depth_limit() {
+        let p = hps_lang::parse("fn f() { f(); } fn main() { f(); }").unwrap();
+        assert!(matches!(
+            run_program(&p, &[]),
+            Err(RuntimeError::StackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_entry_and_bad_args() {
+        let p = hps_lang::parse("fn notmain() { }").unwrap();
+        assert!(matches!(
+            run_program(&p, &[]),
+            Err(RuntimeError::NoSuchFunction(_))
+        ));
+        let p = hps_lang::parse("fn main(x: int) { print(x); }").unwrap();
+        assert!(matches!(
+            run_program(&p, &[]),
+            Err(RuntimeError::BadEntryArgs(_))
+        ));
+        let out = run_program(&p, &[RtValue::Int(9)]).unwrap();
+        assert_eq!(out.output, vec!["9"]);
+    }
+
+    #[test]
+    fn hidden_call_without_channel_fails() {
+        use hps_ir::{FragLabel, Stmt};
+        let mut p = hps_lang::parse("fn main() { }").unwrap();
+        let main = p.entry().unwrap();
+        p.func_mut(main)
+            .body
+            .stmts
+            .push(Stmt::new(StmtKind::HiddenCall {
+                component: ComponentId::new(0),
+                label: FragLabel::new(0),
+                args: vec![],
+                result: None,
+            }));
+        p.renumber_all();
+        assert_eq!(run_program(&p, &[]), Err(RuntimeError::NoChannel));
+    }
+
+    #[test]
+    fn short_circuit_avoids_division_by_zero() {
+        let out = run("fn main() {
+                var x: int = 0;
+                if (x != 0 && 10 / x > 1) { print(1); } else { print(2); }
+                if (x == 0 || 10 / x > 1) { print(3); }
+            }");
+        assert_eq!(out.output, vec!["2", "3"]);
+    }
+
+    #[test]
+    fn for_loops_execute() {
+        let out = run("fn main() {
+                var s: int = 0; var i: int;
+                for (i = 0; i < 5; i = i + 1) { s = s + i; }
+                print(s);
+            }");
+        assert_eq!(out.output, vec!["10"]);
+    }
+}

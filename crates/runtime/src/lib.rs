@@ -1,0 +1,56 @@
+//! # hps-runtime — execution substrate for split programs
+//!
+//! The paper evaluates its transformation by actually *running* the split
+//! programs: "We generated the open and hidden components and ran them on
+//! two separate linux based machines that communicated over the local area
+//! network." This crate provides the equivalent substrate:
+//!
+//! * [`interp`] — a tree-walking interpreter for `hps_ir::Program`s with
+//!   deterministic virtual-time cost accounting ([`cost::CostModel`]).
+//! * [`server`] — the secure-side executor: holds a
+//!   [`hps_ir::HiddenProgram`], keeps per-activation / per-instance hidden
+//!   state, and runs fragments on request.
+//! * [`channel`] — the open↔hidden transport abstraction; in-process with a
+//!   configurable round-trip cost for deterministic experiments.
+//! * [`tcp`] — a real TCP transport (length-prefixed binary protocol,
+//!   [`wire`]) for running the two halves in separate processes/machines.
+//! * [`trace`] — the adversary's view: records every value crossing the
+//!   channel, feeding the `hps-attack` crate.
+//!
+//! # Examples
+//!
+//! Run an ordinary program:
+//!
+//! ```
+//! use hps_runtime::{run_program, RtValue};
+//!
+//! let program = hps_lang::parse(
+//!     "fn main() { var i: int = 0; while (i < 3) { print(i); i = i + 1; } }",
+//! )?;
+//! let outcome = run_program(&program, &[])?;
+//! assert_eq!(outcome.output, ["0", "1", "2"]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod channel;
+pub mod cost;
+pub mod error;
+pub mod fragment;
+pub mod interp;
+mod ops;
+pub mod server;
+pub mod tcp;
+pub mod trace;
+pub mod value;
+pub mod wire;
+
+pub use channel::{CallReply, Channel, InProcessChannel};
+pub use cost::CostModel;
+pub use error::RuntimeError;
+pub use interp::{
+    run_function, run_program, run_split, run_split_with_rtt, ExecConfig, Interp, Outcome,
+    SplitMeta, SplitOutcome,
+};
+pub use server::SecureServer;
+pub use trace::{Trace, TraceChannel, TraceEvent};
+pub use value::RtValue;

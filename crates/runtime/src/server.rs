@@ -1,0 +1,197 @@
+//! The secure-side server.
+//!
+//! Holds the [`HiddenProgram`] and the hidden part of the running program's
+//! state, keyed by `(component, activation-or-instance id)`. State is
+//! created lazily on first touch (so no extra round trip is needed to open
+//! an activation) and freed on [`SecureServer::release`].
+
+use crate::cost::CostModel;
+use crate::error::RuntimeError;
+use crate::fragment::{run_fragment, FragOutcome};
+use crate::value::RtValue;
+use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
+use std::collections::HashMap;
+
+/// The secure machine: hidden code plus hidden state.
+#[derive(Debug)]
+pub struct SecureServer {
+    hidden: HiddenProgram,
+    cost_model: CostModel,
+    state: HashMap<(ComponentId, u64), Vec<RtValue>>,
+    calls_served: u64,
+    cost_spent: u64,
+}
+
+impl SecureServer {
+    /// Creates a server installing the given hidden program.
+    pub fn new(hidden: HiddenProgram) -> SecureServer {
+        SecureServer {
+            hidden,
+            cost_model: CostModel::new(),
+            state: HashMap::new(),
+            calls_served: 0,
+            cost_spent: 0,
+        }
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> SecureServer {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Executes fragment `label` of `component` against the state of
+    /// activation/instance `key`, creating zeroed state on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownComponent`] / [`RuntimeError::UnknownFragment`]
+    /// for bad addresses and propagates fragment execution errors.
+    pub fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<FragOutcome, RuntimeError> {
+        if component.index() >= self.hidden.components.len() {
+            return Err(RuntimeError::UnknownComponent(component));
+        }
+        let comp = &self.hidden.components[component.index()];
+        let fragment = comp
+            .fragment(label)
+            .ok_or(RuntimeError::UnknownFragment { component, label })?;
+        let vars = self.state.entry((component, key)).or_insert_with(|| {
+            comp.vars
+                .iter()
+                .map(|v| match v.init {
+                    Some(init) => RtValue::from_const(init),
+                    None => RtValue::default_of(&v.ty),
+                })
+                .collect()
+        });
+        let outcome = run_fragment(fragment, vars, args, &self.cost_model)?;
+        self.calls_served += 1;
+        self.cost_spent += outcome.cost;
+        Ok(outcome)
+    }
+
+    /// Frees the hidden state of one activation/instance (sent by the open
+    /// side when a split function returns). Unknown keys are ignored — the
+    /// activation may never have touched the hidden side.
+    pub fn release(&mut self, component: ComponentId, key: u64) {
+        self.state.remove(&(component, key));
+    }
+
+    /// Number of fragment calls served.
+    pub fn calls_served(&self) -> u64 {
+        self.calls_served
+    }
+
+    /// Total virtual cost spent executing fragments.
+    pub fn cost_spent(&self) -> u64 {
+        self.cost_spent
+    }
+
+    /// Number of live activations/instances.
+    pub fn live_activations(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Read-only view of the installed hidden program.
+    pub fn hidden(&self) -> &HiddenProgram {
+        &self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::{
+        BinOp, Block, ComponentKind, Expr, Fragment, HiddenComponent, HiddenVar, LocalId, Place,
+        Stmt, StmtKind, Ty,
+    };
+
+    fn counter_program() -> HiddenProgram {
+        // One component, hidden var c; L0(p): c = c + p, returns c.
+        let mut hp = HiddenProgram::new();
+        hp.add(HiddenComponent {
+            id: ComponentId::new(0),
+            kind: ComponentKind::Function {
+                func_name: "f".into(),
+            },
+            vars: vec![HiddenVar {
+                name: "c".into(),
+                ty: Ty::Int,
+                init: None,
+            }],
+            fragments: vec![Fragment {
+                label: FragLabel::new(0),
+                params: vec![("p".into(), Ty::Int)],
+                body: Block::of(vec![Stmt::new(StmtKind::Assign {
+                    place: Place::Local(LocalId::new(0)),
+                    value: Expr::binary(
+                        BinOp::Add,
+                        Expr::local(LocalId::new(0)),
+                        Expr::local(LocalId::new(1)),
+                    ),
+                })]),
+                ret: Some(Expr::local(LocalId::new(0))),
+            }],
+        });
+        hp
+    }
+
+    #[test]
+    fn state_is_per_key_and_lazy() {
+        let mut server = SecureServer::new(counter_program());
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        assert_eq!(
+            server.call(c, 1, l, &[Value::Int(5)]).unwrap().value,
+            Value::Int(5)
+        );
+        assert_eq!(
+            server.call(c, 1, l, &[Value::Int(5)]).unwrap().value,
+            Value::Int(10)
+        );
+        // A different activation starts fresh.
+        assert_eq!(
+            server.call(c, 2, l, &[Value::Int(1)]).unwrap().value,
+            Value::Int(1)
+        );
+        assert_eq!(server.live_activations(), 2);
+        assert_eq!(server.calls_served(), 3);
+        assert!(server.cost_spent() > 0);
+    }
+
+    #[test]
+    fn release_frees_state() {
+        let mut server = SecureServer::new(counter_program());
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        server.call(c, 1, l, &[Value::Int(5)]).unwrap();
+        server.release(c, 1);
+        assert_eq!(server.live_activations(), 0);
+        // Re-entering the same key starts from zeroed state.
+        assert_eq!(
+            server.call(c, 1, l, &[Value::Int(2)]).unwrap().value,
+            Value::Int(2)
+        );
+        // Releasing unknown keys is a no-op.
+        server.release(c, 99);
+    }
+
+    #[test]
+    fn bad_addresses() {
+        let mut server = SecureServer::new(counter_program());
+        assert!(matches!(
+            server.call(ComponentId::new(9), 0, FragLabel::new(0), &[]),
+            Err(RuntimeError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            server.call(ComponentId::new(0), 0, FragLabel::new(9), &[]),
+            Err(RuntimeError::UnknownFragment { .. })
+        ));
+    }
+}

@@ -1,0 +1,245 @@
+//! TCP transport: run the hidden component in another process or on
+//! another machine, as in the paper's evaluation ("ran them on two separate
+//! linux based machines that communicated over the local area network").
+
+use crate::channel::{CallReply, Channel};
+use crate::error::RuntimeError;
+use crate::server::SecureServer;
+use crate::wire::{read_frame, write_frame, Request, Response};
+use hps_ir::{ComponentId, FragLabel, Value};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Client side: a [`Channel`] that ships every call to a remote
+/// [`SecureServer`] over TCP.
+#[derive(Debug)]
+pub struct TcpChannel {
+    stream: TcpStream,
+    interactions: u64,
+    rtt_cost: u64,
+}
+
+impl TcpChannel {
+    /// Connects to a secure server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Channel`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpChannel, RuntimeError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| RuntimeError::Channel(format!("connect failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RuntimeError::Channel(format!("set_nodelay failed: {e}")))?;
+        Ok(TcpChannel {
+            stream,
+            interactions: 0,
+            rtt_cost: 0,
+        })
+    }
+
+    /// Sets the virtual round-trip cost charged per call (builder style).
+    /// Wall-clock latency is real on this channel; the virtual cost only
+    /// matters if the caller also reads virtual time.
+    pub fn with_rtt_cost(mut self, rtt: u64) -> TcpChannel {
+        self.rtt_cost = rtt;
+        self
+    }
+
+    /// Asks the remote server to stop serving this connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Channel`] on I/O failure.
+    pub fn shutdown(mut self) -> Result<(), RuntimeError> {
+        write_frame(&mut self.stream, &Request::Shutdown.encode())
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, RuntimeError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| RuntimeError::Channel("server closed connection".into()))?;
+        Response::decode(&payload)
+    }
+}
+
+impl Channel for TcpChannel {
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError> {
+        self.interactions += 1;
+        let resp = self.round_trip(&Request::Call {
+            component,
+            key,
+            label,
+            args: args.to_vec(),
+        })?;
+        match resp {
+            Response::Reply { value, server_cost } => Ok(CallReply { value, server_cost }),
+            Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
+        }
+    }
+
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
+        // Fire-and-forget: no reply expected for release.
+        write_frame(
+            &mut self.stream,
+            &Request::Release { component, key }.encode(),
+        )
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.rtt_cost
+    }
+}
+
+/// Serves one client connection until it sends `Shutdown` or disconnects.
+/// Returns the number of calls served on this connection.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Channel`] on transport failures; fragment
+/// execution errors are reported to the client, not returned here.
+pub fn serve_connection(
+    stream: &mut TcpStream,
+    server: &mut SecureServer,
+) -> Result<u64, RuntimeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| RuntimeError::Channel(format!("set_nodelay failed: {e}")))?;
+    let mut served = 0u64;
+    loop {
+        let payload = match read_frame(stream)? {
+            Some(p) => p,
+            None => return Ok(served),
+        };
+        match Request::decode(&payload)? {
+            Request::Call {
+                component,
+                key,
+                label,
+                args,
+            } => {
+                let resp = match server.call(component, key, label, &args) {
+                    Ok(out) => Response::Reply {
+                        value: out.value,
+                        server_cost: out.cost,
+                    },
+                    Err(e) => Response::Error(e.to_string()),
+                };
+                write_frame(stream, &resp.encode())?;
+                served += 1;
+            }
+            Request::Release { component, key } => server.release(component, key),
+            Request::Shutdown => return Ok(served),
+        }
+    }
+}
+
+/// Binds a listener on `addr` (use port 0 for an ephemeral port), accepts
+/// **one** connection and serves it to completion. Returns calls served.
+///
+/// Intended for examples and tests; production deployments would accept in
+/// a loop with one server per authenticated client.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Channel`] on bind/accept/transport failures.
+pub fn serve_once(listener: TcpListener, server: &mut SecureServer) -> Result<u64, RuntimeError> {
+    let (mut stream, _addr) = listener
+        .accept()
+        .map_err(|e| RuntimeError::Channel(format!("accept failed: {e}")))?;
+    serve_connection(&mut stream, server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::{
+        BinOp, Block, ComponentKind, Expr, Fragment, HiddenComponent, HiddenProgram, HiddenVar,
+        LocalId, Place, Stmt, StmtKind, Ty,
+    };
+    use std::thread;
+
+    fn accumulator_program() -> HiddenProgram {
+        let mut hp = HiddenProgram::new();
+        hp.add(HiddenComponent {
+            id: ComponentId::new(0),
+            kind: ComponentKind::Function {
+                func_name: "f".into(),
+            },
+            vars: vec![HiddenVar {
+                name: "acc".into(),
+                ty: Ty::Int,
+                init: None,
+            }],
+            fragments: vec![Fragment {
+                label: FragLabel::new(0),
+                params: vec![("p".into(), Ty::Int)],
+                body: Block::of(vec![Stmt::new(StmtKind::Assign {
+                    place: Place::Local(LocalId::new(0)),
+                    value: Expr::binary(
+                        BinOp::Add,
+                        Expr::local(LocalId::new(0)),
+                        Expr::local(LocalId::new(1)),
+                    ),
+                })]),
+                ret: Some(Expr::local(LocalId::new(0))),
+            }],
+        });
+        hp
+    }
+
+    #[test]
+    fn loopback_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            let mut server = SecureServer::new(accumulator_program());
+            serve_once(listener, &mut server).expect("serve")
+        });
+        let mut chan = TcpChannel::connect(addr).expect("connect");
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let r1 = chan.call(c, 1, l, &[Value::Int(4)]).unwrap();
+        assert_eq!(r1.value, Value::Int(4));
+        let r2 = chan.call(c, 1, l, &[Value::Int(6)]).unwrap();
+        assert_eq!(r2.value, Value::Int(10));
+        assert!(r2.server_cost > 0);
+        // Fresh key -> fresh state.
+        let r3 = chan.call(c, 9, l, &[Value::Int(1)]).unwrap();
+        assert_eq!(r3.value, Value::Int(1));
+        // Release, then the same key restarts at zero.
+        chan.release(c, 1).unwrap();
+        let r4 = chan.call(c, 1, l, &[Value::Int(2)]).unwrap();
+        assert_eq!(r4.value, Value::Int(2));
+        assert_eq!(chan.interactions(), 4);
+        chan.shutdown().unwrap();
+        let served = handle.join().expect("server thread");
+        assert_eq!(served, 4);
+    }
+
+    #[test]
+    fn remote_errors_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            let mut server = SecureServer::new(accumulator_program());
+            serve_once(listener, &mut server).expect("serve")
+        });
+        let mut chan = TcpChannel::connect(addr).expect("connect");
+        let err = chan
+            .call(ComponentId::new(7), 0, FragLabel::new(0), &[])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Channel(msg) if msg.contains("remote:")));
+        chan.shutdown().unwrap();
+        handle.join().expect("server thread");
+    }
+}

@@ -1,0 +1,206 @@
+//! The adversary's wiretap.
+//!
+//! The paper's threat model: "an adversary … must study the interactions
+//! between the open and hidden components and attempt to construct the
+//! missing hidden code", observing "the values being exchanged by `Of` and
+//! `Hf` over a period of time". [`TraceChannel`] wraps any [`Channel`] and
+//! records exactly that observable information — the label, arguments and
+//! returned value of every call, in order — and nothing more (in
+//! particular, no hidden state). The `hps-attack` crate consumes the
+//! resulting [`Trace`].
+
+use crate::channel::{CallReply, Channel};
+use crate::error::RuntimeError;
+use hps_ir::{ComponentId, FragLabel, Value};
+
+/// One observed round trip.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// Position in the global interaction order.
+    pub seq: u64,
+    /// Addressed component.
+    pub component: ComponentId,
+    /// Activation / instance key (visible on the wire).
+    pub key: u64,
+    /// Fragment label.
+    pub label: FragLabel,
+    /// Scalars sent open → hidden.
+    pub args: Vec<Value>,
+    /// Scalar returned hidden → open.
+    pub ret: Value,
+}
+
+/// Everything an adversary on the open machine can record.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Trace {
+    /// Observed round trips, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events addressed to one `(component, label)` call site, preserving
+    /// order.
+    pub fn events_for(&self, component: ComponentId, label: FragLabel) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.component == component && e.label == label)
+            .collect()
+    }
+
+    /// Distinct `(component, label)` pairs observed.
+    pub fn call_sites(&self) -> Vec<(ComponentId, FragLabel)> {
+        let mut out: Vec<(ComponentId, FragLabel)> =
+            self.events.iter().map(|e| (e.component, e.label)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Events belonging to one activation/instance of one component, in
+    /// order — the adversary groups observations this way to correlate
+    /// values sent earlier with values returned later.
+    pub fn session(&self, component: ComponentId, key: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.component == component && e.key == key)
+            .collect()
+    }
+
+    /// Distinct keys observed for a component.
+    pub fn keys_of(&self, component: ComponentId) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.component == component)
+            .map(|e| e.key)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A [`Channel`] wrapper that records every interaction.
+pub struct TraceChannel<'a> {
+    inner: &'a mut dyn Channel,
+    trace: Trace,
+}
+
+impl<'a> TraceChannel<'a> {
+    /// Wraps a channel.
+    pub fn new(inner: &'a mut dyn Channel) -> TraceChannel<'a> {
+        TraceChannel {
+            inner,
+            trace: Trace::default(),
+        }
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the wrapper, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl Channel for TraceChannel<'_> {
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError> {
+        let reply = self.inner.call(component, key, label, args)?;
+        self.trace.events.push(TraceEvent {
+            seq: self.trace.events.len() as u64,
+            component,
+            key,
+            label,
+            args: args.to_vec(),
+            ret: reply.value,
+        });
+        Ok(reply)
+    }
+
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
+        self.inner.release(component, key)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.inner.rtt_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeChannel(u64);
+
+    impl Channel for FakeChannel {
+        fn call(
+            &mut self,
+            _c: ComponentId,
+            _k: u64,
+            _l: FragLabel,
+            args: &[Value],
+        ) -> Result<CallReply, RuntimeError> {
+            self.0 += 1;
+            let v = args.first().copied().unwrap_or(Value::Int(0));
+            Ok(CallReply {
+                value: v,
+                server_cost: 1,
+            })
+        }
+
+        fn release(&mut self, _c: ComponentId, _k: u64) -> Result<(), RuntimeError> {
+            Ok(())
+        }
+
+        fn interactions(&self) -> u64 {
+            self.0
+        }
+
+        fn rtt_cost(&self) -> u64 {
+            3
+        }
+    }
+
+    #[test]
+    fn records_calls_in_order() {
+        let mut inner = FakeChannel(0);
+        let mut tc = TraceChannel::new(&mut inner);
+        let c0 = ComponentId::new(0);
+        let l0 = FragLabel::new(0);
+        let l1 = FragLabel::new(1);
+        tc.call(c0, 1, l0, &[Value::Int(5)]).unwrap();
+        tc.call(c0, 1, l1, &[]).unwrap();
+        tc.call(c0, 2, l0, &[Value::Int(7)]).unwrap();
+        let trace = tc.into_trace();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.events[0].ret, Value::Int(5));
+        assert_eq!(trace.events_for(c0, l0).len(), 2);
+        assert_eq!(trace.call_sites(), vec![(c0, l0), (c0, l1)]);
+        assert_eq!(trace.keys_of(c0), vec![1, 2]);
+        assert_eq!(trace.session(c0, 1).len(), 2);
+    }
+
+    #[test]
+    fn passthrough_preserves_costs() {
+        let mut inner = FakeChannel(0);
+        let mut tc = TraceChannel::new(&mut inner);
+        assert_eq!(tc.rtt_cost(), 3);
+        tc.call(ComponentId::new(0), 1, FragLabel::new(0), &[])
+            .unwrap();
+        assert_eq!(tc.interactions(), 1);
+        tc.release(ComponentId::new(0), 1).unwrap();
+    }
+}

@@ -1,0 +1,359 @@
+//! Binary wire protocol for the TCP transport.
+//!
+//! Hand-rolled, little-endian, length-prefixed frames:
+//!
+//! ```text
+//! frame    := u32 payload_len ++ payload
+//! request  := 0x01 call(component:u32 key:u64 label:u32 argc:u16 arg*)
+//!           | 0x02 release(component:u32 key:u64)
+//!           | 0x03 shutdown
+//! response := 0x10 reply(value:arg server_cost:u64)
+//!           | 0x11 error(len:u32 utf8-bytes)
+//! arg      := 0x00 i64 | 0x01 f64-bits | 0x02 u8-bool
+//! ```
+
+use crate::error::RuntimeError;
+use hps_ir::{ComponentId, FragLabel, Value};
+use std::io::{Read, Write};
+
+/// A request from the open side.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Run a fragment.
+    Call {
+        /// Addressed component.
+        component: ComponentId,
+        /// Activation / instance key.
+        key: u64,
+        /// Fragment label.
+        label: FragLabel,
+        /// Scalar arguments.
+        args: Vec<Value>,
+    },
+    /// Free one activation/instance's hidden state.
+    Release {
+        /// Addressed component.
+        component: ComponentId,
+        /// Activation / instance key.
+        key: u64,
+    },
+    /// Stop serving this connection.
+    Shutdown,
+}
+
+/// A response from the secure side.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Successful fragment execution.
+    Reply {
+        /// Returned scalar.
+        value: Value,
+        /// Virtual cost the secure device spent.
+        server_cost: u64,
+    },
+    /// Secure-side failure, as display text.
+    Error(String),
+}
+
+fn push_value(buf: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Int(i) => {
+            buf.push(0x00);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(0x01);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(0x02);
+            buf.push(u8::from(b));
+        }
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RuntimeError> {
+        if self.pos + n > self.data.len() {
+            return Err(RuntimeError::Channel("truncated frame".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RuntimeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RuntimeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, RuntimeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, RuntimeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, RuntimeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn value(&mut self) -> Result<Value, RuntimeError> {
+        match self.u8()? {
+            0x00 => Ok(Value::Int(self.i64()?)),
+            0x01 => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            0x02 => Ok(Value::Bool(self.u8()? != 0)),
+            t => Err(RuntimeError::Channel(format!("bad value tag 0x{t:02x}"))),
+        }
+    }
+
+    fn done(&self) -> Result<(), RuntimeError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::Channel("trailing bytes in frame".into()))
+        }
+    }
+}
+
+impl Request {
+    /// Serializes the request payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Call {
+                component,
+                key,
+                label,
+                args,
+            } => {
+                buf.push(0x01);
+                buf.extend_from_slice(&component.0.to_le_bytes());
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&label.0.to_le_bytes());
+                buf.extend_from_slice(&(args.len() as u16).to_le_bytes());
+                for &a in args {
+                    push_value(&mut buf, a);
+                }
+            }
+            Request::Release { component, key } => {
+                buf.push(0x02);
+                buf.extend_from_slice(&component.0.to_le_bytes());
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Shutdown => buf.push(0x03),
+        }
+        buf
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Channel`] for malformed frames.
+    pub fn decode(data: &[u8]) -> Result<Request, RuntimeError> {
+        let mut r = Reader { data, pos: 0 };
+        let req = match r.u8()? {
+            0x01 => {
+                let component = ComponentId(r.u32()?);
+                let key = r.u64()?;
+                let label = FragLabel(r.u32()?);
+                let argc = r.u16()? as usize;
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(r.value()?);
+                }
+                Request::Call {
+                    component,
+                    key,
+                    label,
+                    args,
+                }
+            }
+            0x02 => Request::Release {
+                component: ComponentId(r.u32()?),
+                key: r.u64()?,
+            },
+            0x03 => Request::Shutdown,
+            t => return Err(RuntimeError::Channel(format!("bad request tag 0x{t:02x}"))),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Reply { value, server_cost } => {
+                buf.push(0x10);
+                push_value(&mut buf, *value);
+                buf.extend_from_slice(&server_cost.to_le_bytes());
+            }
+            Response::Error(msg) => {
+                buf.push(0x11);
+                let bytes = msg.as_bytes();
+                buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                buf.extend_from_slice(bytes);
+            }
+        }
+        buf
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Channel`] for malformed frames.
+    pub fn decode(data: &[u8]) -> Result<Response, RuntimeError> {
+        let mut r = Reader { data, pos: 0 };
+        let resp = match r.u8()? {
+            0x10 => {
+                let value = r.value()?;
+                let server_cost = r.u64()?;
+                Response::Reply { value, server_cost }
+            }
+            0x11 => {
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Response::Error(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| RuntimeError::Channel("bad utf8 in error".into()))?,
+                )
+            }
+            t => return Err(RuntimeError::Channel(format!("bad response tag 0x{t:02x}"))),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Channel`] on I/O failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), RuntimeError> {
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| RuntimeError::Channel(format!("write failed: {e}")))
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Channel`] on I/O failure, mid-frame EOF or
+/// oversized frames (> 16 MiB).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, RuntimeError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(RuntimeError::Channel(format!("read failed: {e}"))),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > 16 * 1024 * 1024 {
+        return Err(RuntimeError::Channel(format!("oversized frame: {len}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| RuntimeError::Channel(format!("read failed: {e}")))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = [
+            Request::Call {
+                component: ComponentId::new(3),
+                key: 42,
+                label: FragLabel::new(7),
+                args: vec![Value::Int(-5), Value::Float(2.5), Value::Bool(true)],
+            },
+            Request::Release {
+                component: ComponentId::new(0),
+                key: u64::MAX,
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resps = [
+            Response::Reply {
+                value: Value::Float(f64::NAN),
+                server_cost: 9,
+            },
+            Response::Error("boom — unicode ok".into()),
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            let decoded = Response::decode(&bytes).unwrap();
+            // NaN != NaN, compare via encoding.
+            assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xff]).is_err());
+        assert!(Response::decode(&[0x10, 0x07]).is_err());
+        // Trailing junk.
+        let mut good = Request::Shutdown.encode();
+        good.push(0);
+        assert!(Request::decode(&good).is_err());
+    }
+
+    #[test]
+    fn frames_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

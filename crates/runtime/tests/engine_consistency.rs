@@ -1,0 +1,230 @@
+//! The secure-side fragment executor and the open-side interpreter must
+//! agree exactly on scalar computation — they execute the two halves of
+//! one program, so any semantic drift (overflow, division, short-circuit,
+//! loop/break handling) silently corrupts split programs.
+//!
+//! Strategy: generate random scalar statement blocks over a fixed set of
+//! integer slots, run them (a) as a hidden fragment against persistent
+//! vars, (b) as a normal function whose locals start at the same values,
+//! and compare every resulting slot.
+
+use hps_ir::build::FnBuilder;
+use hps_ir::{
+    BinOp, Block, ComponentId, Expr, FragLabel, Fragment, HiddenComponent, HiddenProgram,
+    HiddenVar, LocalId, Place, Program, Stmt, StmtKind, Ty, UnOp, Value,
+};
+use hps_runtime::{run_function, ExecConfig, SecureServer};
+use proptest::prelude::*;
+
+const NSLOTS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum E {
+    Const(i64),
+    Slot(usize),
+    Bin(BinOp, Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, E),
+    If(E, E, Vec<S>, Vec<S>),
+    Loop(u8, Vec<S>),
+}
+
+fn e_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-20i64..21).prop_map(E::Const),
+        (0..NSLOTS).prop_map(E::Slot),
+    ];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn s_strategy(depth: u32) -> BoxedStrategy<S> {
+    let assign = (0..NSLOTS, e_strategy()).prop_map(|(i, e)| S::Assign(i, e));
+    if depth == 0 {
+        return assign.boxed();
+    }
+    let block = prop::collection::vec(s_strategy(depth - 1), 1..4);
+    prop_oneof![
+        3 => assign,
+        1 => (e_strategy(), e_strategy(), block.clone(), block.clone())
+            .prop_map(|(a, b, t, e)| S::If(a, b, t, e)),
+        1 => (1u8..5, block).prop_map(|(n, b)| S::Loop(n, b)),
+    ]
+    .boxed()
+}
+
+/// Renders to an `Expr` over slot locals `base + i`.
+fn build_expr(e: &E, base: usize) -> Expr {
+    match e {
+        E::Const(c) => Expr::int(*c),
+        E::Slot(i) => Expr::local(LocalId::new(base + i)),
+        E::Bin(op, a, b) => Expr::binary(*op, build_expr(a, base), build_expr(b, base)),
+        E::Neg(a) => Expr::unary(UnOp::Neg, build_expr(a, base)),
+    }
+}
+
+fn build_stmts(
+    stmts: &[S],
+    base: usize,
+    counter_base: usize,
+    next_counter: &mut usize,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            S::Assign(i, e) => out.push(Stmt::new(StmtKind::Assign {
+                place: Place::Local(LocalId::new(base + i)),
+                value: build_expr(e, base),
+            })),
+            S::If(a, b, t, e) => out.push(Stmt::new(StmtKind::If {
+                cond: Expr::binary(BinOp::Lt, build_expr(a, base), build_expr(b, base)),
+                then_blk: Block::of(build_stmts(t, base, counter_base, next_counter)),
+                else_blk: Block::of(build_stmts(e, base, counter_base, next_counter)),
+            })),
+            S::Loop(n, body) => {
+                let c = LocalId::new(counter_base + *next_counter);
+                *next_counter += 1;
+                out.push(Stmt::new(StmtKind::Assign {
+                    place: Place::Local(c),
+                    value: Expr::int(0),
+                }));
+                let mut inner = build_stmts(body, base, counter_base, next_counter);
+                inner.push(Stmt::new(StmtKind::Assign {
+                    place: Place::Local(c),
+                    value: Expr::binary(BinOp::Add, Expr::local(c), Expr::int(1)),
+                }));
+                out.push(Stmt::new(StmtKind::While {
+                    cond: Expr::binary(BinOp::Lt, Expr::local(c), Expr::int(i64::from(*n))),
+                    body: Block::of(inner),
+                }));
+            }
+        }
+    }
+    out
+}
+
+fn count_loops(stmts: &[S]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            S::Loop(_, b) => 1 + count_loops(b),
+            S::If(_, _, t, e) => count_loops(t) + count_loops(e),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Runs the block as a hidden fragment: slots are the persistent hidden
+/// vars (indices 0..NSLOTS), loop counters are further vars.
+fn run_as_fragment(stmts: &[S], init: &[i64; NSLOTS]) -> Vec<i64> {
+    let mut next = 0usize;
+    let body = build_stmts(stmts, 0, NSLOTS, &mut next);
+    // Fragment 0 runs the block; fragments 1..=NSLOTS expose the slots
+    // (SecureServer has no state-inspection API by design).
+    let mut fragments = vec![Fragment {
+        label: FragLabel::new(0),
+        params: Vec::new(),
+        body: Block::of(body),
+        ret: None,
+    }];
+    let mut hp = HiddenProgram::new();
+    for i in 0..NSLOTS {
+        fragments.push(Fragment {
+            label: FragLabel::new(1 + i),
+            params: Vec::new(),
+            body: Block::new(),
+            ret: Some(Expr::local(LocalId::new(i))),
+        });
+    }
+    let mut vars: Vec<HiddenVar> = (0..NSLOTS)
+        .map(|i| HiddenVar {
+            name: format!("s{i}"),
+            ty: Ty::Int,
+            init: Some(Value::Int(init[i])),
+        })
+        .collect();
+    for c in 0..count_loops(stmts) {
+        vars.push(HiddenVar {
+            name: format!("c{c}"),
+            ty: Ty::Int,
+            init: None,
+        });
+    }
+    hp.add(HiddenComponent {
+        id: ComponentId::new(0),
+        kind: hps_ir::ComponentKind::Function {
+            func_name: "gen".into(),
+        },
+        vars,
+        fragments,
+    });
+    let mut server = SecureServer::new(hp);
+    server
+        .call(ComponentId::new(0), 7, FragLabel::new(0), &[])
+        .expect("fragment runs");
+    (0..NSLOTS)
+        .map(|i| {
+            match server
+                .call(ComponentId::new(0), 7, FragLabel::new(1 + i), &[])
+                .expect("get runs")
+                .value
+            {
+                Value::Int(v) => v,
+                other => panic!("expected int, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Runs the same block as an ordinary function body.
+fn run_as_function(stmts: &[S], init: &[i64; NSLOTS]) -> Vec<i64> {
+    let mut fb = FnBuilder::new("gen", Ty::Int);
+    for (i, &v) in init.iter().enumerate().take(NSLOTS) {
+        let l = fb.local(format!("s{i}"), Ty::Int);
+        fb.assign_local(l, Expr::int(v));
+    }
+    for c in 0..count_loops(stmts) {
+        fb.local(format!("c{c}"), Ty::Int);
+    }
+    let mut next = 0usize;
+    for s in build_stmts(stmts, 0, NSLOTS, &mut next) {
+        fb.push(s.kind);
+    }
+    // Return s0..s3 encoded via prints.
+    for i in 0..NSLOTS {
+        fb.print(Expr::local(LocalId::new(i)));
+    }
+    fb.ret(Some(Expr::int(0)));
+    let mut program = Program::new();
+    program.add_function(fb.finish());
+    let out = run_function(&program, "gen", &[], ExecConfig::new()).expect("runs");
+    out.output.iter().map(|l| l.parse().expect("int")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fragment_and_interpreter_agree(
+        stmts in prop::collection::vec(s_strategy(2), 1..8),
+        a in -10i64..11, b in -10i64..11, c in -10i64..11, d in -10i64..11,
+    ) {
+        let init = [a, b, c, d];
+        let frag = run_as_fragment(&stmts, &init);
+        let full = run_as_function(&stmts, &init);
+        prop_assert_eq!(frag, full);
+    }
+}

@@ -1,0 +1,180 @@
+//! Failure injection on the open↔hidden channel: errors propagate cleanly,
+//! and integrity violations (a tampering or lossy "secure" server) change
+//! behaviour — demonstrating that the open component genuinely depends on
+//! the hidden half being correct, not just present.
+
+use hps_ir::{ComponentId, FragLabel, Value};
+use hps_runtime::{
+    run_program, run_split, CallReply, Channel, ExecConfig, InProcessChannel, Interp, RuntimeError,
+    SecureServer, SplitMeta,
+};
+
+fn split_fixture() -> (hps_ir::Program, hps_core::SplitResult) {
+    let program = hps_lang::parse(
+        "fn f(x: int, y: int) -> int {
+            var a: int = x * 3 + y;
+            var s: int = 0;
+            var i: int = a;
+            while (i < a + 10) { s = s + i; i = i + 1; }
+            return s;
+        }
+        fn main() { print(f(2, 1)); print(f(5, 4)); }",
+    )
+    .expect("parses");
+    let plan = hps_core::SplitPlan::single(&program, "f", "a").expect("plan");
+    let split = hps_core::split_program(&program, &plan).expect("splits");
+    (program, split)
+}
+
+/// A channel that corrupts every returned value by +1.
+struct TamperingChannel {
+    inner: InProcessChannel,
+}
+
+impl Channel for TamperingChannel {
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError> {
+        let mut reply = self.inner.call(component, key, label, args)?;
+        reply.value = match reply.value {
+            Value::Int(v) => Value::Int(v.wrapping_add(1)),
+            Value::Float(v) => Value::Float(v + 1.0),
+            Value::Bool(v) => Value::Bool(!v),
+        };
+        Ok(reply)
+    }
+
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
+        self.inner.release(component, key)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        0
+    }
+}
+
+/// A channel that fails every `n`-th call.
+struct FlakyChannel {
+    inner: InProcessChannel,
+    calls: u64,
+    fail_every: u64,
+}
+
+impl Channel for FlakyChannel {
+    fn call(
+        &mut self,
+        component: ComponentId,
+        key: u64,
+        label: FragLabel,
+        args: &[Value],
+    ) -> Result<CallReply, RuntimeError> {
+        self.calls += 1;
+        if self.calls.is_multiple_of(self.fail_every) {
+            return Err(RuntimeError::Channel("injected network failure".into()));
+        }
+        self.inner.call(component, key, label, args)
+    }
+
+    fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
+        self.inner.release(component, key)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn tampered_replies_change_observable_behaviour() {
+    let (_program, split) = split_fixture();
+    let honest = run_split(&split.open, &split.hidden, &[]).expect("runs");
+    let mut tampering = TamperingChannel {
+        inner: InProcessChannel::new(SecureServer::new(split.hidden.clone())),
+    };
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let mut interp =
+        Interp::new(&split.open, ExecConfig::new()).with_channel(&mut tampering, &meta);
+    let tampered = interp.run("main", &[]).expect("still runs");
+    assert_ne!(
+        honest.outcome.output, tampered.output,
+        "tampering with hidden replies must corrupt the computation"
+    );
+}
+
+#[test]
+fn channel_failures_propagate_as_errors() {
+    let (_, split) = split_fixture();
+    let mut flaky = FlakyChannel {
+        inner: InProcessChannel::new(SecureServer::new(split.hidden.clone())),
+        calls: 0,
+        fail_every: 3,
+    };
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let mut interp = Interp::new(&split.open, ExecConfig::new()).with_channel(&mut flaky, &meta);
+    let err = interp.run("main", &[]).expect_err("third call fails");
+    assert!(matches!(err, RuntimeError::Channel(msg) if msg.contains("injected")));
+}
+
+#[test]
+fn state_loss_between_calls_changes_results() {
+    // A "secure server" that forgets activation state between calls (e.g. a
+    // restarted stateless impostor) cannot emulate the real hidden
+    // component: the accumulation in the hidden loop restarts from zero.
+    struct AmnesiacChannel {
+        hidden: hps_ir::HiddenProgram,
+        interactions: u64,
+    }
+    impl Channel for AmnesiacChannel {
+        fn call(
+            &mut self,
+            component: ComponentId,
+            key: u64,
+            label: FragLabel,
+            args: &[Value],
+        ) -> Result<CallReply, RuntimeError> {
+            self.interactions += 1;
+            // Fresh server per call: no persistent hidden variables.
+            let mut server = SecureServer::new(self.hidden.clone());
+            let out = server.call(component, key, label, args)?;
+            Ok(CallReply {
+                value: out.value,
+                server_cost: out.cost,
+            })
+        }
+        fn release(&mut self, _: ComponentId, _: u64) -> Result<(), RuntimeError> {
+            Ok(())
+        }
+        fn interactions(&self) -> u64 {
+            self.interactions
+        }
+        fn rtt_cost(&self) -> u64 {
+            0
+        }
+    }
+
+    let (program, split) = split_fixture();
+    let honest = run_program(&program, &[]).expect("runs");
+    let mut amnesiac = AmnesiacChannel {
+        hidden: split.hidden.clone(),
+        interactions: 0,
+    };
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let mut interp = Interp::new(&split.open, ExecConfig::new()).with_channel(&mut amnesiac, &meta);
+    let outcome = interp.run("main", &[]).expect("runs to completion");
+    assert_ne!(
+        honest.output, outcome.output,
+        "persistent hidden state must matter"
+    );
+}

@@ -1,0 +1,103 @@
+//! Control-flow complexity `<Paths, Predicates, Flow>` (§3).
+
+use std::fmt;
+
+/// The `Paths` component: number of paths through the hidden code
+/// computing the leaked value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathCount {
+    /// A fixed number of paths (1 for straight-line code; doubles per
+    /// hidden branch).
+    Constant(u64),
+    /// Depends on run-time values (a hidden loop with an input-dependent
+    /// trip count).
+    Variable,
+}
+
+impl PathCount {
+    /// Paths for straight-line code.
+    pub fn one() -> PathCount {
+        PathCount::Constant(1)
+    }
+
+    /// Doubles the count for an extra hidden branch.
+    pub fn branch(self) -> PathCount {
+        match self {
+            PathCount::Constant(n) => PathCount::Constant(n.saturating_mul(2)),
+            PathCount::Variable => PathCount::Variable,
+        }
+    }
+}
+
+impl fmt::Display for PathCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathCount::Constant(n) => write!(f, "constant({n})"),
+            PathCount::Variable => write!(f, "variable"),
+        }
+    }
+}
+
+/// The control-flow complexity triple of one ILP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CcTriple {
+    /// Number of paths through the code computing the leaked value.
+    pub paths: PathCount,
+    /// Are any predicates influencing the value evaluated on the hidden
+    /// side (a promoted construct's condition, or relational/boolean
+    /// operators inside fragments)?
+    pub predicates_hidden: bool,
+    /// Were control-flow constructs moved to (or altered for) the hidden
+    /// component?
+    pub flow_hidden: bool,
+}
+
+impl CcTriple {
+    /// Straight-line, fully open control flow.
+    pub fn open() -> CcTriple {
+        CcTriple {
+            paths: PathCount::one(),
+            predicates_hidden: false,
+            flow_hidden: false,
+        }
+    }
+}
+
+impl fmt::Display for CcTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}, {}, {}>",
+            self.paths,
+            if self.predicates_hidden {
+                "hidden"
+            } else {
+                "open"
+            },
+            if self.flow_hidden { "hidden" } else { "open" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_doubles_paths() {
+        let p = PathCount::one().branch().branch();
+        assert_eq!(p, PathCount::Constant(4));
+        assert_eq!(PathCount::Variable.branch(), PathCount::Variable);
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        let cc = CcTriple {
+            paths: PathCount::Variable,
+            predicates_hidden: true,
+            flow_hidden: true,
+        };
+        assert_eq!(cc.to_string(), "<variable, hidden, hidden>");
+        assert_eq!(CcTriple::open().to_string(), "<constant(1), open, open>");
+    }
+}

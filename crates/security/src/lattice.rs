@@ -1,0 +1,391 @@
+//! The arithmetic-complexity lattice.
+//!
+//! `AC(f_ILP) = <Type, Inputs, Degree>` with the partial order
+//! `Constant ≺ Linear ≺ Polynomial ≺ Rational ≺ Arbitrary` (§3). `EVAL`
+//! combines operand complexities per operator; degrees add under
+//! multiplication and take the maximum under addition; division introduces
+//! `Rational`; "arithmetically more complex operators (e.g., exponential,
+//! log, mod) or non-arithmetic operators (e.g., boolean, relational)" give
+//! `Arbitrary`.
+
+use hps_analysis::cfg::NodeId;
+use hps_analysis::VarId;
+use hps_ir::{BinOp, Builtin, UnOp};
+use std::collections::BTreeMap;
+
+/// Degrees saturate here so fixpoint iteration terminates.
+pub const MAX_DEGREE: u32 = 64;
+
+/// The `Type` component of arithmetic complexity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AcType {
+    /// A compile-time constant.
+    Constant,
+    /// A linear expression of the inputs.
+    Linear,
+    /// A polynomial.
+    Polynomial,
+    /// A ratio of polynomials.
+    Rational,
+    /// Anything harder (transcendental, `mod`, boolean, relational…) — no
+    /// known automatic recovery technique applies (§3).
+    Arbitrary,
+}
+
+impl AcType {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AcType::Constant => "Constant",
+            AcType::Linear => "Linear",
+            AcType::Polynomial => "Polynomial",
+            AcType::Rational => "Rational",
+            AcType::Arbitrary => "Arbitrary",
+        }
+    }
+}
+
+impl std::fmt::Display for AcType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The `Inputs` component: which observable variables feed the value.
+///
+/// Each input remembers the CFG node of the observable definition that
+/// produced it, so [`Ac::raise`] can detect inputs produced *inside* an
+/// exited loop (a fresh value per iteration — the paper's "number of inputs
+/// is listed as varying").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inputs {
+    /// A fixed set of observable inputs.
+    Exact(BTreeMap<VarId, NodeId>),
+    /// The input count depends on the number of loop iterations.
+    Varying,
+}
+
+impl Inputs {
+    /// No inputs.
+    pub fn none() -> Inputs {
+        Inputs::Exact(BTreeMap::new())
+    }
+
+    /// A single input defined at `node`.
+    pub fn single(var: VarId, node: NodeId) -> Inputs {
+        let mut m = BTreeMap::new();
+        m.insert(var, node);
+        Inputs::Exact(m)
+    }
+
+    /// Union of two input descriptions.
+    pub fn union(&self, other: &Inputs) -> Inputs {
+        match (self, other) {
+            (Inputs::Varying, _) | (_, Inputs::Varying) => Inputs::Varying,
+            (Inputs::Exact(a), Inputs::Exact(b)) => {
+                let mut m = a.clone();
+                for (&v, &n) in b {
+                    m.entry(v).or_insert(n);
+                }
+                Inputs::Exact(m)
+            }
+        }
+    }
+
+    /// Number of inputs, when fixed.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            Inputs::Exact(m) => Some(m.len()),
+            Inputs::Varying => None,
+        }
+    }
+}
+
+/// An arithmetic complexity value `<Type, Inputs, Degree>`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ac {
+    /// Lattice type.
+    pub ty: AcType,
+    /// Observable inputs.
+    pub inputs: Inputs,
+    /// Highest polynomial degree involved (meaningless for `Arbitrary`).
+    pub degree: u32,
+}
+
+impl Ac {
+    /// The bottom element: a compile-time constant.
+    pub fn constant() -> Ac {
+        Ac {
+            ty: AcType::Constant,
+            inputs: Inputs::none(),
+            degree: 0,
+        }
+    }
+
+    /// A single observable, varying input (PC rule: "Linear if b's value at
+    /// n' is observable but varying").
+    pub fn observable_input(var: VarId, node: NodeId) -> Ac {
+        Ac {
+            ty: AcType::Linear,
+            inputs: Inputs::single(var, node),
+            degree: 1,
+        }
+    }
+
+    /// The top element.
+    pub fn arbitrary() -> Ac {
+        Ac {
+            ty: AcType::Arbitrary,
+            inputs: Inputs::Varying,
+            degree: MAX_DEGREE,
+        }
+    }
+
+    /// Join on the `Type` chain; unions inputs; max degree. Used to combine
+    /// reaching definitions (cross-path MAX — see the crate docs).
+    pub fn join(&self, other: &Ac) -> Ac {
+        Ac {
+            ty: self.ty.max(other.ty),
+            inputs: self.inputs.union(&other.inputs),
+            degree: self.degree.max(other.degree).min(MAX_DEGREE),
+        }
+    }
+
+    fn additive(self, other: Ac) -> Ac {
+        self.join(&other)
+    }
+
+    fn multiplicative(self, other: Ac) -> Ac {
+        let degree = (self.degree + other.degree).min(MAX_DEGREE);
+        let base = self.ty.max(other.ty);
+        let ty = if base <= AcType::Polynomial {
+            match degree {
+                0 => AcType::Constant,
+                1 => AcType::Linear,
+                _ => AcType::Polynomial,
+            }
+        } else {
+            base
+        };
+        Ac {
+            ty,
+            inputs: self.inputs.union(&other.inputs),
+            degree,
+        }
+    }
+
+    fn divisive(self, other: Ac) -> Ac {
+        if other.ty == AcType::Constant {
+            // Division by a constant preserves the numerator's class.
+            return self;
+        }
+        let ty = if self.ty == AcType::Arbitrary || other.ty == AcType::Arbitrary {
+            AcType::Arbitrary
+        } else {
+            AcType::Rational
+        };
+        Ac {
+            ty,
+            degree: self.degree.max(other.degree),
+            inputs: self.inputs.union(&other.inputs),
+        }
+    }
+
+    /// `EVAL` for a binary operator.
+    pub fn eval_binop(op: BinOp, lhs: Ac, rhs: Ac) -> Ac {
+        match op {
+            BinOp::Add | BinOp::Sub => lhs.additive(rhs),
+            BinOp::Mul => lhs.multiplicative(rhs),
+            BinOp::Div => lhs.divisive(rhs),
+            // mod, relational and boolean operators are Arbitrary.
+            BinOp::Rem
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => Ac {
+                ty: AcType::Arbitrary,
+                inputs: lhs.inputs.union(&rhs.inputs),
+                degree: lhs.degree.max(rhs.degree),
+            },
+        }
+    }
+
+    /// `EVAL` for a unary operator.
+    pub fn eval_unop(op: UnOp, arg: Ac) -> Ac {
+        match op {
+            UnOp::Neg => arg,
+            UnOp::Not => Ac {
+                ty: AcType::Arbitrary,
+                ..arg
+            },
+        }
+    }
+
+    /// `EVAL` for a builtin.
+    pub fn eval_builtin(builtin: Builtin, args: Vec<Ac>) -> Ac {
+        let combined = args
+            .into_iter()
+            .reduce(|a, b| a.join(&b))
+            .unwrap_or_else(Ac::constant);
+        match builtin {
+            // Casts preserve the complexity class.
+            Builtin::IntCast | Builtin::FloatCast => combined,
+            // Everything else is outside the polynomial/rational world.
+            _ => Ac {
+                ty: AcType::Arbitrary,
+                ..combined
+            },
+        }
+    }
+
+    /// `RAISE`: adjusts a complexity when the value flows out of loop `L`
+    /// (accumulated over `Iter(L)` iterations).
+    ///
+    /// * constant trip count — unchanged (a fixed linear combination);
+    /// * polynomial trip count — degrees add (`Σ i` over linear bounds is
+    ///   quadratic, the paper's ILP ④);
+    /// * unknown trip count — `Arbitrary`;
+    /// * inputs produced inside the loop become `Varying` (a different
+    ///   value is observed each iteration).
+    pub fn raise(&self, iter: &Ac, loop_body_nodes: &dyn Fn(NodeId) -> bool) -> Ac {
+        let varying_inputs = match &self.inputs {
+            Inputs::Exact(m) => m.values().any(|&n| loop_body_nodes(n)),
+            Inputs::Varying => true,
+        };
+        let mut inputs = self.inputs.union(&iter.inputs);
+        if varying_inputs {
+            inputs = Inputs::Varying;
+        }
+        if iter.ty == AcType::Arbitrary || self.ty == AcType::Arbitrary {
+            return Ac {
+                ty: AcType::Arbitrary,
+                inputs,
+                degree: self.degree.max(iter.degree),
+            };
+        }
+        if iter.ty == AcType::Constant {
+            return Ac {
+                inputs,
+                ..self.clone()
+            };
+        }
+        let degree = (self.degree + iter.degree).min(MAX_DEGREE);
+        let ty = if self.ty == AcType::Rational || iter.ty == AcType::Rational {
+            AcType::Rational
+        } else {
+            match degree {
+                0 => AcType::Constant,
+                1 => AcType::Linear,
+                _ => AcType::Polynomial,
+            }
+        };
+        Ac { ty, inputs, degree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::LocalId;
+
+    fn lin(i: usize) -> Ac {
+        Ac {
+            ty: AcType::Linear,
+            inputs: Inputs::single(VarId::Local(LocalId::new(i)), 0),
+            degree: 1,
+        }
+    }
+
+    #[test]
+    fn type_order_matches_paper() {
+        assert!(AcType::Constant < AcType::Linear);
+        assert!(AcType::Linear < AcType::Polynomial);
+        assert!(AcType::Polynomial < AcType::Rational);
+        assert!(AcType::Rational < AcType::Arbitrary);
+    }
+
+    #[test]
+    fn addition_keeps_linear_multiplication_raises() {
+        let a = Ac::eval_binop(BinOp::Add, lin(0), lin(1));
+        assert_eq!(a.ty, AcType::Linear);
+        assert_eq!(a.degree, 1);
+        assert_eq!(a.inputs.count(), Some(2));
+        let m = Ac::eval_binop(BinOp::Mul, lin(0), lin(1));
+        assert_eq!(m.ty, AcType::Polynomial);
+        assert_eq!(m.degree, 2);
+        let c = Ac::eval_binop(BinOp::Mul, Ac::constant(), lin(0));
+        assert_eq!(c.ty, AcType::Linear);
+        assert_eq!(c.degree, 1);
+    }
+
+    #[test]
+    fn division_and_mod() {
+        let d = Ac::eval_binop(BinOp::Div, lin(0), lin(1));
+        assert_eq!(d.ty, AcType::Rational);
+        let dc = Ac::eval_binop(BinOp::Div, lin(0), Ac::constant());
+        assert_eq!(dc.ty, AcType::Linear);
+        let r = Ac::eval_binop(BinOp::Rem, lin(0), lin(1));
+        assert_eq!(r.ty, AcType::Arbitrary);
+    }
+
+    #[test]
+    fn relational_and_boolean_are_arbitrary() {
+        for op in [BinOp::Lt, BinOp::Eq, BinOp::And] {
+            assert_eq!(Ac::eval_binop(op, lin(0), lin(1)).ty, AcType::Arbitrary);
+        }
+        assert_eq!(Ac::eval_unop(UnOp::Not, lin(0)).ty, AcType::Arbitrary);
+        assert_eq!(Ac::eval_unop(UnOp::Neg, lin(0)).ty, AcType::Linear);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(
+            Ac::eval_builtin(Builtin::Exp, vec![lin(0)]).ty,
+            AcType::Arbitrary
+        );
+        assert_eq!(
+            Ac::eval_builtin(Builtin::FloatCast, vec![lin(0)]).ty,
+            AcType::Linear
+        );
+    }
+
+    #[test]
+    fn raise_rules() {
+        let not_in_loop = |_: NodeId| false;
+        let in_loop = |_: NodeId| true;
+        // Linear value over a linear trip count: quadratic (ILP 4).
+        let r = lin(0).raise(&lin(1), &not_in_loop);
+        assert_eq!(r.ty, AcType::Polynomial);
+        assert_eq!(r.degree, 2);
+        // Constant trip count leaves the class unchanged.
+        let r = lin(0).raise(&Ac::constant(), &not_in_loop);
+        assert_eq!(r.ty, AcType::Linear);
+        // Unknown trip count is Arbitrary.
+        let r = lin(0).raise(&Ac::arbitrary(), &not_in_loop);
+        assert_eq!(r.ty, AcType::Arbitrary);
+        // Inputs born inside the loop become varying.
+        let r = lin(0).raise(&lin(1), &in_loop);
+        assert_eq!(r.inputs, Inputs::Varying);
+    }
+
+    #[test]
+    fn join_is_cross_path_max() {
+        let j = Ac::constant().join(&lin(0));
+        assert_eq!(j.ty, AcType::Linear);
+        let j = lin(0).join(&Ac::arbitrary());
+        assert_eq!(j.ty, AcType::Arbitrary);
+    }
+
+    #[test]
+    fn degrees_saturate() {
+        let mut a = lin(0);
+        for _ in 0..200 {
+            a = Ac::eval_binop(BinOp::Mul, a, lin(1));
+        }
+        assert_eq!(a.degree, MAX_DEGREE);
+    }
+}

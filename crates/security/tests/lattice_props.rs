@@ -1,0 +1,132 @@
+//! Algebraic properties of the arithmetic-complexity lattice (§3): the
+//! type chain is totally ordered, `join` is a semilattice operation, and
+//! `EVAL`/`RAISE` are monotone — the properties the Fig. 3 fixpoint
+//! iteration relies on for termination and soundness.
+
+use hps_analysis::VarId;
+use hps_ir::{BinOp, LocalId, UnOp};
+use hps_security::{Ac, AcType, Inputs};
+use proptest::prelude::*;
+
+fn actype_strategy() -> impl Strategy<Value = AcType> {
+    prop_oneof![
+        Just(AcType::Constant),
+        Just(AcType::Linear),
+        Just(AcType::Polynomial),
+        Just(AcType::Rational),
+        Just(AcType::Arbitrary),
+    ]
+}
+
+/// Well-formed complexities only: the estimator derives the type from the
+/// degree for the polynomial chain, so e.g. `Polynomial` with degree 0
+/// cannot occur. Keep the generator within that invariant.
+fn ac_strategy() -> impl Strategy<Value = Ac> {
+    (
+        actype_strategy(),
+        2u32..8,
+        prop::collection::btree_map(0usize..6, 0usize..10, 0..4),
+    )
+        .prop_map(|(ty, rawdeg, vars)| {
+            let degree = match ty {
+                AcType::Constant => 0,
+                AcType::Linear => 1,
+                AcType::Polynomial => rawdeg, // >= 2
+                AcType::Rational | AcType::Arbitrary => rawdeg - 1, // >= 1
+            };
+            Ac {
+                ty,
+                degree,
+                inputs: Inputs::Exact(
+                    vars.into_iter()
+                        .map(|(v, n)| (VarId::Local(LocalId::new(v)), n))
+                        .collect(),
+                ),
+            }
+        })
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Lt),
+        Just(BinOp::And),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative_and_idempotent(a in ac_strategy(), b in ac_strategy()) {
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        prop_assert_eq!(&ab.ty, &ba.ty);
+        prop_assert_eq!(ab.degree, ba.degree);
+        let aa = a.join(&a);
+        prop_assert_eq!(&aa.ty, &a.ty);
+        prop_assert_eq!(aa.degree, a.degree);
+    }
+
+    #[test]
+    fn join_is_associative_on_type_and_degree(
+        a in ac_strategy(), b in ac_strategy(), c in ac_strategy()
+    ) {
+        let l = a.join(&b).join(&c);
+        let r = a.join(&b.join(&c));
+        prop_assert_eq!(l.ty, r.ty);
+        prop_assert_eq!(l.degree, r.degree);
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in ac_strategy(), b in ac_strategy()) {
+        let j = a.join(&b);
+        prop_assert!(j.ty >= a.ty && j.ty >= b.ty);
+        prop_assert!(j.degree >= a.degree.min(hps_security::lattice::MAX_DEGREE));
+    }
+
+    #[test]
+    fn eval_binop_is_monotone_in_operands(
+        op in binop_strategy(), a in ac_strategy(), b in ac_strategy(), bigger in ac_strategy()
+    ) {
+        // If we replace an operand by its join with something, the result
+        // type cannot decrease — required for fixpoint convergence.
+        let base = Ac::eval_binop(op, a.clone(), b.clone());
+        let upper = Ac::eval_binop(op, a.join(&bigger), b);
+        prop_assert!(upper.ty >= base.ty, "{op:?}: {:?} < {:?}", upper.ty, base.ty);
+        prop_assert!(upper.degree >= base.degree);
+    }
+
+    #[test]
+    fn eval_unop_neg_preserves_not_raises(a in ac_strategy()) {
+        let n = Ac::eval_unop(UnOp::Neg, a.clone());
+        prop_assert_eq!(n.ty, a.ty);
+        let b = Ac::eval_unop(UnOp::Not, a);
+        prop_assert_eq!(b.ty, AcType::Arbitrary);
+    }
+
+    #[test]
+    fn raise_is_monotone_and_saturating(a in ac_strategy(), iter in ac_strategy()) {
+        let not_in_loop = |_: usize| false;
+        let r = a.raise(&iter, &not_in_loop);
+        // Raising never lowers the type below the original.
+        prop_assert!(r.ty >= a.ty.min(AcType::Arbitrary));
+        // Degrees saturate at the cap.
+        prop_assert!(r.degree <= hps_security::lattice::MAX_DEGREE);
+        // Arbitrary iteration counts force Arbitrary.
+        let arb = a.raise(&Ac::arbitrary(), &not_in_loop);
+        prop_assert_eq!(arb.ty, AcType::Arbitrary);
+    }
+
+    #[test]
+    fn constant_trip_raise_preserves_class(a in ac_strategy()) {
+        let not_in_loop = |_: usize| false;
+        let r = a.raise(&Ac::constant(), &not_in_loop);
+        // Accumulating over a fixed number of iterations is a fixed linear
+        // combination: same class unless already Arbitrary.
+        prop_assert_eq!(r.ty, a.ty);
+        prop_assert_eq!(r.degree, a.degree);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hps-slicing — forward data slices for hidden-component construction
+//!
+//! Implements §2.2 of the paper: "The expressions and statements that are
+//! hidden include all those statements that belong to *forward data slices*
+//! constructed by following data dependence edges originating at definitions
+//! of hidden variables", terminated "at definitions of array elements as we
+//! do not transfer array elements to `Hf`", plus the control-ancestor
+//! promotion rule ("if all the statements that form a loop body are moved to
+//! `Hf`, then the enclosing looping construct may be moved to `Hf`";
+//! likewise for `if` clauses).
+//!
+//! The result of [`slice_function`] is a *plan*: which variables become
+//! hidden, how each statement is disposed (moved, computed hidden with the
+//! value returned, or left open), and which control constructs are promoted
+//! wholesale. The `hps-core` crate turns the plan into actual open/hidden
+//! components.
+//!
+//! # The variable-residency model
+//!
+//! Once a variable is selected as hidden its *storage* lives on the secure
+//! side for the whole function activation. Hence:
+//!
+//! * every assignment to it is either moved to `Hf` (paper case (i)) or,
+//!   when its right-hand side cannot move (a call, an array read — case
+//!   (ii)), computed openly and *sent*;
+//! * every open read of it must *fetch* the current value (an information
+//!   leak point);
+//! * reads and writes inside hidden fragments touch the hidden slots
+//!   directly.
+//!
+//! This makes the variable-level treatment flow-insensitive (sound and
+//! faithful to the paper's split semantics), while the flow-sensitive
+//! def-use machinery of `hps-analysis` is used by `hps-security` to decide
+//! *observability*.
+
+pub mod plan;
+pub mod promote;
+pub mod transferable;
+
+pub use plan::{slice_function, Disposition, PromotionKind, SliceConfig, SlicePlan};
+pub use transferable::{is_transferable, TransferCtx};

@@ -1,0 +1,126 @@
+//! Control-ancestor promotion (§2.2 "Control Flow").
+//!
+//! A construct may move to the hidden component when everything it executes
+//! is already hidden: every assignment in its subtree is a case-(i) hidden
+//! statement, every condition is transferable, `break`/`continue` never
+//! escape the subtree, and nothing in it performs open-only actions
+//! (returns, prints, calls).
+
+use crate::plan::Disposition;
+use crate::transferable::is_transferable;
+use crate::TransferCtx;
+use hps_ir::{Block, StmtId, StmtKind};
+use std::collections::HashMap;
+
+/// How a construct is promoted into the hidden component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PromotionKind {
+    /// The entire `while` (condition and body) moves; the open side calls
+    /// the fragment once where the loop used to be. Hides flow and the
+    /// predicate.
+    WholeLoop,
+    /// The entire `if`/`else` moves. Hides flow and the predicate.
+    WholeIf,
+    /// Only the `then` clause moves, guarded inside the fragment by a copy
+    /// of the (openly evaluable) condition; the open side keeps
+    /// `if (!cond) { else }` and calls the fragment unconditionally.
+    ThenClause,
+    /// Only the `else` clause moves (the paper's example: "the control flow
+    /// construct if-then-else is replaced by construct if-then in `Of`").
+    ElseClause,
+}
+
+/// Decides, for every `if`/`while` in the function, whether it can be
+/// promoted. Outermost constructs win; nested constructs inside a promoted
+/// one are subsumed (not listed separately).
+pub fn compute_promotions(
+    body: &Block,
+    dispositions: &HashMap<StmtId, Disposition>,
+    ctx: &TransferCtx<'_>,
+) -> HashMap<StmtId, PromotionKind> {
+    let mut out = HashMap::new();
+    visit_block(body, dispositions, ctx, &mut out);
+    out
+}
+
+fn visit_block(
+    block: &Block,
+    disp: &HashMap<StmtId, Disposition>,
+    ctx: &TransferCtx<'_>,
+    out: &mut HashMap<StmtId, PromotionKind>,
+) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::While { cond, body } => {
+                if is_transferable(cond, ctx) && subtree_hidden(body, disp, ctx, 1) {
+                    out.insert(stmt.id, PromotionKind::WholeLoop);
+                } else {
+                    visit_block(body, disp, ctx, out);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let cond_ok = is_transferable(cond, ctx);
+                let then_hidden = subtree_hidden(then_blk, disp, ctx, 0);
+                let else_hidden = subtree_hidden(else_blk, disp, ctx, 0);
+                // Clause promotion requires the open side to keep using the
+                // condition, so it must not read hidden variables.
+                let cond_open =
+                    cond_ok && crate::transferable::hidden_reads(cond, ctx.hidden_vars).is_empty();
+                if cond_ok && then_hidden && else_hidden {
+                    out.insert(stmt.id, PromotionKind::WholeIf);
+                } else if cond_ok && then_hidden && else_blk.is_empty() {
+                    // if-then with hidden then: the whole construct moves
+                    // (there is no open residue), predicate hidden.
+                    out.insert(stmt.id, PromotionKind::WholeIf);
+                } else if cond_open && else_hidden && !else_blk.is_empty() && !then_hidden {
+                    out.insert(stmt.id, PromotionKind::ElseClause);
+                    visit_block(then_blk, disp, ctx, out);
+                } else if cond_open && then_hidden && !else_blk.is_empty() {
+                    out.insert(stmt.id, PromotionKind::ThenClause);
+                    visit_block(else_blk, disp, ctx, out);
+                } else {
+                    visit_block(then_blk, disp, ctx, out);
+                    visit_block(else_blk, disp, ctx, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is every statement in this block (transitively) movable to the hidden
+/// side as part of an enclosing promoted construct? `loop_depth` counts
+/// `while` constructs between the block and the promotion root, so we can
+/// tell whether a `break`/`continue` escapes the subtree.
+fn subtree_hidden(
+    block: &Block,
+    disp: &HashMap<StmtId, Disposition>,
+    ctx: &TransferCtx<'_>,
+    loop_depth: u32,
+) -> bool {
+    block.stmts.iter().all(|stmt| match &stmt.kind {
+        StmtKind::Assign { .. } => disp.get(&stmt.id) == Some(&Disposition::Hidden),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            is_transferable(cond, ctx)
+                && subtree_hidden(then_blk, disp, ctx, loop_depth)
+                && subtree_hidden(else_blk, disp, ctx, loop_depth)
+        }
+        StmtKind::While { cond, body } => {
+            is_transferable(cond, ctx) && subtree_hidden(body, disp, ctx, loop_depth + 1)
+        }
+        StmtKind::Break | StmtKind::Continue => loop_depth > 0,
+        StmtKind::Nop => true,
+        StmtKind::Return(_)
+        | StmtKind::Print(_)
+        | StmtKind::ExprStmt(_)
+        | StmtKind::HiddenCall { .. } => false,
+    })
+}

@@ -1,0 +1,187 @@
+//! Which expressions may be evaluated on the secure device.
+//!
+//! A *transferable* expression uses only scalar operands the hidden side can
+//! obtain: constants, scalar locals and scalar globals (hidden ones read
+//! from hidden slots, open ones shipped as call arguments), `self` fields of
+//! the split class in class mode, and scalar operators/builtins. Calls,
+//! array accesses, `len`, allocations and foreign field accesses are not
+//! transferable — they need the open machine's heap or call environment.
+
+use hps_analysis::VarId;
+use hps_ir::{Builtin, ClassId, Expr, Function, LocalId, Ty};
+use std::collections::BTreeSet;
+
+/// Context for transferability decisions.
+#[derive(Clone, Debug)]
+pub struct TransferCtx<'a> {
+    /// The function being sliced.
+    pub func: &'a Function,
+    /// Globals' types, indexed by `GlobalId`.
+    pub global_tys: Vec<Ty>,
+    /// The class whose scalar `self` fields are hidden (class mode).
+    pub hidden_class: Option<ClassId>,
+    /// Variables currently hidden (their reads resolve to hidden slots).
+    pub hidden_vars: &'a BTreeSet<VarId>,
+}
+
+impl TransferCtx<'_> {
+    fn local_ty(&self, id: LocalId) -> &Ty {
+        &self.func.local(id).ty
+    }
+}
+
+/// Returns `true` if `expr` may be evaluated entirely on the secure device
+/// (given open scalar operand values shipped as arguments).
+pub fn is_transferable(expr: &Expr, ctx: &TransferCtx<'_>) -> bool {
+    match expr {
+        Expr::Const(_) => true,
+        Expr::Local(id) => ctx.local_ty(*id).is_scalar(),
+        Expr::Global(id) => ctx.global_tys.get(id.index()).is_some_and(Ty::is_scalar),
+        Expr::FieldGet { obj, class, field } => {
+            // Only `self.f` reads of the hidden class's scalar fields: those
+            // resolve to hidden slots keyed by the receiver's instance id.
+            ctx.hidden_class == Some(*class)
+                && matches!(obj.as_ref(), Expr::Local(id) if id.index() == 0)
+                && ctx.hidden_vars.contains(&VarId::Field(*class, *field))
+        }
+        Expr::Unary { arg, .. } => is_transferable(arg, ctx),
+        Expr::Binary { lhs, rhs, .. } => is_transferable(lhs, ctx) && is_transferable(rhs, ctx),
+        Expr::BuiltinCall { builtin, args } => {
+            *builtin != Builtin::Len && args.iter().all(|a| is_transferable(a, ctx))
+        }
+        Expr::Index { .. } | Expr::Call { .. } | Expr::NewArray { .. } | Expr::NewObject(_) => {
+            false
+        }
+    }
+}
+
+/// The hidden variables read by an expression (assuming it is transferable).
+pub fn hidden_reads(expr: &Expr, hidden_vars: &BTreeSet<VarId>) -> Vec<VarId> {
+    let mut out = Vec::new();
+    expr.walk(&mut |e| {
+        let v = match e {
+            Expr::Local(id) => Some(VarId::Local(*id)),
+            Expr::Global(id) => Some(VarId::Global(*id)),
+            Expr::FieldGet { class, field, .. } => Some(VarId::Field(*class, *field)),
+            _ => None,
+        };
+        if let Some(v) = v {
+            if hidden_vars.contains(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    });
+    out
+}
+
+/// The *open* scalar variables read by an expression — the values the open
+/// side must ship as fragment arguments.
+pub fn open_scalar_reads(expr: &Expr, ctx: &TransferCtx<'_>) -> Vec<VarId> {
+    let mut out = Vec::new();
+    expr.walk(&mut |e| {
+        let v = match e {
+            Expr::Local(id) if ctx.local_ty(*id).is_scalar() => Some(VarId::Local(*id)),
+            Expr::Global(id) if ctx.global_tys.get(id.index()).is_some_and(Ty::is_scalar) => {
+                Some(VarId::Global(*id))
+            }
+            _ => None,
+        };
+        if let Some(v) = v {
+            if !ctx.hidden_vars.contains(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_ir::FuncId;
+
+    fn ctx_for(src: &str) -> (hps_ir::Program, BTreeSet<VarId>) {
+        let p = hps_lang::parse(src).expect("parses");
+        (p, BTreeSet::new())
+    }
+
+    #[test]
+    fn scalar_arithmetic_is_transferable() {
+        let (p, hv) = ctx_for("global g: int; fn f(x: int, a: float) -> int { return x * 2 + g; }");
+        let func = p.func(FuncId::new(0));
+        let ctx = TransferCtx {
+            func,
+            global_tys: p.globals.iter().map(|g| g.ty.clone()).collect(),
+            hidden_class: None,
+            hidden_vars: &hv,
+        };
+        match &func.body.stmts[0].kind {
+            hps_ir::StmtKind::Return(Some(e)) => assert!(is_transferable(e, &ctx)),
+            _ => panic!("expected return"),
+        }
+    }
+
+    #[test]
+    fn calls_arrays_and_len_are_not() {
+        let (p, hv) = ctx_for(
+            "fn g(x: int) -> int { return x; }
+             fn f(x: int, a: int[]) -> int { return g(x) + a[0] + len(a); }",
+        );
+        let fid = p.func_by_name("f").unwrap();
+        let func = p.func(fid);
+        let ctx = TransferCtx {
+            func,
+            global_tys: vec![],
+            hidden_class: None,
+            hidden_vars: &hv,
+        };
+        match &func.body.stmts[0].kind {
+            hps_ir::StmtKind::Return(Some(e)) => {
+                assert!(!is_transferable(e, &ctx));
+                // But sub-pieces are fine.
+                assert!(is_transferable(&Expr::local(hps_ir::LocalId::new(0)), &ctx));
+            }
+            _ => panic!("expected return"),
+        }
+    }
+
+    #[test]
+    fn transcendental_builtins_are_transferable() {
+        let (p, hv) = ctx_for("fn f(x: float) -> float { return exp(x) + sqrt(x); }");
+        let func = p.func(FuncId::new(0));
+        let ctx = TransferCtx {
+            func,
+            global_tys: vec![],
+            hidden_class: None,
+            hidden_vars: &hv,
+        };
+        match &func.body.stmts[0].kind {
+            hps_ir::StmtKind::Return(Some(e)) => assert!(is_transferable(e, &ctx)),
+            _ => panic!("expected return"),
+        }
+    }
+
+    #[test]
+    fn hidden_and_open_reads_partition() {
+        let (p, _) =
+            ctx_for("fn f(x: int) -> int { var a: int = 1; var b: int = 2; return a + b * x; }");
+        let func = p.func(FuncId::new(0));
+        let a = VarId::Local(func.local_by_name("a").unwrap());
+        let b = VarId::Local(func.local_by_name("b").unwrap());
+        let x = VarId::Local(func.local_by_name("x").unwrap());
+        let mut hv = BTreeSet::new();
+        hv.insert(a);
+        let ret = match &func.body.stmts[2].kind {
+            hps_ir::StmtKind::Return(Some(e)) => e,
+            _ => panic!("expected return"),
+        };
+        assert_eq!(hidden_reads(ret, &hv), vec![a]);
+        let ctx = TransferCtx {
+            func,
+            global_tys: vec![],
+            hidden_class: None,
+            hidden_vars: &hv,
+        };
+        assert_eq!(open_scalar_reads(ret, &ctx), vec![b, x]);
+    }
+}

@@ -1,0 +1,12 @@
+fn main() {
+    for b in hps_suite::benchmarks() {
+        let p = b.program().unwrap();
+        let stmts: usize = p.functions.iter().map(hps_ir::Function::stmt_count).sum();
+        println!(
+            "{}: {} functions, {} stmts",
+            b.name,
+            p.functions.len(),
+            stmts
+        );
+    }
+}

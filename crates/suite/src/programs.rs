@@ -1,0 +1,14 @@
+//! The five benchmark program sources.
+//!
+//! Each module holds one MiniLang program as a string constant. The
+//! programs follow a common shape: `main(input: int[])` calls a handful of
+//! *phase* functions exactly once (those are the splitting candidates the
+//! call-graph cut finds — they are not called inside loops), and the phases
+//! iterate over the input calling small helpers (which the paper's
+//! selection rule then avoids).
+
+pub mod asmkit;
+pub mod calcc;
+pub mod figkit;
+pub mod optkit;
+pub mod rulekit;

@@ -1,0 +1,264 @@
+//! `asmkit` — the assembler benchmark (jasmin analog).
+//!
+//! Two-pass assembly of `(opcode, operand)` pairs: pass 1 sizes
+//! instructions and collects label definitions, pass 2 encodes with label
+//! fixups, then relocation and checksum digests are printed. The
+//! computations are mostly additive, so — like jasmin — the hidden slices
+//! are dominated by `Linear` ILPs.
+
+/// MiniLang source of the benchmark.
+pub const SOURCE: &str = r#"
+// asmkit: size -> encode/fixup -> relocate -> checksum.
+
+global label_count: int;
+global fixups_applied: int;
+
+// ---- helpers (called in loops) ----
+
+fn insn_size(op: int) -> int {
+    if (op == 11) { return 0; }     // label definition: no bytes
+    if (op >= 8) { return 3; }      // wide encodings
+    if (op >= 4) { return 2; }
+    return 1;
+}
+
+fn encode(op: int, operand: int) -> int {
+    return op * 256 + operand % 256;
+}
+
+fn is_branch(op: int) -> int {
+    if (op == 9 || op == 10) { return 1; }
+    return 0;
+}
+
+fn rotmix(h: int, v: int) -> int {
+    var r: int = (h * 33 + abs(v)) % 16777213;
+    return r;
+}
+
+// ---- phases ----
+
+fn size_pass(input: int[], offsets: int[], labels: int[]) -> int {
+    var pc: int = 0;
+    var i: int = 0;
+    var n: int = len(input);
+    var nlabels: int = 0;
+    var cap: int = len(labels);
+    while (i + 1 < n) {
+        var op: int = input[i];
+        if (op == 11 && nlabels < cap) {
+            labels[nlabels] = pc;
+            nlabels = nlabels + 1;
+        }
+        if (i / 2 < len(offsets)) {
+            offsets[i / 2] = pc;
+        }
+        pc = pc + insn_size(op);
+        i = i + 2;
+    }
+    label_count = nlabels;
+    return pc;
+}
+
+fn encode_pass(input: int[], code: int[], labels: int[]) -> int {
+    var i: int = 0;
+    var n: int = len(input);
+    var emitted: int = 0;
+    var cap: int = len(code);
+    var nlabels: int = max(label_count, 1);
+    while (i + 1 < n) {
+        var op: int = input[i];
+        var operand: int = input[i + 1];
+        if (op != 11 && emitted < cap) {
+            var word: int = encode(op, operand);
+            if (is_branch(op) == 1) {
+                word = word + labels[operand % nlabels] * 65536;
+                fixups_applied = fixups_applied + 1;
+            }
+            code[emitted] = word;
+            emitted = emitted + 1;
+        }
+        i = i + 2;
+    }
+    return emitted;
+}
+
+// Pure scalar phase: compute the relocation base and alignment padding
+// from sizes (additive/linear arithmetic).
+fn reloc_base(codesize: int, nlabels: int, page: int) -> int {
+    var base: int = 4096;
+    var need: int = codesize * 4 + nlabels * 8;
+    var pages: int = need / max(page, 1);
+    var rem: int = need % max(page, 1);
+    if (rem > 0) {
+        pages = pages + 1;
+    }
+    return base + pages * page;
+}
+
+// Section-size accounting over a counted loop — the summation shape.
+fn section_table(emitted: int, nlabels: int) -> int {
+    var total: int = 0;
+    var i: int = nlabels % 23;
+    var bound: int = i + emitted % 73;
+    while (i < bound) {
+        if (i % 4 == 0) {
+            total = total + i * 4 + 8;
+        } else {
+            total = total + i * 2;
+        }
+        i = i + 1;
+    }
+    return total;
+}
+
+fn nibble(v: int, k: int) -> int {
+    var t: int = abs(v);
+    var i: int = 0;
+    while (i < k) {
+        t = t / 16;
+        i = i + 1;
+    }
+    return t % 16;
+}
+
+class Layout {
+    base: int;
+    pages: int;
+    slack: int;
+    fn place(size: int, page: int) {
+        var p: int = max(page, 1);
+        self.pages = self.pages + (size + p - 1) / p;
+        self.slack = self.slack + (p - size % p) % p;
+        self.base = self.base + size;
+    }
+    fn waste_permille() -> int {
+        return self.slack * 1000 / max(self.base, 1);
+    }
+}
+
+// Line-number table accounting: delta-encode the offsets.
+fn line_table(offsets: int[], count: int) -> int {
+    var bytes: int = 0;
+    var prev: int = 0;
+    var i: int = 0;
+    var bound: int = min(count, len(offsets));
+    while (i < bound) {
+        var delta: int = offsets[i] - prev;
+        if (delta < 128) {
+            bytes = bytes + 1;
+        } else {
+            bytes = bytes + 3;
+        }
+        prev = offsets[i];
+        i = i + 1;
+    }
+    return bytes;
+}
+
+// Macro-expansion cost model: pure scalar growth estimate.
+fn macro_model(emitted: int, nlabels: int, depth: int) -> int {
+    var growth: int = emitted;
+    var i: int = 0;
+    var d: int = min(max(depth, 0), 6);
+    while (i < d) {
+        growth = growth + growth / max(nlabels + 2, 2);
+        i = i + 1;
+    }
+    return growth;
+}
+
+// Nibble-entropy-flavoured digest over the encoded words.
+fn entropy_model(code: int[], emitted: int) -> int {
+    var spread: int = 0;
+    var i: int = 0;
+    var bound: int = min(emitted, len(code));
+    while (i < bound) {
+        spread = spread + nibble(code[i], 0) + nibble(code[i], 1) * 2;
+        i = i + 1;
+    }
+    return spread;
+}
+
+// Fixed 12-slot opcode profile: the outer loop has a constant trip count,
+// so the hidden side receives one folded count per opcode class.
+fn opcode_profile(input: int[]) -> int {
+    var sig: int = 7;
+    var op: int = 0;
+    while (op < 12) {
+        var cnt: int = 0;
+        var i: int = op;
+        var n: int = min(len(input), 4096);
+        while (i < n) {
+            if (input[i] % 12 == op) { cnt = cnt + 1; }
+            i = i + 7;
+        }
+        sig = (sig * 31 + cnt) % 99991;
+        op = op + 1;
+    }
+    return sig;
+}
+
+fn checksum_pass(code: int[], emitted: int) -> int {
+    var h: int = 5381;
+    var i: int = 0;
+    var bound: int = min(emitted, len(code));
+    while (i < bound) {
+        h = rotmix(h, code[i]);
+        i = i + 1;
+    }
+    return h;
+}
+
+fn main(input: int[]) {
+    var offsets: int[] = new int[8192];
+    var labels: int[] = new int[128];
+    var code: int[] = new int[8192];
+    var codesize: int = size_pass(input, offsets, labels);
+    var emitted: int = encode_pass(input, code, labels);
+    var base: int = reloc_base(codesize, label_count, 512);
+    var sections: int = section_table(emitted, label_count);
+    var lines: int = line_table(offsets, emitted);
+    var growth: int = macro_model(emitted, label_count, 3);
+    var spread: int = entropy_model(code, emitted);
+    var layout: Layout = new Layout();
+    layout.place(codesize, 512);
+    layout.place(sections, 512);
+    var prof: int = opcode_profile(input);
+    var ck: int = checksum_pass(code, emitted);
+    print(codesize);
+    print(emitted);
+    print(label_count);
+    print(fixups_applied);
+    print(base);
+    print(sections);
+    print(lines);
+    print(growth);
+    print(spread);
+    print(layout.waste_permille());
+    print(prof);
+    print(ck);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::Workload;
+
+    #[test]
+    fn parses_runs_and_prints_twelve_lines() {
+        let p = hps_lang::parse(super::SOURCE).expect("asmkit parses");
+        let input = Workload::Instructions.generate(600, 2);
+        let out = hps_runtime::run_program(&p, &[input]).expect("asmkit runs");
+        assert_eq!(out.output.len(), 12);
+    }
+
+    #[test]
+    fn branches_cause_fixups() {
+        let p = hps_lang::parse(super::SOURCE).unwrap();
+        let out =
+            hps_runtime::run_program(&p, &[Workload::Instructions.generate(2000, 8)]).unwrap();
+        let fixups: i64 = out.output[3].parse().unwrap();
+        assert!(fixups > 0, "no branch fixups in 1000 instructions");
+    }
+}

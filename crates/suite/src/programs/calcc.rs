@@ -1,0 +1,297 @@
+//! `calcc` — the compiler-like benchmark (javac analog).
+//!
+//! Consumes a token stream (alternating literals and operator codes),
+//! gathers token statistics, folds constant expressions, builds a constant
+//! pool, sizes the emitted code and prints digests of every phase.
+
+/// MiniLang source of the benchmark.
+pub const SOURCE: &str = r#"
+// calcc: tokenize -> fold -> pool -> emit, with digests printed.
+
+global opcount: int;
+global poolsize: int;
+
+class Counter {
+    total: int;
+    steps: int;
+    fn bump(v: int) {
+        self.total = self.total + v;
+        self.steps = self.steps + 1;
+    }
+    fn value() -> int {
+        return self.total;
+    }
+    fn rate() -> int {
+        return self.total / max(self.steps, 1);
+    }
+}
+
+// ---- helpers (called inside loops; never split) ----
+
+fn classify(tok: int) -> int {
+    if (tok <= 0) { return 0; }
+    if (tok <= 4) { return 1; }
+    return 2;
+}
+
+fn apply_op(a: int, op: int, b: int) -> int {
+    if (op == 1) { return a + b; }
+    if (op == 2) { return a - b; }
+    if (op == 3) { return a * b; }
+    return a / max(abs(b), 1);
+}
+
+fn precedence(op: int) -> int {
+    if (op >= 3) { return 2; }
+    return 1;
+}
+
+fn hash_combine(h: int, v: int) -> int {
+    return (h * 31 + abs(v)) % 1000003;
+}
+
+fn clamp_lit(v: int) -> int {
+    return min(max(v, 0 - 9999), 9999);
+}
+
+// ---- phases (each called once from main; splitting candidates) ----
+
+fn token_stats(input: int[]) -> int {
+    var lits: int = 0;
+    var ops: int = 0;
+    var hsh: int = 7;
+    var i: int = 0;
+    var n: int = len(input);
+    while (i < n) {
+        var c: int = classify(input[i]);
+        if (i % 2 == 0) {
+            lits = lits + 1;
+        } else {
+            ops = ops + 1;
+        }
+        hsh = hash_combine(hsh, input[i] + c);
+        i = i + 1;
+    }
+    opcount = ops;
+    return hsh + lits * 3 + ops;
+}
+
+fn fold_stream(input: int[], out: int[]) -> int {
+    var acc: int = 0;
+    var count: int = 0;
+    var i: int = 0;
+    var n: int = len(input);
+    var pending: int = 1;
+    while (i + 1 < n) {
+        var lit: int = clamp_lit(input[i]);
+        var op: int = input[i + 1];
+        if (pending == 1) {
+            acc = lit;
+            pending = 0;
+        } else {
+            acc = apply_op(acc, op, lit);
+        }
+        if (precedence(op) == 2) {
+            out[count % len(out)] = acc;
+            count = count + 1;
+            pending = 1;
+        }
+        i = i + 2;
+    }
+    if (pending == 0) {
+        out[count % len(out)] = acc;
+        count = count + 1;
+    }
+    return count;
+}
+
+fn const_pool(out: int[], produced: int) -> int {
+    var uniq: int = 0;
+    var i: int = 0;
+    var bound: int = min(produced, len(out));
+    var sig: int = 1;
+    while (i < bound) {
+        var v: int = out[i];
+        var j: int = 0;
+        var dup: int = 0;
+        while (j < i) {
+            if (out[j] == v) { dup = 1; }
+            j = j + 1;
+        }
+        if (dup == 0) {
+            uniq = uniq + 1;
+            sig = hash_combine(sig, v);
+        }
+        i = i + 1;
+    }
+    poolsize = uniq;
+    return sig + uniq;
+}
+
+// Pure-scalar sizing model: a polynomial of its inputs (a good hidden
+// slice: quadratic code-size estimate like javac's method sizing).
+fn emit_len(folds: int, pool: int, mode: int) -> int {
+    var header: int = 16;
+    var body: int = folds * 3 + pool * 2;
+    var pad: int = 0;
+    var total: int = 0;
+    if (mode > 0) {
+        pad = (folds * folds) / max(pool + 1, 1);
+    }
+    total = header + body + pad;
+    while (total % 4 != 0) {
+        total = total + 1;
+    }
+    return total;
+}
+
+// Weighted quality metric: accumulation over a counted loop (the
+// summation shape of the paper's Fig. 2).
+fn weight_metric(lits: int, ops: int, folds: int) -> int {
+    var w: int = 0;
+    var i: int = lits % 97;
+    var bound: int = i + ops % 89 + folds % 31;
+    while (i < bound) {
+        if (i % 3 == 0) {
+            w = w + i * 2;
+        } else {
+            w = w + i;
+        }
+        i = i + 1;
+    }
+    return w;
+}
+
+// Type-inference-flavoured pass: classify folded values into width
+// classes and accumulate a tag signature (branch-heavy, like javac's
+// attribution phase).
+fn type_infer_pass(out: int[], produced: int) -> int {
+    var sig: int = 11;
+    var narrow: int = 0;
+    var wide: int = 0;
+    var i: int = 0;
+    var bound: int = min(produced, len(out));
+    while (i < bound) {
+        var v: int = abs(out[i]);
+        var tag: int = 0;
+        if (v < 128) {
+            tag = 1;
+            narrow = narrow + 1;
+        } else {
+            if (v < 4096) {
+                tag = 2;
+            } else {
+                tag = 3;
+                wide = wide + 1;
+            }
+        }
+        sig = hash_combine(sig, tag * 1000 + v % 1000);
+        i = i + 1;
+    }
+    return sig + narrow * 5 + wide * 7;
+}
+
+// Register-allocation cost model: spill estimate from pressure ranges
+// (pure scalar arithmetic; a natural hidden slice).
+fn reg_alloc_model(folds: int, pool: int, regs: int) -> int {
+    var pressure: int = folds % 29 + pool % 17;
+    var spills: int = 0;
+    var cost: int = 0;
+    var k: int = max(regs, 1);
+    if (pressure > k) {
+        spills = pressure - k;
+    }
+    var i: int = 0;
+    while (i < spills) {
+        cost = cost + (i + 2) * 3;
+        i = i + 1;
+    }
+    return cost + pressure * 2;
+}
+
+// Fixed-size stream profile: 48 slots, each folding one pooled value into
+// a running profile — the javac-style split where a different array
+// element is shipped to the hidden side on every (constant-trip) iteration.
+fn stream_profile(out: int[]) -> int {
+    var prof: int = 3;
+    var slot: int = 0;
+    while (slot < 48) {
+        prof = prof + (out[slot % len(out)] * (slot + 1)) % 257;
+        slot = slot + 1;
+    }
+    return prof;
+}
+
+fn checksum(out: int[], produced: int) -> int {
+    var h: int = 17;
+    var i: int = 0;
+    var bound: int = min(produced, len(out));
+    while (i < bound) {
+        h = hash_combine(h, out[i] * (i + 1));
+        i = i + 1;
+    }
+    return h;
+}
+
+// ---- driver ----
+
+fn main(input: int[]) {
+    var out: int[] = new int[256];
+    var stats: int = token_stats(input);
+    var produced: int = fold_stream(input, out);
+    var pool: int = const_pool(out, produced);
+    var size: int = emit_len(produced, poolsize, 1);
+    var wm: int = weight_metric(stats % 1000, opcount, produced);
+    var ti: int = type_infer_pass(out, produced);
+    var ra: int = reg_alloc_model(produced, poolsize, 8);
+    var prof: int = stream_profile(out);
+    var ck: int = checksum(out, produced);
+    var perf: Counter = new Counter();
+    perf.bump(stats % 100);
+    perf.bump(produced);
+    perf.bump(pool % 100);
+    print(stats);
+    print(produced);
+    print(pool);
+    print(size);
+    print(wm);
+    print(ti);
+    print(ra);
+    print(prof);
+    print(ck);
+    print(perf.value());
+    print(perf.rate());
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::Workload;
+
+    #[test]
+    fn parses_runs_and_prints_eleven_lines() {
+        let p = hps_lang::parse(super::SOURCE).expect("calcc parses");
+        let input = Workload::TokenStream.generate(400, 3);
+        let out = hps_runtime::run_program(&p, &[input]).expect("calcc runs");
+        assert_eq!(out.output.len(), 11);
+    }
+
+    #[test]
+    fn phases_are_present_for_selection() {
+        let p = hps_lang::parse(super::SOURCE).unwrap();
+        for phase in [
+            "token_stats",
+            "fold_stream",
+            "const_pool",
+            "emit_len",
+            "weight_metric",
+            "type_infer_pass",
+            "reg_alloc_model",
+            "stream_profile",
+            "checksum",
+        ] {
+            assert!(p.func_by_name(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(p.class_by_name("Counter").is_some());
+    }
+}

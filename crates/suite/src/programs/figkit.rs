@@ -1,0 +1,280 @@
+//! `figkit` — the 2-D graphics benchmark (jfig analog).
+//!
+//! Converts fixed-point input coordinates to floats and pushes them through
+//! a graphics-editor pipeline: affine transforms, polynomial
+//! rotation approximations, cubic bézier evaluation, perspective division
+//! and polygon-area accumulation. Like jfig, "it does contain many
+//! polynomial and rational hidden computations".
+
+/// MiniLang source of the benchmark.
+pub const SOURCE: &str = r#"
+// figkit: transform -> bezier -> perspective -> area/bbox digests.
+
+global clipped: int;
+
+// ---- helpers (called in loops) ----
+
+// Degree-5 Taylor sine: polynomial arithmetic complexity.
+fn sin_poly(x: float) -> float {
+    var x2: float = x * x;
+    return x * (1.0 - x2 / 6.0 + x2 * x2 / 120.0);
+}
+
+fn cos_poly(x: float) -> float {
+    var x2: float = x * x;
+    return 1.0 - x2 / 2.0 + x2 * x2 / 24.0;
+}
+
+fn dotp(ax: float, ay: float, bx: float, by: float) -> float {
+    return ax * bx + ay * by;
+}
+
+fn crossp(ax: float, ay: float, bx: float, by: float) -> float {
+    return ax * by - ay * bx;
+}
+
+fn inside_clip(x: float, y: float, half: float) -> bool {
+    return x >= -half && x <= half && y >= -half && y <= half;
+}
+
+fn fix_to_float(v: int) -> float {
+    return float(v) / 100.0;
+}
+
+// ---- phases ----
+
+// Affine transform with a polynomially-approximated rotation; returns a
+// digest of the transformed points (written back into the buffers).
+fn transform_points(pts: int[], xs: float[], ys: float[]) -> float {
+    var i: int = 0;
+    var n: int = min(len(pts) / 2, len(xs));
+    var angle: float = 0.3;
+    var s: float = sin_poly(angle);
+    var c: float = cos_poly(angle);
+    var sumx: float = 0.0;
+    var tx: float = 1.5;
+    var ty: float = -2.25;
+    while (i < n) {
+        var x: float = fix_to_float(pts[i * 2]);
+        var y: float = fix_to_float(pts[i * 2 + 1]);
+        var rx: float = c * x - s * y + tx;
+        var ry: float = s * x + c * y + ty;
+        xs[i] = rx;
+        ys[i] = ry;
+        sumx = sumx + rx - ry;
+        i = i + 1;
+    }
+    return sumx;
+}
+
+// Cubic bézier sampling: the control points come from the scene; the
+// curve position is a cubic polynomial of t and the control points.
+fn bezier_arc(xs: float[], ys: float[], n: int, samples: int) -> float {
+    var acc: float = 0.0;
+    var k: int = 0;
+    var m: int = max(n - 3, 0);
+    while (k + 3 < n && k < 32) {
+        var j: int = 0;
+        while (j < samples) {
+            var t: float = float(j) / float(max(samples, 1));
+            var u: float = 1.0 - t;
+            var bx: float = u * u * u * xs[k] + 3.0 * u * u * t * xs[k + 1]
+                + 3.0 * u * t * t * xs[k + 2] + t * t * t * xs[k + 3];
+            var by: float = u * u * u * ys[k] + 3.0 * u * u * t * ys[k + 1]
+                + 3.0 * u * t * t * ys[k + 2] + t * t * t * ys[k + 3];
+            acc = acc + bx * 0.5 - by * 0.25;
+            j = j + 1;
+        }
+        k = k + 4;
+    }
+    return acc + float(m) * 0.001;
+}
+
+// Perspective projection: x' = f*x / (z + d) — rational complexity.
+fn perspective(xs: float[], ys: float[], n: int, focal: float, depth: float) -> float {
+    var i: int = 0;
+    var acc: float = 0.0;
+    while (i < n) {
+        var z: float = ys[i] * 0.1 + depth;
+        var px: float = 0.0;
+        if (abs(z) > 0.0001) {
+            px = focal * xs[i] / z;
+        }
+        xs[i] = px;
+        acc = acc + px;
+        i = i + 1;
+    }
+    return acc;
+}
+
+// Shoelace polygon area over the projected points: quadratic accumulation.
+fn polygon_area(xs: float[], ys: float[], n: int) -> float {
+    var area: float = 0.0;
+    var i: int = 0;
+    while (i + 1 < n) {
+        area = area + crossp(xs[i], ys[i], xs[i + 1], ys[i + 1]);
+        i = i + 1;
+    }
+    return area / 2.0;
+}
+
+fn clip_count(xs: float[], ys: float[], n: int, half: float) -> int {
+    var kept: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        if (inside_clip(xs[i], ys[i], half)) {
+            kept = kept + 1;
+        }
+        i = i + 1;
+    }
+    clipped = n - kept;
+    return kept;
+}
+
+fn bbox_diag(xs: float[], ys: float[], n: int) -> float {
+    var i: int = 1;
+    var minx: float = 0.0;
+    var maxx: float = 0.0;
+    var miny: float = 0.0;
+    var maxy: float = 0.0;
+    if (n > 0) {
+        minx = xs[0];
+        maxx = xs[0];
+        miny = ys[0];
+        maxy = ys[0];
+    }
+    while (i < n) {
+        minx = min(minx, xs[i]);
+        maxx = max(maxx, xs[i]);
+        miny = min(miny, ys[i]);
+        maxy = max(maxy, ys[i]);
+        i = i + 1;
+    }
+    var dx: float = maxx - minx;
+    var dy: float = maxy - miny;
+    return sqrt(dx * dx + dy * dy);
+}
+
+fn lerp(a: float, b: float, t: float) -> float {
+    return a + (b - a) * t;
+}
+
+// Chord-length arc estimate over the transformed points.
+fn arc_length(xs: float[], ys: float[], n: int) -> float {
+    var total: float = 0.0;
+    var i: int = 0;
+    while (i + 1 < n) {
+        var dx: float = xs[i + 1] - xs[i];
+        var dy: float = ys[i + 1] - ys[i];
+        total = total + sqrt(dx * dx + dy * dy);
+        i = i + 1;
+    }
+    return total;
+}
+
+// Snap points to a grid and count movement (editor behaviour).
+fn grid_snap(xs: float[], n: int, cell: float) -> int {
+    var moved: int = 0;
+    var i: int = 0;
+    var c: float = max(cell, 0.125);
+    while (i < n) {
+        var snapped: float = floor(xs[i] / c + 0.5) * c;
+        if (abs(snapped - xs[i]) > 0.0001) {
+            moved = moved + 1;
+        }
+        xs[i] = snapped;
+        i = i + 1;
+    }
+    return moved;
+}
+
+// Stroke-style accumulation: blends dash phases along the path.
+fn style_digest(xs: float[], ys: float[], n: int) -> float {
+    var phase: float = 0.0;
+    var acc: float = 0.0;
+    var i: int = 0;
+    while (i < n) {
+        phase = lerp(phase, xs[i] + ys[i], 0.25);
+        acc = acc + phase * 0.5;
+        i = i + 1;
+    }
+    return acc;
+}
+
+// Lens-distortion correction model: pure scalar, genuinely rational in
+// its inputs (ratio of polynomials) — the jfig-style hidden computation.
+fn lens_model(focal: float, depth: float, spread: float) -> float {
+    var num: float = focal * spread + focal * focal * 0.01;
+    var den: float = depth + spread * 0.5 + 1.0;
+    var ratio: float = num / den;
+    var corr: float = ratio * ratio + ratio;
+    return corr / (den + ratio);
+}
+
+// Dash-phase accumulation over a counted range whose start, bound and
+// counter all derive from one local — the paper's Fig. 2 summation shape,
+// so the whole loop is promoted into the hidden component.
+fn shade_series(xq: int, terms: int) -> int {
+    var start: int = xq % 31 + 1;
+    var i: int = start;
+    var acc: int = 0;
+    var bound: int = start + min(max(terms, 1), 12);
+    while (i < bound) {
+        acc = acc + i * xq;
+        i = i + 1;
+    }
+    return acc;
+}
+
+fn main(input: int[]) {
+    var cap: int = 2048;
+    var xs: float[] = new float[2048];
+    var ys: float[] = new float[2048];
+    var n: int = min(len(input) / 2, cap);
+    var tdigest: float = transform_points(input, xs, ys);
+    var arc: float = bezier_arc(xs, ys, n, 16);
+    var persp: float = perspective(xs, ys, n, 3.5, 10.0);
+    var area: float = polygon_area(xs, ys, n);
+    var kept: int = clip_count(xs, ys, n, 50.0);
+    var arclen: float = arc_length(xs, ys, n);
+    var moved: int = grid_snap(xs, n, 0.5);
+    var style: float = style_digest(xs, ys, n);
+    var lens: float = lens_model(3.5, 10.0, style * 0.001);
+    var shade: int = shade_series(int(style * 0.0001) + 5, n % 9 + 3);
+    var diag: float = bbox_diag(xs, ys, n);
+    print(n);
+    print(floor(tdigest * 100.0));
+    print(floor(arc * 100.0));
+    print(floor(persp * 10.0));
+    print(floor(area));
+    print(kept);
+    print(clipped);
+    print(floor(arclen * 10.0));
+    print(moved);
+    print(floor(style * 0.01));
+    print(floor(lens * 1000.0));
+    print(shade);
+    print(floor(diag * 100.0));
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::Workload;
+
+    #[test]
+    fn parses_runs_and_prints_thirteen_lines() {
+        let p = hps_lang::parse(super::SOURCE).expect("figkit parses");
+        let input = Workload::Geometry.generate(500, 23);
+        let out = hps_runtime::run_program(&p, &[input]).expect("figkit runs");
+        assert_eq!(out.output.len(), 13);
+    }
+
+    #[test]
+    fn float_pipeline_is_stable_across_runs() {
+        let p = hps_lang::parse(super::SOURCE).unwrap();
+        let a = hps_runtime::run_program(&p, &[Workload::Geometry.generate(400, 5)]).unwrap();
+        let b = hps_runtime::run_program(&p, &[Workload::Geometry.generate(400, 5)]).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,270 @@
+//! `optkit` — the bytecode-optimizer benchmark (bloat analog).
+//!
+//! Runs optimizer-style passes over a flat "bytecode" array: leader/block
+//! discovery, a peephole window rewriter, strength reduction, a
+//! bit-set-flavoured liveness sweep and dead-store accounting. Like bloat,
+//! it mixes table-driven constants, additive bookkeeping and enough masking
+//! arithmetic (`%`, `/`) to produce a broad spread of ILP classes.
+
+/// MiniLang source of the benchmark.
+pub const SOURCE: &str = r#"
+// optkit: blocks -> peephole -> strength -> liveness -> digests.
+
+global rewrites: int;
+global dead_stores: int;
+
+class PassStats {
+    visited: int;
+    changed: int;
+    fn note(did_change: int) {
+        self.visited = self.visited + 1;
+        self.changed = self.changed + did_change;
+    }
+    fn ratio_permille() -> int {
+        return self.changed * 1000 / max(self.visited, 1);
+    }
+}
+
+// ---- helpers (called in loops) ----
+
+fn is_leader_op(b: int) -> int {
+    // branches and returns start a new block after them
+    if (b % 16 == 7 || b % 16 == 9) { return 1; }
+    return 0;
+}
+
+fn is_store(b: int) -> int {
+    if (b % 8 == 3) { return 1; }
+    return 0;
+}
+
+fn is_load(b: int) -> int {
+    if (b % 8 == 2) { return 1; }
+    return 0;
+}
+
+fn peep_match(a: int, b: int) -> int {
+    // load x; store x  -> removable pair
+    if (is_load(a) == 1 && is_store(b) == 1 && a / 8 == b / 8) { return 1; }
+    return 0;
+}
+
+fn reduce_op(b: int) -> int {
+    // mul-by-power-of-two -> shift-flavoured encoding
+    if (b % 16 == 5) { return b - 1; }
+    return b;
+}
+
+fn bitmask_for(reg: int) -> int {
+    var m: int = 1;
+    var i: int = 0;
+    var r: int = reg % 12;
+    while (i < r) {
+        m = m * 2;
+        i = i + 1;
+    }
+    return m;
+}
+
+// ---- phases ----
+
+fn find_blocks(codes: int[], leaders: int[]) -> int {
+    var nblocks: int = 1;
+    var i: int = 0;
+    var n: int = len(codes);
+    var cap: int = len(leaders);
+    while (i < n) {
+        if (is_leader_op(codes[i]) == 1 && nblocks < cap) {
+            leaders[nblocks] = i + 1;
+            nblocks = nblocks + 1;
+        }
+        i = i + 1;
+    }
+    return nblocks;
+}
+
+fn peephole(codes: int[], stats: PassStats) -> int {
+    var removed: int = 0;
+    var i: int = 0;
+    var n: int = len(codes);
+    while (i + 1 < n) {
+        var hit: int = peep_match(codes[i], codes[i + 1]);
+        if (hit == 1) {
+            codes[i] = 0;
+            codes[i + 1] = 0;
+            removed = removed + 1;
+            rewrites = rewrites + 1;
+        }
+        stats.note(hit);
+        i = i + 1;
+    }
+    return removed;
+}
+
+fn strength_reduce(codes: int[], stats: PassStats) -> int {
+    var changed: int = 0;
+    var i: int = 0;
+    var n: int = len(codes);
+    while (i < n) {
+        var before: int = codes[i];
+        var after: int = reduce_op(before);
+        if (after != before) {
+            codes[i] = after;
+            changed = changed + 1;
+            rewrites = rewrites + 1;
+            stats.note(1);
+        } else {
+            stats.note(0);
+        }
+        i = i + 1;
+    }
+    return changed;
+}
+
+fn liveness_sweep(codes: int[], nblocks: int) -> int {
+    var live: int = 0;
+    var killed: int = 0;
+    var i: int = len(codes) - 1;
+    while (i >= 0) {
+        var b: int = codes[i];
+        var reg: int = b / 8;
+        var bit: int = bitmask_for(reg);
+        if (is_store(b) == 1) {
+            if ((live / bit) % 2 == 0) {
+                killed = killed + 1;
+            }
+            live = live - (live / bit) % 2 * bit;
+        }
+        if (is_load(b) == 1) {
+            if ((live / bit) % 2 == 0) {
+                live = live + bit;
+            }
+        }
+        i = i - 1;
+    }
+    dead_stores = killed;
+    return live + nblocks;
+}
+
+// Inline-budget model: a polynomial cost estimate over scalar inputs.
+fn inline_budget(nblocks: int, removed: int, reduced: int) -> int {
+    var linear: int = nblocks * 12 + removed * 3 + reduced;
+    var quad: int = 0;
+    var i: int = 0;
+    var bound: int = removed % 37 + reduced % 29;
+    while (i < bound) {
+        if (i > 16) {
+            quad = quad + i;
+        } else {
+            quad = quad + i * 3;
+        }
+        i = i + 1;
+    }
+    return linear + quad;
+}
+
+fn latency(op: int) -> int {
+    var k: int = op % 16;
+    if (k == 5) { return 4; }
+    if (k == 7 || k == 9) { return 2; }
+    if (k >= 12) { return 3; }
+    return 1;
+}
+
+// Constant-propagation model: track a lattice level per window.
+fn const_prop_model(codes: int[], nblocks: int) -> int {
+    var level: int = 0;
+    var props: int = 0;
+    var i: int = 0;
+    var n: int = len(codes);
+    while (i < n) {
+        var b: int = codes[i];
+        if (b % 4 == 0) {
+            level = min(level + 1, 3);
+        } else {
+            if (level > 0 && is_load(b) == 1) {
+                props = props + level;
+            }
+            level = max(level - 1, 0);
+        }
+        i = i + 1;
+    }
+    return props + nblocks;
+}
+
+// List-scheduling cost model: issue cycles for a window of ops.
+fn schedule_model(codes: int[], width: int) -> int {
+    var cycles: int = 0;
+    var slot: int = 0;
+    var i: int = 0;
+    var n: int = len(codes);
+    var w: int = max(width, 1);
+    while (i < n) {
+        var l: int = latency(codes[i]);
+        slot = slot + 1;
+        cycles = cycles + l;
+        if (slot == w) {
+            slot = 0;
+            cycles = cycles - (w - 1);
+        }
+        i = i + 1;
+    }
+    return cycles;
+}
+
+fn code_digest(codes: int[]) -> int {
+    var h: int = 977;
+    var i: int = 0;
+    var n: int = len(codes);
+    while (i < n) {
+        h = (h * 37 + codes[i] + i % 7) % 1299709;
+        i = i + 1;
+    }
+    return h;
+}
+
+fn main(input: int[]) {
+    var leaders: int[] = new int[512];
+    var stats: PassStats = new PassStats();
+    var nblocks: int = find_blocks(input, leaders);
+    var removed: int = peephole(input, stats);
+    var reduced: int = strength_reduce(input, stats);
+    var live: int = liveness_sweep(input, nblocks);
+    var budget: int = inline_budget(nblocks, removed, reduced);
+    var props: int = const_prop_model(input, nblocks);
+    var sched: int = schedule_model(input, 4);
+    var digest: int = code_digest(input);
+    print(nblocks);
+    print(removed);
+    print(reduced);
+    print(live);
+    print(budget);
+    print(props);
+    print(sched);
+    print(digest);
+    print(rewrites);
+    print(dead_stores);
+    print(stats.ratio_permille());
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::Workload;
+
+    #[test]
+    fn parses_runs_and_prints_eleven_lines() {
+        let p = hps_lang::parse(super::SOURCE).expect("optkit parses");
+        let input = Workload::Bytecode.generate(800, 17);
+        let out = hps_runtime::run_program(&p, &[input]).expect("optkit runs");
+        assert_eq!(out.output.len(), 11);
+    }
+
+    #[test]
+    fn passes_do_work() {
+        let p = hps_lang::parse(super::SOURCE).unwrap();
+        let out = hps_runtime::run_program(&p, &[Workload::Bytecode.generate(3000, 4)]).unwrap();
+        let rewrites: i64 = out.output[8].parse().unwrap();
+        assert!(rewrites > 0, "optimizer made no rewrites");
+    }
+}

@@ -1,0 +1,265 @@
+//! `rulekit` — the rule-engine benchmark (jess analog).
+//!
+//! Loads `(kind, slot, value)` fact triples into working memory, runs
+//! match/select/act cycles (scoring eight built-in rules against the
+//! memory, firing the best), and prints agenda and memory digests. Like
+//! jess, the computation is dominated by comparisons and table lookups, so
+//! most hidden computations end up `Linear` or `Arbitrary`.
+
+/// MiniLang source of the benchmark.
+pub const SOURCE: &str = r#"
+// rulekit: load -> (match/select/act)* -> digest.
+
+global fired_total: int;
+global wm_writes: int;
+
+class Agenda {
+    best_rule: int;
+    best_score: int;
+    entries: int;
+    fn reset() {
+        self.best_rule = 0 - 1;
+        self.best_score = 0 - 1000000;
+        self.entries = 0;
+    }
+    fn offer(rule: int, score: int) {
+        self.entries = self.entries + 1;
+        if (score > self.best_score) {
+            self.best_score = score;
+            self.best_rule = rule;
+        }
+    }
+}
+
+// ---- helpers (called in loops) ----
+
+fn salience(rule: int) -> int {
+    if (rule == 0) { return 10; }
+    if (rule == 1) { return 8; }
+    if (rule == 2) { return 8; }
+    if (rule == 3) { return 5; }
+    if (rule == 4) { return 4; }
+    if (rule == 5) { return 3; }
+    if (rule == 6) { return 2; }
+    return 1;
+}
+
+fn slot_match(kind: int, slot: int, rule: int) -> int {
+    var want_kind: int = rule % 8;
+    var want_slot: int = (rule * 3 + 1) % 16;
+    var score: int = 0;
+    if (kind == want_kind) { score = score + 4; }
+    if (slot == want_slot) { score = score + 2; }
+    if (kind != want_kind && slot != want_slot) { score = score - 1; }
+    return score;
+}
+
+fn value_score(v: int, rule: int) -> int {
+    var t: int = (v + rule * 37) % 100;
+    if (t > 50) { return t - 50; }
+    return 0 - t;
+}
+
+fn mix(h: int, v: int) -> int {
+    return (h * 131 + abs(v) + 7) % 999983;
+}
+
+// ---- phases ----
+
+fn load_facts(input: int[], wm: int[]) -> int {
+    var count: int = 0;
+    var i: int = 0;
+    var n: int = len(input);
+    var cap: int = len(wm) / 3;
+    while (i + 2 < n) {
+        if (count < cap) {
+            wm[count * 3] = input[i] % 8;
+            wm[count * 3 + 1] = input[i + 1] % 16;
+            wm[count * 3 + 2] = input[i + 2];
+            count = count + 1;
+        }
+        i = i + 3;
+    }
+    return count;
+}
+
+fn match_rules(wm: int[], nfacts: int, agenda: Agenda) -> int {
+    var rule: int = 0;
+    var considered: int = 0;
+    agenda.reset();
+    while (rule < 8) {
+        var score: int = salience(rule) * 10;
+        var f: int = 0;
+        while (f < nfacts) {
+            score = score + slot_match(wm[f * 3], wm[f * 3 + 1], rule);
+            score = score + value_score(wm[f * 3 + 2], rule);
+            considered = considered + 1;
+            f = f + 1;
+        }
+        agenda.offer(rule, score);
+        rule = rule + 1;
+    }
+    return considered;
+}
+
+fn fire_rule(wm: int[], nfacts: int, rule: int, cycle: int) -> int {
+    var changed: int = 0;
+    var f: int = 0;
+    var stride: int = rule + 1;
+    while (f < nfacts) {
+        if ((f + cycle) % stride == 0) {
+            wm[f * 3 + 2] = (wm[f * 3 + 2] * 3 + rule + cycle) % 10007;
+            changed = changed + 1;
+        }
+        f = f + stride;
+    }
+    wm_writes = wm_writes + changed;
+    return changed;
+}
+
+fn run_cycles(wm: int[], nfacts: int, cycles: int) -> int {
+    var agenda: Agenda = new Agenda();
+    var c: int = 0;
+    var activity: int = 0;
+    while (c < cycles) {
+        var considered: int = match_rules(wm, nfacts, agenda);
+        var changed: int = fire_rule(wm, nfacts, agenda.best_rule, c);
+        activity = activity + considered / 100 + changed;
+        fired_total = fired_total + 1;
+        c = c + 1;
+    }
+    return activity;
+}
+
+// Conflict-resolution quality metric: a scalar accumulation that makes a
+// good hidden slice (linear in its inputs, summed over a counted loop).
+fn strategy_metric(activity: int, cycles: int, nfacts: int) -> int {
+    var m: int = 0;
+    var base: int = activity % 50;
+    var i: int = base;
+    var bound: int = base + cycles % 40 + nfacts % 60;
+    while (i < bound) {
+        if (i % 2 == 0) {
+            m = m + i * 2 + 1;
+        } else {
+            m = m + i;
+        }
+        i = i + 1;
+    }
+    return m;
+}
+
+fn bucket_of(v: int) -> int {
+    var b: int = abs(v) % 977;
+    if (b < 100) { return 0; }
+    if (b < 400) { return 1; }
+    if (b < 800) { return 2; }
+    return 3;
+}
+
+// Retract stale facts (value drifted to zero modulo the retract period).
+fn retract_sweep(wm: int[], nfacts: int, period: int) -> int {
+    var retracted: int = 0;
+    var f: int = 0;
+    var p: int = max(period, 2);
+    while (f < nfacts) {
+        if (wm[f * 3 + 2] % p == 0) {
+            wm[f * 3 + 2] = 0;
+            wm[f * 3 + 1] = 15;
+            retracted = retracted + 1;
+        }
+        f = f + 1;
+    }
+    return retracted;
+}
+
+// Histogram of fact-value buckets, folded into a signature.
+fn partition_digest(wm: int[], nfacts: int) -> int {
+    var b0: int = 0;
+    var b1: int = 0;
+    var b2: int = 0;
+    var b3: int = 0;
+    var f: int = 0;
+    while (f < nfacts) {
+        var b: int = bucket_of(wm[f * 3 + 2]);
+        if (b == 0) { b0 = b0 + 1; }
+        if (b == 1) { b1 = b1 + 1; }
+        if (b == 2) { b2 = b2 + 1; }
+        if (b == 3) { b3 = b3 + 1; }
+        f = f + 1;
+    }
+    return b0 + b1 * 1000 + b2 * 1000000 + b3 * 7;
+}
+
+// Salience-tuning model: pure scalar re-weighting loop.
+fn salience_tuning(activity: int, cycles: int) -> int {
+    var tune: int = 0;
+    var i: int = activity % 19;
+    var bound: int = i + cycles % 31 + 5;
+    while (i < bound) {
+        tune = tune + i * i % 101;
+        i = i + 1;
+    }
+    return tune;
+}
+
+fn memory_digest(wm: int[], nfacts: int) -> int {
+    var h: int = 3;
+    var i: int = 0;
+    while (i < nfacts) {
+        h = mix(h, wm[i * 3] * 256 + wm[i * 3 + 1]);
+        h = mix(h, wm[i * 3 + 2]);
+        i = i + 1;
+    }
+    return h;
+}
+
+fn main(input: int[]) {
+    var wm: int[] = new int[1536];
+    var nfacts: int = load_facts(input, wm);
+    var cycles: int = min(max(nfacts / 4, 3), 40);
+    // Small fact sets are the hard search problems (like jess's `hard`
+    // input: 0.5K of input, seconds of chaining): iterate much deeper.
+    if (nfacts < 20) {
+        cycles = 2000;
+    }
+    var activity: int = run_cycles(wm, nfacts, cycles);
+    var metric: int = strategy_metric(activity, cycles, nfacts);
+    var retracted: int = retract_sweep(wm, nfacts, 6 + nfacts % 5);
+    var parts: int = partition_digest(wm, nfacts);
+    var tuning: int = salience_tuning(activity, cycles);
+    var digest: int = memory_digest(wm, nfacts);
+    print(nfacts);
+    print(cycles);
+    print(activity);
+    print(metric);
+    print(retracted);
+    print(parts);
+    print(tuning);
+    print(digest);
+    print(fired_total);
+    print(wm_writes);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::Workload;
+
+    #[test]
+    fn parses_runs_and_prints_ten_lines() {
+        let p = hps_lang::parse(super::SOURCE).expect("rulekit parses");
+        let input = Workload::Facts.generate(300, 11);
+        let out = hps_runtime::run_program(&p, &[input]).expect("rulekit runs");
+        assert_eq!(out.output.len(), 10);
+    }
+
+    #[test]
+    fn firing_changes_memory() {
+        let p = hps_lang::parse(super::SOURCE).unwrap();
+        let out = hps_runtime::run_program(&p, &[Workload::Facts.generate(300, 11)]).unwrap();
+        // wm_writes (last line) must be positive: rules actually fired.
+        let writes: i64 = out.output.last().unwrap().parse().unwrap();
+        assert!(writes > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic workload generators.
+
+use hps_runtime::RtValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of input a benchmark consumes (always delivered as `int[]`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// A token stream for the compiler analog: alternating literal values
+    /// and operator codes forming well-formed expression-ish sequences.
+    TokenStream,
+    /// Fact tuples for the rule engine analog: `(kind, slot, value)`
+    /// triples.
+    Facts,
+    /// Pseudo-instructions for the assembler analog: `(opcode, operand)`
+    /// pairs with occasional label definitions/uses.
+    Instructions,
+    /// Flat "bytecode" for the optimizer analog.
+    Bytecode,
+    /// Scaled fixed-point coordinates for the graphics analog.
+    Geometry,
+}
+
+impl Workload {
+    /// Generates `size` elements deterministically from `seed`.
+    pub fn generate(self, size: usize, seed: u64) -> RtValue {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9));
+        let data: Vec<i64> = match self {
+            Workload::TokenStream => (0..size)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        // literal token 0..999
+                        rng.gen_range(0..1000)
+                    } else {
+                        // operator code 1..=4 (+ - * /)
+                        rng.gen_range(1..=4)
+                    }
+                })
+                .collect(),
+            Workload::Facts => (0..size)
+                .map(|i| match i % 3 {
+                    0 => rng.gen_range(0..8),    // fact kind
+                    1 => rng.gen_range(0..16),   // slot
+                    _ => rng.gen_range(0..1000), // value
+                })
+                .collect(),
+            Workload::Instructions => (0..size)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        rng.gen_range(0..12) // opcode
+                    } else {
+                        rng.gen_range(0..256) // operand
+                    }
+                })
+                .collect(),
+            Workload::Bytecode => (0..size).map(|_| rng.gen_range(0..64)).collect(),
+            Workload::Geometry => (0..size)
+                .map(|_| rng.gen_range(-5000..5000)) // fixed-point /100
+                .collect(),
+        };
+        RtValue::from_ints(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in [
+            Workload::TokenStream,
+            Workload::Facts,
+            Workload::Instructions,
+            Workload::Bytecode,
+            Workload::Geometry,
+        ] {
+            let a = kind.generate(64, 5);
+            let b = kind.generate(64, 5);
+            if let (RtValue::Array(x), RtValue::Array(y)) = (&a, &b) {
+                assert_eq!(*x.borrow(), *y.borrow());
+            } else {
+                panic!("expected arrays");
+            }
+            let c = kind.generate(64, 6);
+            if let (RtValue::Array(x), RtValue::Array(y)) = (&a, &c) {
+                assert_ne!(*x.borrow(), *y.borrow(), "{kind:?} ignores seed");
+            }
+        }
+    }
+
+    #[test]
+    fn token_stream_alternates_literals_and_ops() {
+        if let RtValue::Array(arr) = Workload::TokenStream.generate(10, 1) {
+            let arr = arr.borrow();
+            for (i, v) in arr.iter().enumerate() {
+                if let RtValue::Int(v) = v {
+                    if i % 2 == 1 {
+                        assert!((1..=4).contains(v));
+                    } else {
+                        assert!((0..1000).contains(v));
+                    }
+                }
+            }
+        }
+    }
+}

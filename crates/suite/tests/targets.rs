@@ -1,0 +1,67 @@
+//! Global-hiding and class-splitting targets exercised on the real
+//! benchmark programs (beyond the per-function splits the tables use).
+
+use hps_core::{split_program, SplitError, SplitPlan};
+use hps_runtime::{run_program, run_split};
+
+#[test]
+fn hiding_a_rulekit_global_is_equivalent() {
+    let b = hps_suite::benchmark("rulekit").unwrap();
+    let program = b.program().unwrap();
+    // `fired_total` is read and written across phases; hide it.
+    let plan = SplitPlan::global(&program, "fired_total").unwrap();
+    let split = split_program(&program, &plan).unwrap();
+    assert_eq!(split.hidden.components.len(), 1);
+    let original = run_program(&program, &[b.workload(240, 3)]).unwrap();
+    let replay = run_split(&split.open, &split.hidden, &[b.workload(240, 3)]).unwrap();
+    assert_eq!(original.output, replay.outcome.output);
+    assert!(replay.interactions > 0);
+}
+
+#[test]
+fn splitting_the_calcc_counter_class_is_equivalent() {
+    let b = hps_suite::benchmark("calcc").unwrap();
+    let program = b.program().unwrap();
+    // Counter's fields are only touched through `self` => class split works.
+    let plan = SplitPlan::class(&program, "Counter").unwrap();
+    let split = split_program(&program, &plan).unwrap();
+    let original = run_program(&program, &[b.workload(240, 3)]).unwrap();
+    let replay = run_split(&split.open, &split.hidden, &[b.workload(240, 3)]).unwrap();
+    assert_eq!(original.output, replay.outcome.output);
+}
+
+#[test]
+fn splitting_the_rulekit_agenda_class_is_rejected() {
+    // run_cycles reads `agenda.best_rule` from *outside* the class's
+    // methods; the splitter cannot route such accesses and must refuse
+    // rather than miscompile.
+    let b = hps_suite::benchmark("rulekit").unwrap();
+    let program = b.program().unwrap();
+    let plan = SplitPlan::class(&program, "Agenda").unwrap();
+    let err = split_program(&program, &plan).expect_err("must be unrealizable");
+    assert!(matches!(err, SplitError::Unrealizable(_)), "{err}");
+}
+
+#[test]
+fn hiding_every_scalar_global_across_the_suite() {
+    // Every scalar global of every benchmark can be hidden without
+    // changing behaviour.
+    for b in hps_suite::benchmarks() {
+        let program = b.program().unwrap();
+        for g in &program.globals {
+            if !g.ty.is_scalar() {
+                continue;
+            }
+            let plan = SplitPlan::global(&program, &g.name).unwrap();
+            let split = split_program(&program, &plan)
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", b.name, g.name));
+            let original = run_program(&program, &[b.workload(180, 5)]).unwrap();
+            let replay = run_split(&split.open, &split.hidden, &[b.workload(180, 5)]).unwrap();
+            assert_eq!(
+                original.output, replay.outcome.output,
+                "{}: hiding global `{}` changed behaviour",
+                b.name, g.name
+            );
+        }
+    }
+}

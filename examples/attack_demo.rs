@@ -1,0 +1,113 @@
+//! The adversary at work (§3 "Practical Limitations of Automated
+//! Recovery"): wiretap the open↔hidden channel across many runs, then try
+//! to reconstruct each fragment's function with the escalation ladder
+//! (constant → linear → polynomial → rational).
+//!
+//! Expected outcome: the linear leak falls to regression, the quadratic
+//! summation falls to polynomial interpolation (both as the paper
+//! concedes), while the leak guarded by a hidden predicate resists every
+//! technique in the ladder.
+//!
+//! ```text
+//! cargo run --example attack_demo
+//! ```
+
+use hiding_program_slices as hps;
+use hps::attack::{attack_trace, AttackConfig, Verdict};
+use hps::runtime::{
+    ExecConfig, InProcessChannel, Interp, RtValue, SecureServer, SplitMeta, Trace, TraceChannel,
+};
+use hps::split::{split_program, SplitPlan};
+
+const TARGET: &str = r#"
+    fn protected(x: int, y: int, z: int, b: int[]) -> int {
+        var lin: int = 3 * x + y;           // linear in (x, y); leaked at b[0]
+        b[0] = lin;
+        var quad: int = lin * x + y * z;    // joins the slice: quadratic leak
+        b[1] = quad;
+        var gated: int = lin + 5;           // joins the slice
+        if (gated % 3 == 0) {               // promoted: predicate + flow hidden
+            gated = gated * 7 - y;
+        } else {
+            gated = gated + z * 11;
+        }
+        b[2] = gated;                       // path-dependent leak
+        return lin + quad;
+    }
+    fn main(x: int, y: int, z: int) {
+        var b: int[] = new int[3];
+        print(protected(x, y, z, b));
+        print(b[2]);
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = hps::lang::parse(TARGET)?;
+    let plan = SplitPlan::single(&program, "protected", "lin")?;
+    let split = split_program(&program, &plan)?;
+    println!("hidden component:\n{}", split.hidden.summary());
+
+    // The adversary observes many runs with different inputs.
+    let mut trace = Trace::default();
+    for run in 0..200u64 {
+        let server = SecureServer::new(split.hidden.clone());
+        let mut inner = InProcessChannel::new(server);
+        let mut tap = TraceChannel::new(&mut inner);
+        let meta = SplitMeta::derive(&split.open, &split.hidden);
+        let mut interp = Interp::new(&split.open, ExecConfig::new()).with_channel(&mut tap, &meta);
+        let (x, y, z) = (
+            (run % 13) as i64 + 1,
+            (run % 7) as i64 + 2,
+            (run % 11) as i64 + 3,
+        );
+        interp.run("main", &[RtValue::Int(x), RtValue::Int(y), RtValue::Int(z)])?;
+        drop(interp);
+        let mut t = tap.into_trace();
+        for e in &mut t.events {
+            e.key += run * 1_000_000; // keep sessions distinct
+        }
+        trace.events.extend(t.events);
+    }
+    println!(
+        "observed {} interactions across 200 runs\n",
+        trace.events.len()
+    );
+
+    let outcomes = attack_trace(&trace, &AttackConfig::default());
+    let mut recovered = 0;
+    let mut resistant = 0;
+    for o in &outcomes {
+        match &o.verdict {
+            Verdict::Recovered(m) => {
+                recovered += 1;
+                println!(
+                    "fragment {}.{}: RECOVERED as {} model ({} samples)",
+                    o.component, o.label, m.class, o.samples
+                );
+            }
+            Verdict::Resistant { tried } => {
+                resistant += 1;
+                println!(
+                    "fragment {}.{}: resisted {} hypothesis classes ({} samples)",
+                    o.component,
+                    o.label,
+                    tried.len(),
+                    o.samples
+                );
+            }
+            Verdict::InsufficientData { observed, required } => {
+                println!(
+                    "fragment {}.{}: insufficient data ({observed}/{required})",
+                    o.component, o.label
+                );
+            }
+        }
+    }
+    println!("\nrecovered: {recovered}, resistant: {resistant}");
+    assert!(recovered >= 2, "linear and quadratic leaks should fall");
+    assert!(
+        resistant >= 1,
+        "the hidden-predicate leak should survive the ladder"
+    );
+    Ok(())
+}

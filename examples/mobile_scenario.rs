@@ -1,0 +1,100 @@
+//! The paper's second scenario (§1, "Untrustworthy Server"): the user's
+//! application executes on a remote compute server that cannot be trusted
+//! not to pirate it. The *heavyweight open component* is shipped to the
+//! server; the *lightweight hidden component* stays on the user's mobile
+//! device. "Again while theft of open components is possible, the software
+//! is protected by preventing the theft of hidden components."
+//!
+//! This example splits a route-pricing application, verifies the hidden
+//! half is light enough for the paper's device classes
+//! ([`DeviceProfile`]), and shows that nearly all computation stays on the
+//! (untrusted) open side.
+//!
+//! ```text
+//! cargo run --example mobile_scenario
+//! ```
+
+use hiding_program_slices as hps;
+use hps::runtime::{run_program, run_split, RtValue};
+use hps::split::{check_deployment, split_program, DeviceProfile, SplitPlan};
+
+const APP: &str = r#"
+    // Route pricing: the heavy work is scoring every segment of a route
+    // (stays open, runs on the big server); the proprietary tariff model
+    // is the hidden part (runs on the user's device).
+
+    fn segment_score(d: int, grade: int) -> int {
+        var s: int = d * (grade + 2);
+        if (s > 1000) { s = 1000 + (s - 1000) / 4; }
+        return s;
+    }
+
+    // The protected tariff: a scalar computation worth stealing.
+    fn tariff(score: int, tier: int, distance: int) -> int {
+        var base: int = tier * 11 + 7;
+        var fee: int = base * 3;
+        var k: int = base % 13;
+        var bound: int = k + tier % 7 + 4;
+        while (k < bound) {
+            fee = fee + k * base;
+            k = k + 1;
+        }
+        return fee + score / max(distance, 1);
+    }
+
+    fn main(input: int[]) {
+        var total: int = 0;
+        var dist: int = 0;
+        var i: int = 0;
+        var n: int = len(input);
+        while (i + 1 < n) {
+            total = total + segment_score(input[i], input[i + 1] % 5);
+            dist = dist + input[i];
+            i = i + 2;
+        }
+        print(total);
+        print(tariff(total, 3, dist));
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = hps::lang::parse(APP)?;
+    let plan = SplitPlan::single(&program, "tariff", "base")?;
+    let split = split_program(&program, &plan)?;
+
+    println!("hidden component (stays on the mobile device):");
+    println!("{}", split.hidden.summary());
+
+    // Does the hidden side fit the paper's device classes?
+    for profile in [DeviceProfile::smart_card(), DeviceProfile::mobile_device()] {
+        let check = check_deployment(&split.hidden, &profile);
+        println!(
+            "fits {:<13}: {}",
+            check.device,
+            if check.fits() { "yes" } else { "no" }
+        );
+        for v in &check.violations {
+            println!("   - {v}");
+        }
+    }
+
+    // The untrusted server does almost all the work.
+    let input: Vec<i64> = (0..4000).map(|i| (i * 37) % 900 + 10).collect();
+    let original = run_program(&program, &[RtValue::from_ints(&input)])?;
+    let replay = run_split(&split.open, &split.hidden, &[RtValue::from_ints(&input)])?;
+    assert_eq!(original.output, replay.outcome.output);
+
+    let device = replay.server_cost as f64;
+    let total = replay.outcome.cost as f64;
+    println!(
+        "\ndevice share of computation: {:.3}% ({} interactions)",
+        device / total * 100.0,
+        replay.interactions
+    );
+    assert!(
+        device / total < 0.05,
+        "hidden side must be lightweight in this scenario"
+    );
+    println!("output: {:?}", replay.outcome.output);
+    Ok(())
+}

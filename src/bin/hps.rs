@@ -1,0 +1,286 @@
+//! `hps` — command-line front end for slice-based software splitting.
+//!
+//! ```text
+//! hps run <file.ml> [ints...]                 run a MiniLang program
+//! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
+//!                                             print Of, Hf and the split report
+//! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
+//! hps serve <file.ml> <addr> [selection]      host the hidden component on TCP
+//! hps client <file.ml> <addr> [selection] [ints...]
+//!                                             run the open component against a server
+//! hps tables [--quick]                        shortcut to the experiment harness
+//! ```
+//!
+//! `serve` and `client` must be given the same program and selection flags:
+//! both sides derive the split deterministically and the client keeps only
+//! the open half in memory.
+
+use hiding_program_slices as hps;
+use hps::runtime::{ExecConfig, Interp, RtValue, SecureServer, SplitMeta};
+use hps::split::{split_program, SplitPlan, SplitResult, SplitTarget};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hps: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "run" => cmd_run(&args[1..]),
+        "split" => cmd_split(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `hps help`")),
+    }
+}
+
+const HELP: &str = "\
+hps — slicing-based software splitting (CGO 2003 reproduction)
+
+USAGE:
+  hps run <file.ml> [ints...]
+  hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
+  hps analyze <file.ml> [selection flags]
+  hps serve <file.ml> <addr> [selection flags]
+  hps client <file.ml> <addr> [selection flags] [--args ints...]
+
+Selection flags default to --auto: call-graph-cut function selection with
+complexity-guided, cost-restricted seed choice (the paper's pipeline).
+";
+
+fn load(path: &str) -> Result<hps::ir::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    hps::lang::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn int_args(args: &[String]) -> Result<Vec<RtValue>, String> {
+    args.iter()
+        .map(|a| {
+            a.parse::<i64>()
+                .map(RtValue::Int)
+                .map_err(|_| format!("entry arguments must be integers, got `{a}`"))
+        })
+        .collect()
+}
+
+fn parse_selection(program: &hps::ir::Program, args: &[String]) -> Result<SplitPlan, String> {
+    let mut func = None;
+    let mut var = None;
+    let mut global = None;
+    let mut class = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--func" => {
+                func = Some(args.get(i + 1).ok_or("--func needs a name")?.clone());
+                i += 2;
+            }
+            "--var" => {
+                var = Some(args.get(i + 1).ok_or("--var needs a name")?.clone());
+                i += 2;
+            }
+            "--global" => {
+                global = Some(args.get(i + 1).ok_or("--global needs a name")?.clone());
+                i += 2;
+            }
+            "--class" => {
+                class = Some(args.get(i + 1).ok_or("--class needs a name")?.clone());
+                i += 2;
+            }
+            "--auto" => i += 1,
+            other => return Err(format!("unknown selection flag `{other}`")),
+        }
+    }
+    if let Some(g) = global {
+        return SplitPlan::global(program, &g).map_err(|e| e.to_string());
+    }
+    if let Some(c) = class {
+        return SplitPlan::class(program, &c).map_err(|e| e.to_string());
+    }
+    match (func, var) {
+        (Some(f), Some(v)) => SplitPlan::single(program, &f, &v).map_err(|e| e.to_string()),
+        (Some(_), None) | (None, Some(_)) => Err("--func and --var must be given together".into()),
+        (None, None) => {
+            let selected = hps::split::select_functions(program);
+            let mut seeds = hps::security::choose_seeds_all(program, &selected);
+            if seeds.is_empty() {
+                // No cost-free split exists; fall back to the unrestricted
+                // §4 rule and tell the user the traffic implications.
+                seeds = hps::security::choose_seeds_all_with(
+                    program,
+                    &selected,
+                    hps::security::SeedRule::MaxComplexity,
+                );
+                if !seeds.is_empty() {
+                    eprintln!(
+                        "[hps] note: no split avoids per-iteration traffic; \
+falling back to the max-complexity seed rule"
+                    );
+                }
+            }
+            if seeds.is_empty() {
+                return Err("automatic selection found nothing to split".into());
+            }
+            Ok(SplitPlan {
+                targets: seeds
+                    .into_iter()
+                    .map(|(func, seed)| SplitTarget::Function { func, seed })
+                    .collect(),
+                promote_control: true,
+            })
+        }
+    }
+}
+
+fn do_split(program: &hps::ir::Program, flags: &[String]) -> Result<SplitResult, String> {
+    let plan = parse_selection(program, flags)?;
+    split_program(program, &plan).map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: hps run <file.ml> [ints...]")?;
+    let program = load(path)?;
+    let entry_args = int_args(&args[1..])?;
+    let out = hps::runtime::run_program(&program, &entry_args).map_err(|e| e.to_string())?;
+    for line in &out.output {
+        println!("{line}");
+    }
+    eprintln!(
+        "[hps] {} steps, {:.4} virtual seconds",
+        out.steps,
+        ExecConfig::new().cost_model.to_seconds(out.cost)
+    );
+    Ok(())
+}
+
+fn cmd_split(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: hps split <file.ml> [flags]")?;
+    let program = load(path)?;
+    let split = do_split(&program, &args[1..])?;
+    println!("==== open program (Of) ====");
+    print!("{}", hps::ir::pretty::program_to_string(&split.open));
+    println!("==== hidden program (Hf) ====");
+    print!("{}", split.hidden.summary());
+    println!("==== report ====");
+    for r in &split.reports {
+        println!(
+            "fn {}: {} hidden vars ({} fully), {} slice stmts, {} ILPs",
+            split.open.func(r.func).name,
+            r.hidden_vars.len(),
+            r.hidden_vars.iter().filter(|(_, f)| *f).count(),
+            r.slice_stmts,
+            r.ilps.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: hps analyze <file.ml> [flags]")?;
+    let program = load(path)?;
+    let split = do_split(&program, &args[1..])?;
+    let report = hps::security::analyze_split(&program, &split);
+    println!(
+        "{:<26} {:<14} {:>8} {:>7}  CC",
+        "function", "AC type", "inputs", "degree"
+    );
+    for (func, complexities) in &report.per_func {
+        let name = &split.open.func(*func).name;
+        for c in complexities {
+            let inputs = match c.ac.inputs.count() {
+                Some(n) => n.to_string(),
+                None => "varying".into(),
+            };
+            println!(
+                "{:<26} {:<14} {:>8} {:>7}  {}",
+                name,
+                c.ac.ty.to_string(),
+                inputs,
+                c.ac.degree,
+                c.cc
+            );
+        }
+    }
+    let counts = report.counts_by_type();
+    println!(
+        "\ntotals: {} ILPs — Constant {}, Linear {}, Polynomial {}, Rational {}, Arbitrary {}",
+        report.total(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        counts[4]
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: hps serve <file.ml> <addr> [flags]")?;
+    let addr = args
+        .get(1)
+        .ok_or("usage: hps serve <file.ml> <addr> [flags]")?;
+    let program = load(path)?;
+    let split = do_split(&program, &args[2..])?;
+    let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "[hps] serving {} hidden component(s) on {} (one connection at a time; ctrl-c to stop)",
+        split.hidden.components.len(),
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    loop {
+        let (mut stream, peer) = listener.accept().map_err(|e| e.to_string())?;
+        let mut server = SecureServer::new(split.hidden.clone());
+        match hps::runtime::tcp::serve_connection(&mut stream, &mut server) {
+            Ok(served) => eprintln!("[hps] {peer}: served {served} calls"),
+            Err(e) => eprintln!("[hps] {peer}: {e}"),
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: hps client <file.ml> <addr> [flags] [--args ints]")?;
+    let addr = args
+        .get(1)
+        .ok_or("usage: hps client <file.ml> <addr> [flags] [--args ints]")?;
+    let rest = &args[2..];
+    let (flags, entry): (&[String], &[String]) = match rest.iter().position(|a| a == "--args") {
+        Some(i) => (&rest[..i], &rest[i + 1..]),
+        None => (rest, &[]),
+    };
+    let program = load(path)?;
+    let split = do_split(&program, flags)?;
+    let entry_args = int_args(entry)?;
+    let mut channel =
+        hps::runtime::tcp::TcpChannel::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let outcome = {
+        let mut interp =
+            Interp::new(&split.open, ExecConfig::new()).with_channel(&mut channel, &meta);
+        interp.run("main", &entry_args).map_err(|e| e.to_string())?
+    };
+    for line in &outcome.output {
+        println!("{line}");
+    }
+    let interactions = hps::runtime::Channel::interactions(&channel);
+    channel.shutdown().map_err(|e| e.to_string())?;
+    eprintln!("[hps] {interactions} open<->hidden interactions");
+    Ok(())
+}

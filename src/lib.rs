@@ -1,0 +1,60 @@
+//! # hiding-program-slices
+//!
+//! Facade crate for the reproduction of *Hiding Program Slices for Software
+//! Security* (Zhang & Gupta, CGO 2003): slicing-based splitting of software
+//! into an **open** component (runs on the unsecure machine) and a
+//! **hidden** component (runs on a secure device), plus the paper's security
+//! analysis and an executable attack model.
+//!
+//! This crate re-exports the workspace crates under stable module names; see
+//! each module's documentation for the full API:
+//!
+//! * [`ir`] — the structured mid-level IR.
+//! * [`lang`] — the MiniLang front end (lexer, parser, type checker).
+//! * [`analysis`] — CFG, dominators, control/data dependence, loops, call
+//!   graph.
+//! * [`slicing`] — forward data slices and control-ancestor promotion.
+//! * [`split`] — the splitting transformation (the paper's contribution).
+//! * [`runtime`] — interpreter, secure-server executor and channels.
+//! * [`security`] — ILP identification and complexity analysis.
+//! * [`attack`] — the adversary's recovery toolbox.
+//! * [`suite`] — the five benchmark programs and workload generators.
+//!
+//! # Examples
+//!
+//! Split a function and execute both versions:
+//!
+//! ```
+//! use hiding_program_slices as hps;
+//!
+//! let source = r#"
+//!     fn f(x: int, y: int, z: int) -> int {
+//!         var a: int; var i: int; var sum: int;
+//!         a = 3 * x + y;
+//!         i = a;
+//!         sum = 0;
+//!         while (i < z) { sum = sum + i; i = i + 1; }
+//!         return sum;
+//!     }
+//!     fn main() { print(f(1, 2, 30)); }
+//! "#;
+//! let program = hps::lang::parse(source)?;
+//! let split = hps::split::split_program(
+//!     &program,
+//!     &hps::split::SplitPlan::single(&program, "f", "a")?,
+//! )?;
+//! let original = hps::runtime::run_program(&program, &[])?;
+//! let replayed = hps::runtime::run_split(&split.open, &split.hidden, &[])?;
+//! assert_eq!(original.output, replayed.outcome.output);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use hps_analysis as analysis;
+pub use hps_attack as attack;
+pub use hps_core as split;
+pub use hps_ir as ir;
+pub use hps_lang as lang;
+pub use hps_runtime as runtime;
+pub use hps_security as security;
+pub use hps_slicing as slicing;
+pub use hps_suite as suite;

@@ -1,0 +1,170 @@
+//! End-to-end tests of the `hps` binary, including the real two-process
+//! deployment: `hps serve` in one process, `hps client` in another.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const HPS: &str = env!("CARGO_BIN_EXE_hps");
+
+fn demo_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hps-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("demo.ml");
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(
+        b"fn fee(seats: int, months: int) -> int {
+              var rate: int = seats * 3 + 7;
+              var total: int = 0;
+              var m: int = 0;
+              while (m < months) { total = total + rate; m = m + 1; }
+              return total;
+          }
+          fn main(seats: int, months: int) { print(fee(seats, months)); }",
+    )
+    .expect("write");
+    path
+}
+
+#[test]
+fn run_executes_programs() {
+    let path = demo_file();
+    let out = Command::new(HPS)
+        .args(["run", path.to_str().unwrap(), "10", "12"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "444");
+}
+
+#[test]
+fn split_prints_both_components() {
+    let path = demo_file();
+    let out = Command::new(HPS)
+        .args([
+            "split",
+            path.to_str().unwrap(),
+            "--func",
+            "fee",
+            "--var",
+            "rate",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("open program"), "{text}");
+    assert!(text.contains("__hidden("), "{text}");
+    assert!(text.contains("hidden var"), "{text}");
+    // Hidden names are anonymized in the open half.
+    let open_part = text.split("hidden program").next().unwrap();
+    assert!(!open_part.contains("var rate"), "{open_part}");
+}
+
+#[test]
+fn analyze_reports_ilp_classes() {
+    let path = demo_file();
+    let out = Command::new(HPS)
+        .args([
+            "analyze",
+            path.to_str().unwrap(),
+            "--func",
+            "fee",
+            "--var",
+            "rate",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("totals:"), "{text}");
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let out = Command::new(HPS)
+        .args(["run", "/nonexistent.ml"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = Command::new(HPS)
+        .args(["frobnicate"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn serve_and_client_split_across_processes() {
+    let path = demo_file();
+    let addr = "127.0.0.1:47261";
+    let mut server = Command::new(HPS)
+        .args([
+            "serve",
+            path.to_str().unwrap(),
+            addr,
+            "--func",
+            "fee",
+            "--var",
+            "rate",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+
+    // Wait for the listener.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(_) => break,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                let _ = server.kill();
+                panic!("server never came up: {e}");
+            }
+        }
+    }
+
+    let out = Command::new(HPS)
+        .args([
+            "client",
+            path.to_str().unwrap(),
+            addr,
+            "--func",
+            "fee",
+            "--var",
+            "rate",
+            "--args",
+            "10",
+            "12",
+        ])
+        .output()
+        .expect("spawn client");
+    let _ = server.kill();
+    let _ = server.wait();
+    assert!(
+        out.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "444");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("interactions"));
+}

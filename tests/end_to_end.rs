@@ -1,0 +1,187 @@
+//! Cross-crate integration through the facade: the full paper pipeline on
+//! the Fig. 2 example and on real benchmark programs, exercised end to end
+//! (front end → analysis → slicing → splitting → runtime → security →
+//! attack).
+
+use hiding_program_slices as hps;
+use hps::attack::{attack_site, AttackConfig, Verdict};
+use hps::runtime::{
+    run_program, run_split, ExecConfig, InProcessChannel, Interp, RtValue, SecureServer, SplitMeta,
+    Trace, TraceChannel,
+};
+use hps::security::{analyze_split, AcType, PathCount};
+use hps::split::{split_program, SplitPlan};
+
+const FIG2: &str = "
+    fn f(x: int, y: int, z: int, b: int[]) -> int {
+        var a: int;
+        var i: int;
+        var sum: int;
+        a = 3 * x + y;
+        b[0] = a;
+        i = a;
+        sum = 0;
+        while (i < z) {
+            sum = sum + i;
+            i = i + 1;
+        }
+        b[1] = sum;
+        return sum;
+    }
+    fn main(x: int, y: int, z: int) {
+        var b: int[] = new int[2];
+        print(f(x, y, z, b));
+        print(b[0]);
+        print(b[1]);
+    }";
+
+#[test]
+fn fig2_pipeline_reproduces_paper_characterization() {
+    let program = hps::lang::parse(FIG2).expect("parses");
+    let plan = SplitPlan::single(&program, "f", "a").expect("plan");
+    let split = split_program(&program, &plan).expect("splits");
+
+    // §2.2: a, i and sum are all hidden; a stays fully hidden.
+    let report = &split.reports[0];
+    assert_eq!(report.hidden_vars.len(), 3);
+    assert!(report.hidden_vars.iter().all(|(_, fully)| *fully));
+
+    // §3 example characterizations.
+    let security = analyze_split(&program, &split);
+    let linear: Vec<_> = security
+        .iter()
+        .filter(|c| c.ac.ty == AcType::Linear)
+        .collect();
+    assert!(!linear.is_empty(), "the b[0] = a leak is linear");
+    assert!(linear
+        .iter()
+        .any(|c| c.ac.inputs.count() == Some(2) && c.ac.degree == 1));
+    let ilp4: Vec<_> = security
+        .iter()
+        .filter(|c| c.ac.ty == AcType::Polynomial)
+        .collect();
+    assert!(!ilp4.is_empty(), "sum + sigma i is polynomial");
+    for c in &ilp4 {
+        assert_eq!(c.ac.degree, 2);
+        assert_eq!(c.cc.paths, PathCount::Variable);
+        assert!(c.cc.predicates_hidden);
+        assert!(c.cc.flow_hidden);
+    }
+
+    // Behaviour is preserved across a grid of inputs.
+    for x in 0..4i64 {
+        for z in [0i64, 5, 40] {
+            let args = [RtValue::Int(x), RtValue::Int(2), RtValue::Int(z)];
+            let original = run_program(&program, &args).expect("runs");
+            let replay = run_split(&split.open, &split.hidden, &args).expect("runs");
+            assert_eq!(original.output, replay.outcome.output, "x={x} z={z}");
+        }
+    }
+}
+
+#[test]
+fn fig2_linear_leak_falls_polynomial_needs_more_data() {
+    let program = hps::lang::parse(FIG2).expect("parses");
+    let plan = SplitPlan::single(&program, "f", "a").expect("plan");
+    let split = split_program(&program, &plan).expect("splits");
+    let security = analyze_split(&program, &split);
+
+    // The adversary watches 120 runs.
+    let mut trace = Trace::default();
+    for run in 0..120u64 {
+        let server = SecureServer::new(split.hidden.clone());
+        let mut inner = InProcessChannel::new(server);
+        let mut tap = TraceChannel::new(&mut inner);
+        let meta = SplitMeta::derive(&split.open, &split.hidden);
+        let mut interp = Interp::new(&split.open, ExecConfig::new()).with_channel(&mut tap, &meta);
+        let args = [
+            RtValue::Int((run % 9) as i64),
+            RtValue::Int((run % 5) as i64 + 1),
+            RtValue::Int((run % 23) as i64 + 8),
+        ];
+        interp.run("main", &args).expect("runs");
+        drop(interp);
+        let mut t = tap.into_trace();
+        for e in &mut t.events {
+            e.key += run * 1000;
+        }
+        trace.events.extend(t.events);
+    }
+
+    let cfg = AttackConfig::default();
+    // Every Linear-classified leak must fall to the ladder.
+    for c in security.iter().filter(|c| c.ac.ty == AcType::Linear) {
+        let out = attack_site(&trace, c.ilp.component, c.ilp.label, &cfg);
+        assert!(
+            out.verdict.is_recovered(),
+            "linear leak {:?} resisted: {:?}",
+            c.ilp.label,
+            out.verdict
+        );
+    }
+    // The polynomial leak carries CC = <variable, hidden, hidden>: the
+    // value is sum = Σ_{i=3x+y}^{z-1} i, which is zero whenever the hidden
+    // loop does not execute — a *piecewise* polynomial. §3: "If control
+    // flow is present, the application of above techniques becomes much
+    // more complex … these pairs must be divided into subgroups
+    // corresponding to different paths"; the adversary cannot do that
+    // partitioning, so plain interpolation must fail here even though the
+    // per-path arithmetic complexity is only polynomial.
+    for c in security.iter().filter(|c| c.ac.ty == AcType::Polynomial) {
+        assert_eq!(c.cc.paths, PathCount::Variable);
+        let out = attack_site(&trace, c.ilp.component, c.ilp.label, &cfg);
+        assert!(
+            matches!(out.verdict, Verdict::Resistant { .. }),
+            "hidden control flow should defeat interpolation: {:?}",
+            out.verdict
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_cover_the_pipeline() {
+    // Ensure the facade modules expose the documented API surface.
+    let program = hps::lang::parse("fn main() { print(1); }").expect("parses");
+    let out = hps::runtime::run_program(&program, &[]).expect("runs");
+    assert_eq!(out.output, ["1"]);
+    let cg = hps::analysis::CallGraph::build(&program);
+    assert_eq!(cg.sites().len(), 0);
+    let report = hps::split::self_contained_report(&program);
+    assert_eq!(report.methods, 1);
+}
+
+#[test]
+fn multiple_splits_and_global_hiding_compose() {
+    let src = "
+        global total: int = 0;
+        fn score(x: int) -> int { var s: int = x * 3 + 1; return s; }
+        fn tally(v: int) { total = total + v; }
+        fn main() {
+            var i: int = 0;
+            while (i < 5) { tally(score(i)); i = i + 1; }
+            print(total);
+        }";
+    let program = hps::lang::parse(src).expect("parses");
+    // Hide the global AND split score's local in one plan.
+    let mut plan = SplitPlan::global(&program, "total").expect("plan");
+    let more = SplitPlan::single(&program, "score", "s").expect("plan");
+    plan.targets.extend(more.targets);
+    let split = split_program(&program, &plan).expect("splits");
+    assert_eq!(split.hidden.components.len(), 2);
+    let original = run_program(&program, &[]).expect("runs");
+    let replay = run_split(&split.open, &split.hidden, &[]).expect("runs");
+    assert_eq!(original.output, replay.outcome.output);
+    assert_eq!(original.output, ["35"]);
+}
+
+#[test]
+fn open_component_alone_is_incomplete() {
+    // The point of the whole exercise: without the secure side, the stolen
+    // open component cannot run.
+    let program = hps::lang::parse(FIG2).expect("parses");
+    let plan = SplitPlan::single(&program, "f", "a").expect("plan");
+    let split = split_program(&program, &plan).expect("splits");
+    let args = [RtValue::Int(1), RtValue::Int(2), RtValue::Int(30)];
+    let err = run_program(&split.open, &args).expect_err("must fail without Hf");
+    assert_eq!(err, hps::runtime::RuntimeError::NoChannel);
+}

@@ -1,0 +1,104 @@
+//! Pretty-printer fidelity: printing a front-end program and re-parsing it
+//! yields a structurally identical program, for the whole benchmark suite
+//! and for targeted language features.
+
+use hiding_program_slices as hps;
+
+fn assert_roundtrip(src: &str, what: &str) {
+    let p1 = hps::lang::parse(src).unwrap_or_else(|e| panic!("{what}: parse 1 failed: {e}"));
+    let printed = hps::ir::pretty::program_to_string(&p1);
+    let p2 = hps::lang::parse(&printed)
+        .unwrap_or_else(|e| panic!("{what}: reparse failed: {e}\n--- printed ---\n{printed}"));
+    // Compare structure, not the Program values directly: lowering may
+    // order functions identically, so equality should hold — but a precise
+    // message beats a blanket assert_eq on huge structures.
+    assert_eq!(
+        p1.functions.len(),
+        p2.functions.len(),
+        "{what}: function count changed"
+    );
+    for (f1, f2) in p1.functions.iter().zip(&p2.functions) {
+        assert_eq!(f1.name, f2.name, "{what}");
+        assert_eq!(f1.body, f2.body, "{what}: body of `{}` changed", f1.name);
+        assert_eq!(
+            f1.locals, f2.locals,
+            "{what}: locals of `{}` changed",
+            f1.name
+        );
+    }
+    assert_eq!(p1.globals, p2.globals, "{what}: globals changed");
+    assert_eq!(p1.classes, p2.classes, "{what}: classes changed");
+}
+
+#[test]
+fn suite_programs_round_trip() {
+    for b in hps::suite::benchmarks() {
+        assert_roundtrip(b.source, b.name);
+    }
+}
+
+#[test]
+fn feature_corners_round_trip() {
+    assert_roundtrip(
+        "fn f(x: int) -> int {
+            var a: int = -3;
+            var b: float = 2.5;
+            var c: bool = true && !(x > 0) || x <= -1;
+            if (c) { a = a * (x + 2) - x / 3 % 5; } else { a = x - (x - 1); }
+            return a;
+        }",
+        "precedence and unary corners",
+    );
+    assert_roundtrip(
+        "global g: int = -7;
+         global buf: float[] = new float[4];
+         fn main() {
+            var i: int;
+            for (i = 0; i < 4; i = i + 1) { buf[i] = float(g + i); }
+            while (true) { break; }
+            print(buf[3]);
+         }",
+        "globals, for-desugaring, arrays",
+    );
+    assert_roundtrip(
+        "class P {
+            x: int;
+            fn get() -> int { return self.x; }
+            fn set(v: int) { self.x = v; }
+         }
+         fn main() {
+            var p: P = new P();
+            p.set(4);
+            print(p.get() + p.x);
+         }",
+        "classes, methods, fields",
+    );
+    assert_roundtrip(
+        "fn f(a: float) -> float {
+            return exp(a) + log(a) + sqrt(a) + abs(a) + min(a, 1.0) + max(a, 2.0) + floor(a);
+         }
+         fn g(x: int) -> float { return float(x); }
+         fn h(x: float) -> int { return int(x); }",
+        "builtins",
+    );
+}
+
+#[test]
+fn printed_split_output_is_readable() {
+    // Post-split programs contain HiddenCall pseudo-statements; the
+    // printer must render them without panicking (not reparseable, by
+    // design).
+    let program = hps::lang::parse(
+        "fn f(x: int, b: int[]) -> int { var a: int = x * 2; b[0] = a; return a; }
+         fn main() { var b: int[] = new int[1]; print(f(3, b)); }",
+    )
+    .expect("parses");
+    let plan = hps::split::SplitPlan::single(&program, "f", "a").expect("plan");
+    let split = hps::split::split_program(&program, &plan).expect("splits");
+    let fid = split.open.func_by_name("f").expect("exists");
+    let text = hps::ir::pretty::function_to_string(&split.open, split.open.func(fid));
+    assert!(
+        text.contains("__hidden("),
+        "no hidden calls rendered:\n{text}"
+    );
+}

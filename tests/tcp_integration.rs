@@ -1,0 +1,77 @@
+//! The two-machine deployment end to end: a benchmark split with the paper
+//! pipeline, its hidden program served over real TCP, the open program
+//! driving it through the wire protocol — output must match the unsplit
+//! run exactly.
+
+use hiding_program_slices as hps;
+use hps::runtime::tcp::{serve_once, TcpChannel};
+use hps::runtime::{run_program, Channel, ExecConfig, Interp, SecureServer, SplitMeta};
+use hps::split::split_program;
+use std::net::TcpListener;
+use std::thread;
+
+#[test]
+fn benchmark_split_runs_over_tcp() {
+    let b = hps::suite::benchmark("rulekit").expect("exists");
+    let program = b.program().expect("parses");
+    let selected = hps::split::select_functions(&program);
+    let seeds = hps::security::choose_seeds_all(&program, &selected);
+    let plan = hps::split::SplitPlan {
+        targets: seeds
+            .into_iter()
+            .map(|(func, seed)| hps::split::SplitTarget::Function { func, seed })
+            .collect(),
+        promote_control: true,
+    };
+    let split = split_program(&program, &plan).expect("splits");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hidden = split.hidden.clone();
+    let server = thread::spawn(move || {
+        let mut server = SecureServer::new(hidden);
+        serve_once(listener, &mut server)
+    });
+
+    let mut channel = TcpChannel::connect(addr).expect("connect");
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let outcome = {
+        let mut interp =
+            Interp::new(&split.open, ExecConfig::new()).with_channel(&mut channel, &meta);
+        interp
+            .run("main", &[b.workload(300, 9)])
+            .expect("split program runs over TCP")
+    };
+    let interactions = channel.interactions();
+    channel.shutdown().expect("shutdown");
+    let served = server.join().expect("join").expect("serve");
+
+    let original = run_program(&program, &[b.workload(300, 9)]).expect("original runs");
+    assert_eq!(original.output, outcome.output);
+    assert!(interactions > 0);
+    assert_eq!(served, interactions);
+}
+
+#[test]
+fn tcp_channel_reports_server_side_failures() {
+    // A client addressing a component the server does not have gets a
+    // remote error, not a hang or a protocol break.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = thread::spawn(move || {
+        let mut server = SecureServer::new(hps::ir::HiddenProgram::new());
+        serve_once(listener, &mut server)
+    });
+    let mut channel = TcpChannel::connect(addr).expect("connect");
+    let err = channel
+        .call(
+            hps::ir::ComponentId::new(0),
+            1,
+            hps::ir::FragLabel::new(0),
+            &[],
+        )
+        .expect_err("unknown component must fail");
+    assert!(matches!(err, hps::runtime::RuntimeError::Channel(msg) if msg.contains("remote:")));
+    channel.shutdown().expect("shutdown");
+    server.join().expect("join").expect("serve");
+}
