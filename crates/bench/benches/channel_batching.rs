@@ -1,0 +1,36 @@
+//! Wall-clock effect of round-trip coalescing: demand transport (one round
+//! trip per hidden call) vs batched transport (deferrable calls shipped
+//! with the next demanded call). The deterministic counterpart is the
+//! `interactions`/`batched` pair in `tables -- table5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_bench::split_benchmark;
+use hps_runtime::{run_split, run_split_batched};
+
+fn channel_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_batching");
+    group.sample_size(10);
+    for b in hps_suite::benchmarks() {
+        let (_, split) = split_benchmark(&b);
+        let size = 300;
+        group.bench_with_input(BenchmarkId::new("demand", b.name), &size, |bench, &size| {
+            bench.iter(|| {
+                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("batched", b.name),
+            &size,
+            |bench, &size| {
+                bench.iter(|| {
+                    run_split_batched(&split.open, &split.hidden, &[b.workload(size, 1)])
+                        .expect("runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, channel_batching);
+criterion_main!(benches);

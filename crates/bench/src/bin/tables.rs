@@ -145,19 +145,30 @@ fn table4() {
 fn table5(scale: usize) {
     println!("Table 5. Runtime overhead caused by software splitting (virtual time, LAN RTT).");
     println!(
-        "{:<10} {:<8} {:<12} {:>8} {:>13} {:>12} {:>12} {:>10}",
-        "benchmark", "analog", "input", "size", "interactions", "before", "after", "% increase"
+        "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark",
+        "analog",
+        "input",
+        "size",
+        "interactions",
+        "batched",
+        "before",
+        "after",
+        "after-batch",
+        "% increase"
     );
     for r in table5_rows(scale) {
         println!(
-            "{:<10} {:<8} {:<12} {:>8} {:>13} {:>12} {:>12} {:>9.0}%",
+            "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>9.0}%",
             r.name,
             r.analog,
             r.input,
             r.size,
             r.interactions,
+            r.interactions_batched,
             fmt_seconds(r.before_s),
             fmt_seconds(r.after_s),
+            fmt_seconds(r.batched_s),
             r.increase_percent()
         );
     }

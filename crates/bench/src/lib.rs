@@ -217,12 +217,16 @@ pub struct Table5Row {
     pub input: &'static str,
     /// Input size (elements).
     pub size: usize,
-    /// Open↔hidden round trips.
+    /// Open↔hidden round trips (demand transport, one per hidden call).
     pub interactions: u64,
+    /// Round trips with deferrable-call batching enabled.
+    pub interactions_batched: u64,
     /// Virtual runtime of the original (seconds).
     pub before_s: f64,
     /// Virtual runtime of the split program (seconds).
     pub after_s: f64,
+    /// Virtual runtime of the split program with batching (seconds).
+    pub batched_s: f64,
 }
 
 impl Table5Row {
@@ -232,6 +236,15 @@ impl Table5Row {
             return 0.0;
         }
         (self.after_s - self.before_s) / self.before_s * 100.0
+    }
+
+    /// Percentage of round trips removed by batching (the coalescing
+    /// ablation's headline number).
+    pub fn interaction_reduction_percent(&self) -> f64 {
+        if self.interactions == 0 {
+            return 0.0;
+        }
+        (self.interactions - self.interactions_batched) as f64 / self.interactions as f64 * 100.0
     }
 }
 
@@ -258,14 +271,29 @@ pub fn table5_rows(scale: usize) -> Vec<Table5Row> {
             )
             .expect("split runs");
             assert_eq!(before.output, after.outcome.output, "{} diverged", b.name);
+            let batched = hps_runtime::run_split_with_rtt(
+                &split.open,
+                &split.hidden,
+                &[b.workload(size, 1)],
+                rtt,
+                ExecConfig::new().with_batching(true),
+            )
+            .expect("batched split runs");
+            assert_eq!(
+                before.output, batched.outcome.output,
+                "{} diverged under batching",
+                b.name
+            );
             rows.push(Table5Row {
                 name: b.name,
                 analog: b.paper_analog,
                 input: label,
                 size,
                 interactions: after.interactions,
+                interactions_batched: batched.interactions,
                 before_s: cfg.cost_model.to_seconds(before.cost),
                 after_s: cfg.cost_model.to_seconds(after.outcome.cost),
+                batched_s: cfg.cost_model.to_seconds(batched.outcome.cost),
             });
         }
     }
@@ -392,7 +420,31 @@ mod tests {
         for row in rows {
             assert!(row.interactions > 0, "{row:?}");
             assert!(row.after_s >= row.before_s, "{row:?}");
+            assert!(row.interactions_batched <= row.interactions, "{row:?}");
+            assert!(row.batched_s <= row.after_s, "{row:?}");
         }
+    }
+
+    #[test]
+    fn batching_cuts_round_trips_on_suite() {
+        // The coalescing acceptance bar: at least two suite benchmarks
+        // lose >= 25% of their round trips, with identical program output
+        // (output equality is asserted inside `table5_rows`).
+        let rows = table5_rows(40);
+        let mut improved: Vec<&'static str> = rows
+            .iter()
+            .filter(|r| r.interaction_reduction_percent() >= 25.0)
+            .map(|r| r.name)
+            .collect();
+        improved.sort_unstable();
+        improved.dedup();
+        assert!(
+            improved.len() >= 2,
+            "expected >= 25% fewer interactions on >= 2 benchmarks, got {improved:?}: {:?}",
+            rows.iter()
+                .map(|r| (r.name, r.input, r.interactions, r.interactions_batched))
+                .collect::<Vec<_>>()
+        );
     }
 }
 

@@ -47,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod defer;
 pub mod deploy;
 pub mod error;
 pub mod infer;
@@ -56,6 +57,7 @@ pub mod selection;
 pub mod self_contained;
 pub mod splitter;
 
+pub use defer::{mark_deferrable, DeferStats};
 pub use deploy::{check_deployment, DeploymentCheck, DeviceProfile};
 pub use error::SplitError;
 pub use plan::{SplitPlan, SplitTarget};

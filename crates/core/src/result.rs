@@ -1,5 +1,6 @@
 //! Split results and per-function reports.
 
+use crate::defer::DeferStats;
 use hps_analysis::VarId;
 use hps_ir::{ComponentId, Expr, FragLabel, FuncId, HiddenProgram, Program, StmtId};
 use hps_slicing::SlicePlan;
@@ -62,6 +63,8 @@ pub struct SplitResult {
     pub hidden: HiddenProgram,
     /// Per-target reports.
     pub reports: Vec<SplitReport>,
+    /// What the deferrable-call pass marked (round-trip coalescing).
+    pub defer: DeferStats,
 }
 
 impl SplitResult {

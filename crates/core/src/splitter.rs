@@ -210,10 +210,14 @@ pub fn split_program(program: &Program, plan: &SplitPlan) -> Result<SplitResult,
     }
 
     open.renumber_all();
+    // Round-trip coalescing: mark hidden calls whose replies no open
+    // statement demands before the next flush point (see `crate::defer`).
+    let defer = crate::defer::mark_deferrable(&mut open);
     Ok(SplitResult {
         open,
         hidden,
         reports,
+        defer,
     })
 }
 
@@ -536,6 +540,7 @@ impl FuncRewriter<'_> {
             label,
             args,
             result: None,
+            deferred: false,
         }));
         Ok(())
     }
@@ -552,6 +557,7 @@ impl FuncRewriter<'_> {
             label,
             args: Vec::new(),
             result: Some(Place::Local(tmp)),
+            deferred: false,
         }));
         self.ilps.push(IlpInfo {
             stmt: at,
@@ -715,6 +721,7 @@ impl FuncRewriter<'_> {
                         label,
                         args: vec![value],
                         result: None,
+                        deferred: false,
                     }));
                 } else {
                     let value = self.openize_expr(value, at, out, &mut cache)?;
@@ -846,6 +853,7 @@ impl FuncRewriter<'_> {
             label,
             args,
             result: None,
+            deferred: false,
         }))
     }
 
@@ -881,6 +889,7 @@ impl FuncRewriter<'_> {
             label,
             args,
             result: None,
+            deferred: false,
         }))
     }
 
@@ -1016,12 +1025,14 @@ fn with_result(call: Stmt, result: Option<Place>) -> Stmt {
             component,
             label,
             args,
+            deferred,
             ..
         } => Stmt::new(StmtKind::HiddenCall {
             component,
             label,
             args,
             result,
+            deferred,
         }),
         _ => unreachable!("with_result takes a HiddenCall"),
     }

@@ -3,7 +3,7 @@
 //! class targets, across control-flow shapes, recursion and runtime errors.
 
 use hps_core::{split_program, SplitPlan};
-use hps_runtime::{run_program, run_split, RtValue};
+use hps_runtime::{run_program, run_split, run_split_batched, RtValue};
 
 fn check_equiv(src: &str, plan: &SplitPlan, args: &[RtValue]) -> (Vec<String>, u64) {
     let program = hps_lang::parse(src).expect("parses");
@@ -13,6 +13,19 @@ fn check_equiv(src: &str, plan: &SplitPlan, args: &[RtValue]) -> (Vec<String>, u
     assert_eq!(
         original.output, replayed.outcome.output,
         "split changed observable behaviour"
+    );
+    // Round-trip coalescing must be transparent: same output, never more
+    // round trips than demand transport.
+    let batched = run_split_batched(&split.open, &split.hidden, args).expect("batched runs");
+    assert_eq!(
+        original.output, batched.outcome.output,
+        "batching changed observable behaviour"
+    );
+    assert!(
+        batched.interactions <= replayed.interactions,
+        "batching increased round trips ({} vs {})",
+        batched.interactions,
+        replayed.interactions
     );
     (original.output, replayed.interactions)
 }
@@ -382,6 +395,53 @@ fn hidden_bool_variables_round_trip() {
     let plan = SplitPlan::single(&program, "f", "flag").unwrap();
     let (output, _) = check_equiv(src, &plan, &[]);
     assert_eq!(output, vec!["15", "21"]);
+}
+
+#[test]
+fn batching_strictly_drops_interactions_for_update_loops() {
+    // A loop of update-only `set` calls is the coalescing sweet spot: the
+    // deferrable-call pass marks every set, and the batching runtime ships
+    // each batch with the next demanded fetch.
+    let src = "
+        global total: int = 0;
+        fn add(v: int) { total = total + v; }
+        fn main() {
+            var i: int = 0;
+            while (i < 20) { add(i); i = i + 1; }
+            print(total);
+        }";
+    let program = hps_lang::parse(src).unwrap();
+    let plan = SplitPlan::global(&program, "total").unwrap();
+    let split = split_program(&program, &plan).unwrap();
+    assert!(split.defer.deferred_calls >= 1, "{:?}", split.defer);
+    let demand = run_split(&split.open, &split.hidden, &[]).expect("runs");
+    let batched = run_split_batched(&split.open, &split.hidden, &[]).expect("runs");
+    assert_eq!(demand.outcome.output, batched.outcome.output);
+    assert!(
+        batched.interactions < demand.interactions,
+        "batching must strictly reduce round trips ({} vs {})",
+        batched.interactions,
+        demand.interactions
+    );
+}
+
+#[test]
+fn batching_runtime_errors_still_surface() {
+    // A division by zero computed on the hidden side must fail identically
+    // whether or not preceding update calls were buffered.
+    let src = "
+        global d: int = 2;
+        fn main() {
+            d = d - 1;
+            d = d - 1;
+            print(10 / d);
+        }";
+    let program = hps_lang::parse(src).unwrap();
+    let plan = SplitPlan::global(&program, "d").unwrap();
+    let split = split_program(&program, &plan).unwrap();
+    let demand_err = run_split(&split.open, &split.hidden, &[]).unwrap_err();
+    let batched_err = run_split_batched(&split.open, &split.hidden, &[]).unwrap_err();
+    assert_eq!(demand_err, batched_err);
 }
 
 #[test]

@@ -200,8 +200,10 @@ impl<'a> Printer<'a> {
                 label,
                 args,
                 result,
+                deferred,
             } => {
                 let args: Vec<String> = args.iter().map(|a| self.expr(func, a, 0)).collect();
+                let defer = if *deferred { "defer " } else { "" };
                 let call = format!(
                     "__hidden({component}.{label}{}{})",
                     if args.is_empty() { "" } else { ", " },
@@ -210,9 +212,9 @@ impl<'a> Printer<'a> {
                 match result {
                     Some(place) => {
                         let p = self.place(func, place);
-                        self.line(&format!("{tag}{p} = {call};"));
+                        self.line(&format!("{tag}{defer}{p} = {call};"));
                     }
-                    None => self.line(&format!("{tag}{call};")),
+                    None => self.line(&format!("{tag}{defer}{call};")),
                 }
             }
             StmtKind::Nop => self.line(&format!("{tag}// nop")),

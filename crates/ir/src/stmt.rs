@@ -197,6 +197,13 @@ pub enum StmtKind {
         args: Vec<Expr>,
         /// Where the returned value goes, if it is used.
         result: Option<Place>,
+        /// Marked by the deferrable-call pass (`hps-core`): the open side may
+        /// buffer this call and ship it together with later calls in one
+        /// round trip, because no open statement observes its effect before
+        /// the next flush point. Execution order of the logical calls is
+        /// preserved; only the transport is coalesced. Splitting always
+        /// emits `false`; the pass upgrades safe sites afterwards.
+        deferred: bool,
     },
     /// A no-op, left behind where statements were removed.
     Nop,

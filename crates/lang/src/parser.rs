@@ -130,13 +130,15 @@ impl<'a> Parser<'a> {
                         self.bump();
                         array_len = Some(n);
                     }
-                    other => return Err(LangError::parse(
-                        format!(
+                    other => {
+                        return Err(LangError::parse(
+                            format!(
                             "global array length must be a non-negative integer literal, found {}",
                             other.describe()
                         ),
-                        self.span(),
-                    )),
+                            self.span(),
+                        ))
+                    }
                 }
                 self.expect_punct(Punct::RBracket)?;
             } else {

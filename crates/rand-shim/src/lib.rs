@@ -1,0 +1,133 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this tiny crate provides the exact surface the workspace uses
+//! (`StdRng::seed_from_u64` + `Rng::gen_range` over integer ranges) with a
+//! deterministic SplitMix64 generator. It is **not** a cryptographic or
+//! statistically rigorous RNG — it only has to produce stable, well-spread
+//! workload data for the benchmark suite.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a range can be sampled over (subset of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = rng.next_u64() as u128 % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = rng.next_u64() as u128 % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`. Same name so call sites compile unchanged; the stream
+    /// differs from upstream, which is fine for workload generation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Vigna).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i64 = a.gen_range(-50..50);
+            assert_eq!(x, b.gen_range(-50..50));
+            assert!((-50..50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_ends() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v: i64 = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -15,6 +15,22 @@ pub struct CallReply {
     pub server_cost: u64,
 }
 
+/// One buffered fragment call awaiting transport, produced by the open
+/// interpreter when it defers calls marked by the `hps-core` deferrable-call
+/// pass. Arguments are already evaluated to scalars, so shipping a batch
+/// later cannot change what the fragment observes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PendingCall {
+    /// Which hidden component the fragment belongs to.
+    pub component: ComponentId,
+    /// Activation / instance key routing the call to its hidden state.
+    pub key: u64,
+    /// Which fragment to run.
+    pub label: FragLabel,
+    /// Evaluated scalar arguments.
+    pub args: Vec<Value>,
+}
+
 /// Transport between the open component and the secure device.
 ///
 /// Implementations: [`InProcessChannel`] (deterministic, used by tests and
@@ -33,6 +49,25 @@ pub trait Channel {
         label: FragLabel,
         args: &[Value],
     ) -> Result<CallReply, RuntimeError>;
+
+    /// Runs a batch of logical fragment calls in order and returns one
+    /// reply per call.
+    ///
+    /// Transports that understand batching serve the whole slice in a
+    /// single round trip (one [`Channel::interactions`] tick); the default
+    /// implementation degrades to one [`Channel::call`] per entry so
+    /// existing channel implementations keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-side execution errors and transport failures; a
+    /// failing call aborts the rest of the batch.
+    fn call_batch(&mut self, calls: &[PendingCall]) -> Result<Vec<CallReply>, RuntimeError> {
+        calls
+            .iter()
+            .map(|c| self.call(c.component, c.key, c.label, &c.args))
+            .collect()
+    }
 
     /// Notifies the secure side that activation/instance `key` is finished
     /// and its hidden state may be freed.
@@ -102,6 +137,20 @@ impl Channel for InProcessChannel {
             value: out.value,
             server_cost: out.cost,
         })
+    }
+
+    fn call_batch(&mut self, calls: &[PendingCall]) -> Result<Vec<CallReply>, RuntimeError> {
+        // One round trip carries the whole batch; the server still executes
+        // (and meters) every logical call.
+        self.interactions += 1;
+        let outs = self.server.call_batch(calls)?;
+        Ok(outs
+            .into_iter()
+            .map(|out| CallReply {
+                value: out.value,
+                server_cost: out.cost,
+            })
+            .collect())
     }
 
     fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {

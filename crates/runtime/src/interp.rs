@@ -12,7 +12,7 @@
 //!   and release the secure-side state on return. Methods of split classes
 //!   route calls by the receiver object's instance id instead.
 
-use crate::channel::Channel;
+use crate::channel::{Channel, PendingCall};
 use crate::cost::CostModel;
 use crate::error::RuntimeError;
 use crate::server::SecureServer;
@@ -33,10 +33,15 @@ pub struct ExecConfig {
     pub max_call_depth: usize,
     /// The cost model used for virtual timing.
     pub cost_model: CostModel,
+    /// Honour `deferred` marks on [`StmtKind::HiddenCall`]: buffer marked
+    /// calls and ship them together with the next demanded call (or flush
+    /// point) in one round trip. Off by default so unbatched interaction
+    /// counts stay reproducible.
+    pub batching: bool,
 }
 
 impl ExecConfig {
-    /// Defaults: 500 M steps, depth 128, default cost model.
+    /// Defaults: 500 M steps, depth 128, default cost model, no batching.
     ///
     /// The depth limit is conservative because each interpreted call uses a
     /// few kilobytes of host stack; 128 fits comfortably in a 2 MiB test
@@ -46,7 +51,14 @@ impl ExecConfig {
             max_steps: 500_000_000,
             max_call_depth: 128,
             cost_model: CostModel::new(),
+            batching: false,
         }
+    }
+
+    /// Enables or disables round-trip batching (builder style).
+    pub fn with_batching(mut self, batching: bool) -> ExecConfig {
+        self.batching = batching;
+        self
     }
 }
 
@@ -189,6 +201,26 @@ pub fn run_split(
     run_split_with_rtt(open, hidden, args, 0, ExecConfig::new())
 }
 
+/// [`run_split`] with round-trip batching enabled: hidden calls marked
+/// `deferred` by the `hps-core` deferrable-call pass are buffered and
+/// coalesced with the next demanded call into a single interaction.
+///
+/// Program output and the sequence of logical fragment calls the secure
+/// side serves are identical to [`run_split`]; only
+/// [`SplitOutcome::interactions`] (and the round-trip share of the cost)
+/// shrinks.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults on either side.
+pub fn run_split_batched(
+    open: &Program,
+    hidden: &HiddenProgram,
+    args: &[RtValue],
+) -> Result<SplitOutcome, RuntimeError> {
+    run_split_with_rtt(open, hidden, args, 0, ExecConfig::new().with_batching(true))
+}
+
 /// [`run_split`] with an explicit round-trip cost and configuration.
 ///
 /// # Errors
@@ -213,6 +245,9 @@ pub fn run_split_with_rtt(
         server_cost: channel.server().cost_spent(),
     })
 }
+
+/// Upper bound on buffered deferred calls before a forced flush.
+const MAX_PENDING_CALLS: usize = 4096;
 
 enum Flow {
     Normal,
@@ -241,6 +276,12 @@ pub struct Interp<'a> {
     meta: Option<&'a SplitMeta>,
     next_activation: u64,
     next_instance: u64,
+    /// Deferred hidden calls awaiting one coalesced round trip, with the
+    /// result place (if any) each reply must land in. The deferrable-call
+    /// pass guarantees a result-bearing entry is flushed within the frame
+    /// that buffered it.
+    pending: Vec<PendingCall>,
+    pending_results: Vec<Option<Place>>,
 }
 
 impl<'a> Interp<'a> {
@@ -269,6 +310,8 @@ impl<'a> Interp<'a> {
             meta: None,
             next_activation: 1,
             next_instance: 1,
+            pending: Vec::new(),
+            pending_results: Vec::new(),
         }
     }
 
@@ -299,6 +342,10 @@ impl<'a> Interp<'a> {
             )));
         }
         let ret = self.call_function(fid, args.to_vec())?;
+        // Deferred calls to persistent (global/class) components may still
+        // be buffered; the run's hidden-side effects must be complete
+        // before the outcome is observable.
+        self.flush_pending(None)?;
         Ok(Outcome {
             ret,
             output: std::mem::take(&mut self.output),
@@ -330,7 +377,19 @@ impl<'a> Interp<'a> {
             _ => None,
         };
         let mut frame = Frame { locals, activation };
-        let result = self.exec_block(&mut frame, &func.body);
+        let mut result = self.exec_block(&mut frame, &func.body);
+        // Buffered calls must reach the server before this activation's
+        // state is freed below. (On error the run's outcome is discarded,
+        // so the buffer is dropped instead of flushed.)
+        if result.is_ok() && frame.activation.is_some() {
+            if let Err(e) = self.flush_pending(Some(&mut frame)) {
+                result = Err(e);
+            }
+        }
+        if result.is_err() {
+            self.pending.clear();
+            self.pending_results.clear();
+        }
         // Free secure-side state regardless of how the function exits.
         if let Some((c, id)) = frame.activation {
             if let Some(chan) = self.channel.as_deref_mut() {
@@ -420,17 +479,63 @@ impl<'a> Interp<'a> {
                     label,
                     args,
                     result,
+                    deferred,
                 } => {
-                    let reply = self.hidden_call(frame, *component, *label, args)?;
-                    if let Some(place) = result {
-                        self.cost += self.config.cost_model.assign;
-                        self.assign_place(frame, place, RtValue::from_const(reply))?;
+                    if *deferred && self.config.batching {
+                        self.defer_call(frame, *component, *label, args, result.clone())?;
+                    } else {
+                        let reply = self.hidden_call(frame, *component, *label, args)?;
+                        if let Some(place) = result {
+                            self.cost += self.config.cost_model.assign;
+                            self.assign_place(frame, place, RtValue::from_const(reply))?;
+                        }
                     }
                 }
                 StmtKind::Nop => {}
             }
         }
         Ok(Flow::Normal)
+    }
+
+    /// Evaluates hidden-call arguments to wire scalars.
+    fn marshal_args(
+        &mut self,
+        frame: &mut Frame,
+        args: &[Expr],
+    ) -> Result<Vec<hps_ir::Value>, RuntimeError> {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            let v = self.eval(frame, a)?;
+            vals.push(v.to_const().ok_or(RuntimeError::TypeMismatch {
+                expected: "scalar hidden-call argument",
+                found: "aggregate",
+            })?);
+        }
+        self.cost += self.config.cost_model.marshal_per_arg * vals.len() as u64;
+        Ok(vals)
+    }
+
+    /// The state key a hidden call routes to: the receiver's instance id
+    /// for class components, 0 for globals, the current activation for
+    /// split functions.
+    fn activation_key(&self, frame: &Frame, component: ComponentId) -> Result<u64, RuntimeError> {
+        let meta = self.meta.ok_or(RuntimeError::NoChannel)?;
+        match meta.kind_of(component) {
+            Some(MetaKind::Class) => match frame.locals.first() {
+                Some(RtValue::Object(obj)) => Ok(obj.borrow().instance_id),
+                _ => Err(RuntimeError::Channel(
+                    "class-component hidden call outside a method".into(),
+                )),
+            },
+            // One shared hidden state for a hidden global.
+            Some(MetaKind::Global) => Ok(0),
+            _ => match frame.activation {
+                Some((c, id)) if c == component => Ok(id),
+                _ => Err(RuntimeError::Channel(
+                    "hidden call outside its split function's activation".into(),
+                )),
+            },
+        }
     }
 
     fn hidden_call(
@@ -440,41 +545,92 @@ impl<'a> Interp<'a> {
         label: hps_ir::FragLabel,
         args: &[Expr],
     ) -> Result<hps_ir::Value, RuntimeError> {
-        let meta = self.meta.ok_or(RuntimeError::NoChannel)?;
-        let mut vals = Vec::with_capacity(args.len());
-        for a in args {
-            let v = self.eval(frame, a)?;
-            vals.push(v.to_const().ok_or(RuntimeError::TypeMismatch {
-                expected: "scalar hidden-call argument",
-                found: "aggregate",
-            })?);
+        let vals = self.marshal_args(frame, args)?;
+        let key = self.activation_key(frame, component)?;
+        if self.pending.is_empty() {
+            let chan = self.channel.as_deref_mut().ok_or(RuntimeError::NoChannel)?;
+            let reply = chan.call(component, key, label, &vals)?;
+            self.cost += chan.rtt_cost() + reply.server_cost;
+            Ok(reply.value)
+        } else {
+            // Ship the deferred buffer and this demanded call together in
+            // one round trip; the demanded reply is the batch's last.
+            self.pending.push(PendingCall {
+                component,
+                key,
+                label,
+                args: vals,
+            });
+            self.pending_results.push(None);
+            let last = self.flush_pending(Some(frame))?;
+            Ok(last.expect("flushing a non-empty batch yields a reply"))
         }
-        let key = match meta.kind_of(component) {
-            Some(MetaKind::Class) => match frame.locals.first() {
-                Some(RtValue::Object(obj)) => obj.borrow().instance_id,
-                _ => {
-                    return Err(RuntimeError::Channel(
-                        "class-component hidden call outside a method".into(),
-                    ))
-                }
-            },
-            // One shared hidden state for a hidden global.
-            Some(MetaKind::Global) => 0,
-            _ => match frame.activation {
-                Some((c, id)) if c == component => id,
-                _ => {
-                    return Err(RuntimeError::Channel(
-                        "hidden call outside its split function's activation".into(),
-                    ))
-                }
-            },
-        };
+    }
+
+    /// Buffers a hidden call marked deferrable: argument evaluation (and
+    /// its cost) happens now, transport waits for the next flush point.
+    fn defer_call(
+        &mut self,
+        frame: &mut Frame,
+        component: ComponentId,
+        label: hps_ir::FragLabel,
+        args: &[Expr],
+        result: Option<Place>,
+    ) -> Result<(), RuntimeError> {
+        let vals = self.marshal_args(frame, args)?;
+        let key = self.activation_key(frame, component)?;
+        // Fail like an immediate call would if no channel is attached.
+        if self.channel.is_none() {
+            return Err(RuntimeError::NoChannel);
+        }
+        self.pending.push(PendingCall {
+            component,
+            key,
+            label,
+            args: vals,
+        });
+        self.pending_results.push(result);
+        // Deterministic cap: an update-only loop may never demand a value,
+        // so bound the buffer (and its memory) by flushing periodically.
+        // The flush happens in the buffering frame, so result places stay
+        // valid.
+        if self.pending.len() >= MAX_PENDING_CALLS {
+            self.flush_pending(Some(frame))?;
+        }
+        Ok(())
+    }
+
+    /// Sends every buffered call in one batched round trip, assigns replies
+    /// to their recorded result places, and returns the last reply (the
+    /// value of the demanded call that triggered the flush, when there is
+    /// one). No-op on an empty buffer.
+    fn flush_pending(
+        &mut self,
+        mut frame: Option<&mut Frame>,
+    ) -> Result<Option<hps_ir::Value>, RuntimeError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let calls = std::mem::take(&mut self.pending);
+        let results = std::mem::take(&mut self.pending_results);
         let chan = self.channel.as_deref_mut().ok_or(RuntimeError::NoChannel)?;
-        let reply = chan.call(component, key, label, &vals)?;
-        self.cost += chan.rtt_cost()
-            + self.config.cost_model.marshal_per_arg * vals.len() as u64
-            + reply.server_cost;
-        Ok(reply.value)
+        let replies = chan.call_batch(&calls)?;
+        self.cost += chan.rtt_cost();
+        let mut last = None;
+        for (reply, place) in replies.into_iter().zip(results) {
+            self.cost += reply.server_cost;
+            if let Some(place) = place {
+                // The deferrable-call pass only defers result-bearing calls
+                // that flush within the frame that buffered them.
+                let frame = frame
+                    .as_deref_mut()
+                    .expect("deferred result flushed outside its frame");
+                self.cost += self.config.cost_model.assign;
+                self.assign_place(frame, &place, RtValue::from_const(reply.value))?;
+            }
+            last = Some(reply.value);
+        }
+        Ok(last)
     }
 
     fn truthy(&mut self, frame: &mut Frame, cond: &Expr) -> Result<bool, RuntimeError> {
@@ -916,6 +1072,7 @@ mod tests {
                 label: FragLabel::new(0),
                 args: vec![],
                 result: None,
+                deferred: false,
             }));
         p.renumber_all();
         assert_eq!(run_program(&p, &[]), Err(RuntimeError::NoChannel));

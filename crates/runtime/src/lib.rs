@@ -17,6 +17,18 @@
 //! * [`trace`] — the adversary's view: records every value crossing the
 //!   channel, feeding the `hps-attack` crate.
 //!
+//! ## Round-trip batching
+//!
+//! Hidden calls marked `deferred` by the `hps-core` deferrable-call pass
+//! can be buffered and shipped together with the next demanded call as one
+//! [`channel::PendingCall`] batch ([`interp::run_split_batched`] /
+//! [`interp::ExecConfig::batching`]). On the wire this is one
+//! `Request::Batch` frame (tag `0x04`) answered by one `Response::Batch`
+//! frame (tag `0x12`) — see [`wire`]. Batching coalesces transport only:
+//! the secure side still executes and meters every logical call in order,
+//! and [`trace::TraceChannel`] still records each one, so the adversary's
+//! view is unchanged.
+//!
 //! # Examples
 //!
 //! Run an ordinary program:
@@ -44,12 +56,12 @@ pub mod trace;
 pub mod value;
 pub mod wire;
 
-pub use channel::{CallReply, Channel, InProcessChannel};
+pub use channel::{CallReply, Channel, InProcessChannel, PendingCall};
 pub use cost::CostModel;
 pub use error::RuntimeError;
 pub use interp::{
-    run_function, run_program, run_split, run_split_with_rtt, ExecConfig, Interp, Outcome,
-    SplitMeta, SplitOutcome,
+    run_function, run_program, run_split, run_split_batched, run_split_with_rtt, ExecConfig,
+    Interp, Outcome, SplitMeta, SplitOutcome,
 };
 pub use server::SecureServer;
 pub use trace::{Trace, TraceChannel, TraceEvent};

@@ -76,6 +76,26 @@ impl SecureServer {
         Ok(outcome)
     }
 
+    /// Executes a batch of logical fragment calls in order (the payload of
+    /// one coalesced round trip).
+    ///
+    /// Each entry is metered exactly like an individual [`SecureServer::call`]
+    /// — `calls_served` and `cost_spent` advance per logical call, so
+    /// transport batching never changes what the secure side observes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing call's error; later entries do not run.
+    pub fn call_batch(
+        &mut self,
+        calls: &[crate::channel::PendingCall],
+    ) -> Result<Vec<FragOutcome>, RuntimeError> {
+        calls
+            .iter()
+            .map(|c| self.call(c.component, c.key, c.label, &c.args))
+            .collect()
+    }
+
     /// Frees the hidden state of one activation/instance (sent by the open
     /// side when a split function returns). Unknown keys are ignored — the
     /// activation may never have touched the hidden side.

@@ -9,11 +9,13 @@
 //! particular, no hidden state). The `hps-attack` crate consumes the
 //! resulting [`Trace`].
 
-use crate::channel::{CallReply, Channel};
+use crate::channel::{CallReply, Channel, PendingCall};
 use crate::error::RuntimeError;
 use hps_ir::{ComponentId, FragLabel, Value};
 
-/// One observed round trip.
+/// One observed logical call (a batched round trip contributes one event
+/// per call it carries — the payload is fully visible on the wire either
+/// way, so transport coalescing never shrinks the adversary's view).
 #[derive(Clone, PartialEq, Debug)]
 pub struct TraceEvent {
     /// Position in the global interaction order.
@@ -126,6 +128,23 @@ impl Channel for TraceChannel<'_> {
         Ok(reply)
     }
 
+    fn call_batch(&mut self, calls: &[PendingCall]) -> Result<Vec<CallReply>, RuntimeError> {
+        let replies = self.inner.call_batch(calls)?;
+        // One event per logical call: the batch frame spells out every
+        // component/key/label/args tuple and every returned value.
+        for (c, reply) in calls.iter().zip(&replies) {
+            self.trace.events.push(TraceEvent {
+                seq: self.trace.events.len() as u64,
+                component: c.component,
+                key: c.key,
+                label: c.label,
+                args: c.args.clone(),
+                ret: reply.value,
+            });
+        }
+        Ok(replies)
+    }
+
     fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
         self.inner.release(component, key)
     }
@@ -191,6 +210,33 @@ mod tests {
         assert_eq!(trace.call_sites(), vec![(c0, l0), (c0, l1)]);
         assert_eq!(trace.keys_of(c0), vec![1, 2]);
         assert_eq!(trace.session(c0, 1).len(), 2);
+    }
+
+    #[test]
+    fn batches_record_every_logical_call() {
+        let mut inner = FakeChannel(0);
+        let mut tc = TraceChannel::new(&mut inner);
+        let c0 = ComponentId::new(0);
+        let calls = vec![
+            PendingCall {
+                component: c0,
+                key: 1,
+                label: FragLabel::new(0),
+                args: vec![Value::Int(5)],
+            },
+            PendingCall {
+                component: c0,
+                key: 2,
+                label: FragLabel::new(1),
+                args: vec![],
+            },
+        ];
+        tc.call_batch(&calls).unwrap();
+        let trace = tc.into_trace();
+        assert_eq!(trace.events.len(), 2, "one event per logical call");
+        assert_eq!(trace.events[0].ret, Value::Int(5));
+        assert_eq!(trace.events[1].seq, 1);
+        assert_eq!(trace.keys_of(c0), vec![1, 2]);
     }
 
     #[test]

@@ -7,11 +7,19 @@
 //! request  := 0x01 call(component:u32 key:u64 label:u32 argc:u16 arg*)
 //!           | 0x02 release(component:u32 key:u64)
 //!           | 0x03 shutdown
+//!           | 0x04 batch(count:u16 call-body*)     ; call-body as in 0x01
 //! response := 0x10 reply(value:arg server_cost:u64)
 //!           | 0x11 error(len:u32 utf8-bytes)
+//!           | 0x12 batch(count:u16 reply-body*)    ; reply-body as in 0x10
 //! arg      := 0x00 i64 | 0x01 f64-bits | 0x02 u8-bool
 //! ```
+//!
+//! A `0x04` batch carries a run of coalesced logical calls in one round
+//! trip and is answered by one `0x12` batch with a reply per call, in
+//! order. A failing call inside a batch turns the whole response into
+//! `0x11 error`.
 
+use crate::channel::{CallReply, PendingCall};
 use crate::error::RuntimeError;
 use hps_ir::{ComponentId, FragLabel, Value};
 use std::io::{Read, Write};
@@ -39,6 +47,8 @@ pub enum Request {
     },
     /// Stop serving this connection.
     Shutdown,
+    /// Run a batch of logical calls in order, one round trip.
+    Batch(Vec<PendingCall>),
 }
 
 /// A response from the secure side.
@@ -53,6 +63,8 @@ pub enum Response {
     },
     /// Secure-side failure, as display text.
     Error(String),
+    /// One reply per call of a [`Request::Batch`], in order.
+    Batch(Vec<CallReply>),
 }
 
 fn push_value(buf: &mut Vec<u8>, v: Value) {
@@ -133,10 +145,34 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn push_call_body(
+    buf: &mut Vec<u8>,
+    component: ComponentId,
+    key: u64,
+    label: FragLabel,
+    args: &[Value],
+) {
+    buf.extend_from_slice(&component.0.to_le_bytes());
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(&label.0.to_le_bytes());
+    buf.extend_from_slice(&(args.len() as u16).to_le_bytes());
+    for &a in args {
+        push_value(buf, a);
+    }
+}
+
 impl Request {
     /// Serializes the request payload (without the frame length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-provided buffer (cleared first), so a
+    /// long-lived connection can reuse one allocation per direction.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         match self {
             Request::Call {
                 component,
@@ -145,13 +181,7 @@ impl Request {
                 args,
             } => {
                 buf.push(0x01);
-                buf.extend_from_slice(&component.0.to_le_bytes());
-                buf.extend_from_slice(&key.to_le_bytes());
-                buf.extend_from_slice(&label.0.to_le_bytes());
-                buf.extend_from_slice(&(args.len() as u16).to_le_bytes());
-                for &a in args {
-                    push_value(&mut buf, a);
-                }
+                push_call_body(buf, *component, *key, *label, args);
             }
             Request::Release { component, key } => {
                 buf.push(0x02);
@@ -159,8 +189,14 @@ impl Request {
                 buf.extend_from_slice(&key.to_le_bytes());
             }
             Request::Shutdown => buf.push(0x03),
+            Request::Batch(calls) => {
+                buf.push(0x04);
+                buf.extend_from_slice(&(calls.len() as u16).to_le_bytes());
+                for c in calls {
+                    push_call_body(buf, c.component, c.key, c.label, &c.args);
+                }
+            }
         }
-        buf
     }
 
     /// Parses a request payload.
@@ -172,19 +208,12 @@ impl Request {
         let mut r = Reader { data, pos: 0 };
         let req = match r.u8()? {
             0x01 => {
-                let component = ComponentId(r.u32()?);
-                let key = r.u64()?;
-                let label = FragLabel(r.u32()?);
-                let argc = r.u16()? as usize;
-                let mut args = Vec::with_capacity(argc);
-                for _ in 0..argc {
-                    args.push(r.value()?);
-                }
+                let c = read_call_body(&mut r)?;
                 Request::Call {
-                    component,
-                    key,
-                    label,
-                    args,
+                    component: c.component,
+                    key: c.key,
+                    label: c.label,
+                    args: c.args,
                 }
             }
             0x02 => Request::Release {
@@ -192,6 +221,14 @@ impl Request {
                 key: r.u64()?,
             },
             0x03 => Request::Shutdown,
+            0x04 => {
+                let count = r.u16()? as usize;
+                let mut calls = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    calls.push(read_call_body(&mut r)?);
+                }
+                Request::Batch(calls)
+            }
             t => return Err(RuntimeError::Channel(format!("bad request tag 0x{t:02x}"))),
         };
         r.done()?;
@@ -199,14 +236,39 @@ impl Request {
     }
 }
 
+fn read_call_body(r: &mut Reader<'_>) -> Result<PendingCall, RuntimeError> {
+    let component = ComponentId(r.u32()?);
+    let key = r.u64()?;
+    let label = FragLabel(r.u32()?);
+    let argc = r.u16()? as usize;
+    let mut args = Vec::with_capacity(argc.min(1024));
+    for _ in 0..argc {
+        args.push(r.value()?);
+    }
+    Ok(PendingCall {
+        component,
+        key,
+        label,
+        args,
+    })
+}
+
 impl Response {
     /// Serializes the response payload (without the frame length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-provided buffer (cleared first), so a
+    /// long-lived connection can reuse one allocation per direction.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         match self {
             Response::Reply { value, server_cost } => {
                 buf.push(0x10);
-                push_value(&mut buf, *value);
+                push_value(buf, *value);
                 buf.extend_from_slice(&server_cost.to_le_bytes());
             }
             Response::Error(msg) => {
@@ -215,8 +277,15 @@ impl Response {
                 buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 buf.extend_from_slice(bytes);
             }
+            Response::Batch(replies) => {
+                buf.push(0x12);
+                buf.extend_from_slice(&(replies.len() as u16).to_le_bytes());
+                for reply in replies {
+                    push_value(buf, reply.value);
+                    buf.extend_from_slice(&reply.server_cost.to_le_bytes());
+                }
+            }
         }
-        buf
     }
 
     /// Parses a response payload.
@@ -239,6 +308,16 @@ impl Response {
                     String::from_utf8(bytes.to_vec())
                         .map_err(|_| RuntimeError::Channel("bad utf8 in error".into()))?,
                 )
+            }
+            0x12 => {
+                let count = r.u16()? as usize;
+                let mut replies = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let value = r.value()?;
+                    let server_cost = r.u64()?;
+                    replies.push(CallReply { value, server_cost });
+                }
+                Response::Batch(replies)
             }
             t => return Err(RuntimeError::Channel(format!("bad response tag 0x{t:02x}"))),
         };
@@ -324,6 +403,53 @@ mod tests {
             // NaN != NaN, compare via encoding.
             assert_eq!(decoded.encode(), bytes);
         }
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let req = Request::Batch(vec![
+            PendingCall {
+                component: ComponentId::new(1),
+                key: 7,
+                label: FragLabel::new(2),
+                args: vec![Value::Int(3), Value::Bool(false)],
+            },
+            PendingCall {
+                component: ComponentId::new(0),
+                key: 0,
+                label: FragLabel::new(0),
+                args: vec![],
+            },
+        ]);
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let resp = Response::Batch(vec![
+            CallReply {
+                value: Value::Bool(true),
+                server_cost: 4,
+            },
+            CallReply {
+                value: Value::Int(-1),
+                server_cost: 0,
+            },
+        ]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // An empty batch is legal on the wire even if the interpreter
+        // never sends one.
+        let empty = Request::Batch(Vec::new());
+        assert_eq!(Request::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let mut buf = Vec::with_capacity(64);
+        Request::Shutdown.encode_into(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), Request::Shutdown);
+        let req = Request::Release {
+            component: ComponentId::new(1),
+            key: 2,
+        };
+        req.encode_into(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), req);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!                                             print Of, Hf and the split report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps serve <file.ml> <addr> [selection]      host the hidden component on TCP
-//! hps client <file.ml> <addr> [selection] [ints...]
+//! hps client <file.ml> <addr> [selection] [--batch] [ints...]
 //!                                             run the open component against a server
 //! hps tables [--quick]                        shortcut to the experiment harness
 //! ```
@@ -56,10 +56,11 @@ USAGE:
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
   hps serve <file.ml> <addr> [selection flags]
-  hps client <file.ml> <addr> [selection flags] [--args ints...]
+  hps client <file.ml> <addr> [selection flags] [--batch] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
 complexity-guided, cost-restricted seed choice (the paper's pipeline).
+--batch coalesces deferrable hidden calls into batched round trips.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -265,15 +266,17 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         Some(i) => (&rest[..i], &rest[i + 1..]),
         None => (rest, &[]),
     };
+    let batch = flags.iter().any(|a| a == "--batch");
+    let flags: Vec<String> = flags.iter().filter(|a| *a != "--batch").cloned().collect();
     let program = load(path)?;
-    let split = do_split(&program, flags)?;
+    let split = do_split(&program, &flags)?;
     let entry_args = int_args(entry)?;
     let mut channel =
         hps::runtime::tcp::TcpChannel::connect(addr.as_str()).map_err(|e| e.to_string())?;
     let meta = SplitMeta::derive(&split.open, &split.hidden);
     let outcome = {
-        let mut interp =
-            Interp::new(&split.open, ExecConfig::new()).with_channel(&mut channel, &meta);
+        let mut interp = Interp::new(&split.open, ExecConfig::new().with_batching(batch))
+            .with_channel(&mut channel, &meta);
         interp.run("main", &entry_args).map_err(|e| e.to_string())?
     };
     for line in &outcome.output {
