@@ -1,0 +1,62 @@
+//! Cost of the reliability layer: fault-free split execution vs execution
+//! through a `FaultyChannel` at increasing injected-fault rates. The
+//! interesting number is the quiet-plan overhead (the price every call
+//! pays for sequencing and replay bookkeeping even when nothing fails).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_bench::split_benchmark;
+use hps_runtime::fault::{FaultKind, FaultPlan};
+use hps_runtime::{run_split, run_split_faulty};
+
+fn transport_reliability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_reliability");
+    group.sample_size(10);
+    let b = hps_suite::benchmark("rulekit").expect("exists");
+    let (_, split) = split_benchmark(&b);
+    let size = 300;
+    group.bench_with_input(
+        BenchmarkId::new("fault_free", b.name),
+        &size,
+        |bench, &size| {
+            bench.iter(|| {
+                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("quiet_plan", b.name),
+        &size,
+        |bench, &size| {
+            bench.iter(|| {
+                run_split_faulty(
+                    &split.open,
+                    &split.hidden,
+                    &[b.workload(size, 1)],
+                    FaultPlan::quiet(),
+                )
+                .expect("runs")
+            });
+        },
+    );
+    for per_mille in [50u32, 200] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("faults_{per_mille}permille"), b.name),
+            &size,
+            |bench, &size| {
+                bench.iter(|| {
+                    run_split_faulty(
+                        &split.open,
+                        &split.hidden,
+                        &[b.workload(size, 1)],
+                        FaultPlan::new(7, &FaultKind::ALL, per_mille),
+                    )
+                    .expect("runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transport_reliability);
+criterion_main!(benches);

@@ -4,6 +4,23 @@ use crate::error::RuntimeError;
 use crate::server::SecureServer;
 use hps_ir::{ComponentId, FragLabel, Value};
 
+/// Reliability counters a transport keeps *beside* the logical
+/// interaction count. Retries, reconnects and replays are transport
+/// plumbing: they never add logical calls, trace events or interactions,
+/// so they are reported separately from [`Channel::interactions`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransportStats {
+    /// Attempts beyond the first for some logical round trip.
+    pub retries: u64,
+    /// Connections re-established after a transport fault.
+    pub reconnects: u64,
+    /// Faults observed (timeouts, resets, injected drops/dups/truncations).
+    pub faults: u64,
+    /// Deliveries suppressed or answered from the replay cache instead of
+    /// re-executing (duplicate deliveries, retransmits after a lost reply).
+    pub replays: u64,
+}
+
 /// Reply to a fragment call: the returned scalar plus the virtual cost the
 /// secure device reported (the open side waits for the reply, so that cost
 /// is on the critical path).
@@ -85,6 +102,13 @@ pub trait Channel {
     /// Virtual cost units one round trip adds to the open side's critical
     /// path (0 for cost-free test channels).
     fn rtt_cost(&self) -> u64;
+
+    /// Reliability counters (retries, reconnects, replays). Fault-free
+    /// transports report all-zero; [`crate::tcp::TcpChannel`] in reliable
+    /// mode and [`crate::fault::FaultyChannel`] override this.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 /// A channel that delivers calls directly to an in-process

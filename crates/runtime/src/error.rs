@@ -4,6 +4,52 @@ use hps_ir::{ComponentId, FragLabel};
 use std::error::Error;
 use std::fmt;
 
+/// Whether a transport failure is worth retrying.
+///
+/// The reliability layer ([`crate::tcp`] retry/backoff, [`crate::fault`]
+/// injection) only re-attempts faults classified [`FaultClass::Retryable`];
+/// everything else — protocol violations, version mismatches, sequence
+/// gaps — is [`FaultClass::Terminal`] and propagates immediately.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Transient I/O conditions: timeouts, resets, closed or refused
+    /// connections, mid-frame EOF from a dying peer. A reconnect + replay
+    /// may cure these without changing the logical call sequence.
+    Retryable,
+    /// Protocol or configuration failures a retry cannot fix.
+    Terminal,
+}
+
+impl FaultClass {
+    /// Classifies an I/O error: connection lifecycle and timing failures
+    /// are retryable, everything else (permissions, invalid input…) is
+    /// terminal.
+    pub fn of_io(e: &std::io::Error) -> FaultClass {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::Interrupted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionRefused
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof => FaultClass::Retryable,
+            _ => FaultClass::Terminal,
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::Retryable => write!(f, "retryable"),
+            FaultClass::Terminal => write!(f, "terminal"),
+        }
+    }
+}
+
 /// An error raised during execution of a program, a fragment, or the
 /// open↔hidden channel.
 #[derive(Clone, PartialEq, Debug)]
@@ -54,8 +100,21 @@ pub enum RuntimeError {
     /// A fragment body contained a construct fragments may not execute
     /// (calls, aggregates, returns).
     IllegalFragmentOp(&'static str),
-    /// Transport-level failure (TCP channel).
+    /// Protocol-level channel failure (malformed frames, remote execution
+    /// errors, batch shape mismatches). Always terminal: retrying resends
+    /// the same bytes and fails the same way.
     Channel(String),
+    /// I/O-level transport failure, classified retryable or terminal (see
+    /// [`FaultClass`]). `op` names the failing operation (`connect`,
+    /// `accept`, `read`, `write`…).
+    Transport {
+        /// Retry classification.
+        class: FaultClass,
+        /// The transport operation that failed.
+        op: &'static str,
+        /// Human-readable detail (peer address, OS error…).
+        detail: String,
+    },
     /// A hidden call was executed but no channel is attached (running an
     /// open component without its hidden half).
     NoChannel,
@@ -98,12 +157,56 @@ impl fmt::Display for RuntimeError {
                 write!(f, "fragment attempted an illegal operation: {what}")
             }
             RuntimeError::Channel(msg) => write!(f, "channel failure: {msg}"),
+            RuntimeError::Transport { class, op, detail } => {
+                write!(f, "transport failure ({class}) during {op}: {detail}")
+            }
             RuntimeError::NoChannel => {
                 write!(
                     f,
                     "open component made a hidden call but no channel is attached"
                 )
             }
+        }
+    }
+}
+
+impl RuntimeError {
+    /// Builds a [`RuntimeError::Transport`] from a failing I/O operation,
+    /// classifying it via [`FaultClass::of_io`].
+    pub fn transport(op: &'static str, e: &std::io::Error) -> RuntimeError {
+        RuntimeError::Transport {
+            class: FaultClass::of_io(e),
+            op,
+            detail: e.to_string(),
+        }
+    }
+
+    /// True when a retry (possibly after a reconnect) might cure this
+    /// failure. Only [`RuntimeError::Transport`] faults classified
+    /// [`FaultClass::Retryable`] qualify; protocol and execution errors are
+    /// deterministic and never retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::Transport {
+                class: FaultClass::Retryable,
+                ..
+            }
+        )
+    }
+
+    /// Prefixes the detail of a transport/channel error with the peer that
+    /// caused it, so multi-client servers can attribute failures.
+    #[must_use]
+    pub fn with_peer(self, peer: std::net::SocketAddr) -> RuntimeError {
+        match self {
+            RuntimeError::Transport { class, op, detail } => RuntimeError::Transport {
+                class,
+                op,
+                detail: format!("peer {peer}: {detail}"),
+            },
+            RuntimeError::Channel(msg) => RuntimeError::Channel(format!("peer {peer}: {msg}")),
+            other => other,
         }
     }
 }
@@ -125,6 +228,33 @@ mod tests {
         };
         assert!(e.to_string().contains("L2"));
         assert!(e.to_string().contains("H1"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        use std::io::{Error as IoError, ErrorKind};
+        let reset = RuntimeError::transport("read", &IoError::from(ErrorKind::ConnectionReset));
+        assert!(reset.is_retryable());
+        assert!(reset.to_string().contains("retryable"));
+        assert!(reset.to_string().contains("read"));
+        let denied = RuntimeError::transport("bind", &IoError::from(ErrorKind::PermissionDenied));
+        assert!(!denied.is_retryable());
+        // Protocol errors are never retryable.
+        assert!(!RuntimeError::Channel("bad tag".into()).is_retryable());
+        assert!(!RuntimeError::DivisionByZero.is_retryable());
+    }
+
+    #[test]
+    fn with_peer_attributes_failures() {
+        use std::io::{Error as IoError, ErrorKind};
+        let peer: std::net::SocketAddr = "127.0.0.1:4321".parse().unwrap();
+        let e =
+            RuntimeError::transport("read", &IoError::from(ErrorKind::TimedOut)).with_peer(peer);
+        assert!(e.to_string().contains("127.0.0.1:4321"));
+        assert!(e.is_retryable(), "peer attribution keeps the class");
+        // Non-transport errors pass through unchanged.
+        let e = RuntimeError::DivisionByZero.with_peer(peer);
+        assert_eq!(e, RuntimeError::DivisionByZero);
     }
 
     #[test]

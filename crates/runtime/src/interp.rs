@@ -91,6 +91,9 @@ pub struct SplitOutcome {
     pub interactions: u64,
     /// Virtual cost units spent by the secure device.
     pub server_cost: u64,
+    /// Reliability counters from the transport (all zero on fault-free
+    /// channels). Reported beside — never inside — `interactions`.
+    pub transport: crate::channel::TransportStats,
 }
 
 /// Component-kind table the *open* side needs to route hidden calls (which
@@ -243,6 +246,39 @@ pub fn run_split_with_rtt(
         outcome,
         interactions: channel.interactions(),
         server_cost: channel.server().cost_spent(),
+        transport: channel.transport_stats(),
+    })
+}
+
+/// [`run_split`] under injected transport faults: wraps the in-process
+/// channel in a [`crate::fault::FaultyChannel`] driven by `plan`. With any
+/// plan — however hostile — the outcome, interaction count and server-side
+/// call sequence are identical to [`run_split`]; only
+/// [`SplitOutcome::transport`] records the turbulence.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for execution faults on either side, or a
+/// terminal transport error if the plan exhausts the retry budget.
+pub fn run_split_faulty(
+    open: &Program,
+    hidden: &HiddenProgram,
+    args: &[RtValue],
+    plan: crate::fault::FaultPlan,
+) -> Result<SplitOutcome, RuntimeError> {
+    let config = ExecConfig::new();
+    let server = SecureServer::new(hidden.clone()).with_cost_model(config.cost_model.clone());
+    let inner = crate::channel::InProcessChannel::new(server);
+    let mut channel = crate::fault::FaultyChannel::new(inner, plan);
+    let meta = SplitMeta::derive(open, hidden);
+    let mut interp = Interp::new(open, config).with_channel(&mut channel, &meta);
+    let outcome = interp.run("main", args)?;
+    drop(interp);
+    Ok(SplitOutcome {
+        outcome,
+        interactions: channel.interactions(),
+        server_cost: channel.inner().server().cost_spent(),
+        transport: channel.transport_stats(),
     })
 }
 

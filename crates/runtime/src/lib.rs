@@ -29,6 +29,25 @@
 //! and [`trace::TraceChannel`] still records each one, so the adversary's
 //! view is unchanged.
 //!
+//! ## Fault tolerance
+//!
+//! The transport also survives flaky links (DESIGN.md §7b):
+//!
+//! * [`tcp::TcpChannel::connect_reliable`] opens a *session* and retries
+//!   each round trip under a [`tcp::RetryPolicy`] (timeouts, reconnect
+//!   with exponential backoff + jitter, sequenced retransmits).
+//! * [`tcp::SessionServer`] accepts many clients and deduplicates
+//!   retransmits through a [`server::ReplayCache`] — a retried call whose
+//!   response was lost is answered from the cache, never re-executed.
+//! * [`fault::FaultyChannel`] wraps any channel with a seeded,
+//!   deterministic fault schedule (drops, delays, duplicates,
+//!   truncations) for in-process chaos testing.
+//!
+//! Retries and replays are invisible to the adversary: interaction
+//! counts, server-side call counts and [`trace::TraceChannel`] events all
+//! match the fault-free run, with reliability counters reported separately
+//! in [`channel::TransportStats`].
+//!
 //! # Examples
 //!
 //! Run an ordinary program:
@@ -47,6 +66,7 @@
 pub mod channel;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod fragment;
 pub mod interp;
 mod ops;
@@ -56,13 +76,15 @@ pub mod trace;
 pub mod value;
 pub mod wire;
 
-pub use channel::{CallReply, Channel, InProcessChannel, PendingCall};
+pub use channel::{CallReply, Channel, InProcessChannel, PendingCall, TransportStats};
 pub use cost::CostModel;
-pub use error::RuntimeError;
+pub use error::{FaultClass, RuntimeError};
+pub use fault::{FaultKind, FaultPlan, FaultyChannel};
 pub use interp::{
-    run_function, run_program, run_split, run_split_batched, run_split_with_rtt, ExecConfig,
-    Interp, Outcome, SplitMeta, SplitOutcome,
+    run_function, run_program, run_split, run_split_batched, run_split_faulty, run_split_with_rtt,
+    ExecConfig, Interp, Outcome, SplitMeta, SplitOutcome,
 };
-pub use server::SecureServer;
+pub use server::{ReplayCache, SecureServer, SeqCheck};
+pub use tcp::{ChaosConfig, RetryPolicy, ServerStats, SessionServer, SessionServerHandle};
 pub use trace::{Trace, TraceChannel, TraceEvent};
 pub use value::RtValue;

@@ -12,6 +12,81 @@ use crate::value::RtValue;
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
 use std::collections::HashMap;
 
+/// Exactly-once dedup state for one session of sequenced calls.
+///
+/// The reliability protocol retransmits a call when its response may have
+/// been lost; the receiving side must then *replay* the cached response
+/// rather than re-execute (re-execution would advance hidden state twice
+/// and corrupt stateful fragments). One cached entry suffices because the
+/// client sends strictly one sequence number at a time: a retransmit can
+/// only ever be of the last sequence the server completed.
+///
+/// Used by the TCP session server (caching encoded response frames) and by
+/// the in-process fault-injection harness (caching decoded replies).
+#[derive(Clone, Debug)]
+pub struct ReplayCache<T> {
+    next_seq: u64,
+    last: Option<(u64, T)>,
+}
+
+/// Outcome of presenting a sequence number to a [`ReplayCache`].
+#[derive(PartialEq, Debug)]
+pub enum SeqCheck<'a, T> {
+    /// The next expected sequence: execute, then [`ReplayCache::store`].
+    Fresh,
+    /// A retransmit of the last completed sequence: resend this cached
+    /// response, do **not** re-execute.
+    Replay(&'a T),
+    /// Out-of-window sequence — the client skipped ahead or rewound past
+    /// the cache. Protocol violation; terminal.
+    Gap {
+        /// The sequence number the cache expected.
+        expected: u64,
+    },
+}
+
+impl<T> ReplayCache<T> {
+    /// A fresh session expecting sequence 1.
+    pub fn new() -> ReplayCache<T> {
+        ReplayCache {
+            next_seq: 1,
+            last: None,
+        }
+    }
+
+    /// The next sequence number this session expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Classifies an incoming sequence number.
+    pub fn check(&self, seq: u64) -> SeqCheck<'_, T> {
+        if seq == self.next_seq {
+            SeqCheck::Fresh
+        } else if matches!(&self.last, Some((s, _)) if *s == seq) {
+            SeqCheck::Replay(&self.last.as_ref().expect("matched above").1)
+        } else {
+            SeqCheck::Gap {
+                expected: self.next_seq,
+            }
+        }
+    }
+
+    /// Records the response for the just-executed `seq` and advances the
+    /// window. `seq` must be the value [`ReplayCache::check`] called Fresh.
+    pub fn store(&mut self, seq: u64, response: T) {
+        debug_assert_eq!(seq, self.next_seq, "store must follow a Fresh check");
+        self.last = Some((seq, response));
+        self.next_seq = seq + 1;
+    }
+}
+
+impl<T> Default for ReplayCache<T> {
+    fn default() -> ReplayCache<T> {
+        ReplayCache::new()
+    }
+}
+
 /// The secure machine: hidden code plus hidden state.
 #[derive(Debug)]
 pub struct SecureServer {
@@ -200,6 +275,22 @@ mod tests {
         );
         // Releasing unknown keys is a no-op.
         server.release(c, 99);
+    }
+
+    #[test]
+    fn replay_cache_dedups_and_rejects_gaps() {
+        let mut cache: ReplayCache<&'static str> = ReplayCache::new();
+        assert_eq!(cache.next_seq(), 1);
+        assert_eq!(cache.check(1), SeqCheck::Fresh);
+        cache.store(1, "one");
+        // Retransmit of the completed seq replays without re-execution.
+        assert_eq!(cache.check(1), SeqCheck::Replay(&"one"));
+        assert_eq!(cache.check(2), SeqCheck::Fresh);
+        cache.store(2, "two");
+        // The window moved: seq 1 is now a gap, as is skipping ahead.
+        assert_eq!(cache.check(1), SeqCheck::Gap { expected: 3 });
+        assert_eq!(cache.check(9), SeqCheck::Gap { expected: 3 });
+        assert_eq!(cache.check(2), SeqCheck::Replay(&"two"));
     }
 
     #[test]

@@ -7,14 +7,109 @@
 //! steady-state calls perform no per-call allocation for framing. Batched
 //! calls ([`Channel::call_batch`]) travel as one `Request::Batch` frame and
 //! count as a single interaction.
+//!
+//! ## Reliability layer
+//!
+//! Two cooperating halves make the transport survive flaky links and
+//! server restarts without changing the adversary-visible interaction
+//! sequence (DESIGN.md §7b):
+//!
+//! * **Client** — [`TcpChannel::connect_reliable`] opens a *session*
+//!   (`Hello`/`HelloAck` handshake, version-checked), applies read/write
+//!   timeouts from its [`RetryPolicy`], and sends every logical round trip
+//!   as a sequenced frame. On a retryable fault it reconnects with
+//!   exponential backoff plus deterministic jitter (vendored rand shim)
+//!   and retransmits the same sequence number.
+//! * **Server** — [`SessionServer`] accepts many clients (thread per
+//!   connection), keys one [`SecureServer`] per session id, and
+//!   deduplicates retransmits through a [`ReplayCache`] of encoded
+//!   response frames: a retried call whose response was lost is answered
+//!   from the cache, never re-executed. Sequence gaps are terminal.
+//!
+//! Retries, reconnects and replays are visible only in
+//! [`Channel::transport_stats`] — never in [`Channel::interactions`],
+//! server-side call counts, or [`crate::trace::TraceChannel`] events.
 
-use crate::channel::{CallReply, Channel, PendingCall};
-use crate::error::RuntimeError;
-use crate::server::SecureServer;
-use crate::wire::{read_frame, write_frame, Request, Response};
-use hps_ir::{ComponentId, FragLabel, Value};
+use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
+use crate::error::{FaultClass, RuntimeError};
+use crate::server::{ReplayCache, SecureServer, SeqCheck};
+use crate::wire::{read_frame, write_frame, Request, Response, WIRE_VERSION};
+use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client-side retry configuration for [`TcpChannel::connect_reliable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Attempts per logical round trip (including the first).
+    pub max_attempts: u32,
+    /// First backoff delay; attempt `n` waits `base_backoff · 2ⁿ` plus
+    /// jitter drawn from `[0, base_backoff)`.
+    pub base_backoff: Duration,
+    /// Read/write/connect timeout per attempt.
+    pub timeout: Duration,
+    /// Seed for the deterministic jitter stream (and session-id salt).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// Defaults: 6 attempts, 10 ms base backoff, 5 s timeout.
+    pub fn new() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            timeout: Duration::from_secs(5),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+
+    /// Overrides the attempt budget (builder style).
+    pub fn with_max_attempts(mut self, n: u32) -> RetryPolicy {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Overrides the base backoff (builder style).
+    pub fn with_base_backoff(mut self, d: Duration) -> RetryPolicy {
+        self.base_backoff = d;
+        self
+    }
+
+    /// Overrides the per-attempt timeout (builder style).
+    pub fn with_timeout(mut self, d: Duration) -> RetryPolicy {
+        self.timeout = d;
+        self
+    }
+
+    /// Overrides the jitter seed (builder style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::new()
+    }
+}
+
+/// Reliable-mode state: where to reconnect, how to retry, and the session
+/// sequencing the server uses to deduplicate retransmits.
+#[derive(Debug)]
+struct Reliable {
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    session: u64,
+    next_seq: u64,
+    rng: StdRng,
+}
 
 /// Client side: a [`Channel`] that ships every call to a remote
 /// [`SecureServer`] over TCP.
@@ -25,30 +120,117 @@ pub struct TcpChannel {
     scratch: Vec<u8>,
     interactions: u64,
     rtt_cost: u64,
+    batch_cap: usize,
+    reliable: Option<Reliable>,
+    stats: TransportStats,
+}
+
+fn split_stream(
+    stream: TcpStream,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), RuntimeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| RuntimeError::transport("set_nodelay", &e))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| RuntimeError::transport("clone", &e))?;
+    Ok((BufReader::new(reader), BufWriter::new(stream)))
+}
+
+fn connect_stream(addrs: &[SocketAddr], timeout: Duration) -> Result<TcpStream, RuntimeError> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, timeout) {
+            Ok(s) => {
+                s.set_read_timeout(Some(timeout))
+                    .map_err(|e| RuntimeError::transport("set_read_timeout", &e))?;
+                s.set_write_timeout(Some(timeout))
+                    .map_err(|e| RuntimeError::transport("set_write_timeout", &e))?;
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    match last {
+        Some(e) => Err(RuntimeError::transport("connect", &e)),
+        None => Err(RuntimeError::Transport {
+            class: FaultClass::Terminal,
+            op: "connect",
+            detail: "address resolved to nothing".into(),
+        }),
+    }
 }
 
 impl TcpChannel {
-    /// Connects to a secure server.
+    /// Connects to a secure server in single-shot mode: no session, no
+    /// retries — any transport fault is returned to the caller.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Channel`] if the connection fails.
+    /// Returns [`RuntimeError::Transport`] if the connection fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpChannel, RuntimeError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| RuntimeError::Channel(format!("connect failed: {e}")))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| RuntimeError::Channel(format!("set_nodelay failed: {e}")))?;
-        let reader = stream
-            .try_clone()
-            .map_err(|e| RuntimeError::Channel(format!("clone failed: {e}")))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| RuntimeError::transport("connect", &e))?;
+        let (reader, writer) = split_stream(stream)?;
         Ok(TcpChannel {
-            reader: BufReader::new(reader),
-            writer: BufWriter::new(stream),
+            reader,
+            writer,
             scratch: Vec::with_capacity(256),
             interactions: 0,
             rtt_cost: 0,
+            batch_cap: usize::from(u16::MAX),
+            reliable: None,
+            stats: TransportStats::default(),
         })
+    }
+
+    /// Connects in reliable mode: opens a session with the `Hello`
+    /// handshake and transparently retries each round trip under `policy`
+    /// (timeouts, reconnect with exponential backoff + jitter, sequenced
+    /// exactly-once replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if no connection can be
+    /// established within the policy's attempt budget, and
+    /// [`RuntimeError::Channel`] on a protocol/version mismatch.
+    pub fn connect_reliable(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<TcpChannel, RuntimeError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| RuntimeError::transport("resolve", &e))?
+            .collect();
+        // Session ids only need uniqueness across concurrent clients of one
+        // server; salt the seeded stream with wall clock and pid.
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut rng =
+            StdRng::seed_from_u64(policy.jitter_seed ^ clock ^ u64::from(std::process::id()));
+        let session = rng.gen_range(1..u64::MAX);
+        let stream = connect_stream(&addrs, policy.timeout)?;
+        let (reader, writer) = split_stream(stream)?;
+        let mut chan = TcpChannel {
+            reader,
+            writer,
+            scratch: Vec::with_capacity(256),
+            interactions: 0,
+            rtt_cost: 0,
+            batch_cap: usize::from(u16::MAX),
+            reliable: Some(Reliable {
+                addrs,
+                policy,
+                session,
+                next_seq: 1,
+                rng,
+            }),
+            stats: TransportStats::default(),
+        };
+        chan.handshake()?;
+        Ok(chan)
     }
 
     /// Sets the virtual round-trip cost charged per call (builder style).
@@ -59,22 +241,180 @@ impl TcpChannel {
         self
     }
 
-    /// Asks the remote server to stop serving this connection.
+    /// Overrides the per-frame batch chunking cap (builder style). The wire
+    /// format caps one batch frame at `u16::MAX` calls; tests inject a
+    /// small cap to exercise the chunking boundary cheaply. Values above
+    /// `u16::MAX` are clamped.
+    pub fn with_batch_cap(mut self, cap: usize) -> TcpChannel {
+        self.batch_cap = cap.clamp(1, usize::from(u16::MAX));
+        self
+    }
+
+    /// The session id, when connected in reliable mode.
+    pub fn session_id(&self) -> Option<u64> {
+        self.reliable.as_ref().map(|r| r.session)
+    }
+
+    /// Asks the remote server to stop serving this connection. In reliable
+    /// mode the server keeps the session state for a later reconnect.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Channel`] on I/O failure.
+    /// Returns [`RuntimeError::Transport`] on I/O failure.
     pub fn shutdown(mut self) -> Result<(), RuntimeError> {
         Request::Shutdown.encode_into(&mut self.scratch);
         write_frame(&mut self.writer, &self.scratch)
     }
 
+    /// Performs the `Hello`/`HelloAck` handshake on the current connection.
+    fn handshake(&mut self) -> Result<(), RuntimeError> {
+        let r = self.reliable.as_ref().expect("reliable mode");
+        let hello = Request::Hello {
+            version: WIRE_VERSION,
+            session: r.session,
+        };
+        let mut buf = Vec::with_capacity(16);
+        hello.encode_into(&mut buf);
+        write_frame(&mut self.writer, &buf)?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| RuntimeError::Transport {
+            class: FaultClass::Retryable,
+            op: "handshake",
+            detail: "server closed during handshake".into(),
+        })?;
+        match Response::decode(&payload)? {
+            Response::HelloAck {
+                version,
+                session,
+                next_seq,
+            } => {
+                let r = self.reliable.as_ref().expect("reliable mode");
+                if version != WIRE_VERSION || session != r.session {
+                    return Err(RuntimeError::Channel(format!(
+                        "handshake mismatch: version {version} session {session}"
+                    )));
+                }
+                // The server may be ahead by exactly one: it executed our
+                // outstanding seq but the response was lost, so the
+                // retransmit will hit the replay cache. Further ahead is a
+                // protocol violation.
+                if next_seq > r.next_seq + 1 {
+                    return Err(RuntimeError::Channel(format!(
+                        "server expects seq {next_seq}, client is at {}",
+                        r.next_seq
+                    )));
+                }
+                Ok(())
+            }
+            Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
+            other => Err(RuntimeError::Channel(format!(
+                "unexpected handshake reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Re-establishes the connection and re-opens the session.
+    fn reconnect(&mut self) -> Result<(), RuntimeError> {
+        let (addrs, timeout) = {
+            let r = self.reliable.as_ref().expect("reliable mode");
+            (r.addrs.clone(), r.policy.timeout)
+        };
+        let stream = connect_stream(&addrs, timeout)?;
+        let (reader, writer) = split_stream(stream)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.handshake()?;
+        self.stats.reconnects += 1;
+        Ok(())
+    }
+
+    /// One send/receive over the current connection (no retries).
+    fn try_round_trip(&mut self) -> Result<Response, RuntimeError> {
+        write_frame(&mut self.writer, &self.scratch)?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| RuntimeError::Transport {
+            class: FaultClass::Retryable,
+            op: "read",
+            detail: "server closed connection".into(),
+        })?;
+        Response::decode(&payload)
+    }
+
+    /// Sleeps `base_backoff · 2^attempt` plus deterministic jitter.
+    fn backoff(&mut self, attempt: u32) {
+        let r = self.reliable.as_mut().expect("reliable mode");
+        let base = r.policy.base_backoff;
+        let exp = base.saturating_mul(1u32 << attempt.min(10));
+        let jitter_us = r.rng.gen_range(0..=base.as_micros().max(1) as u64);
+        std::thread::sleep(exp + Duration::from_micros(jitter_us));
+    }
+
+    /// Sends the request already encoded in `scratch`; in reliable mode
+    /// retries retryable faults with backoff + reconnect, retransmitting
+    /// the identical frame so the server's replay cache can deduplicate.
+    fn round_trip_encoded(&mut self) -> Result<Response, RuntimeError> {
+        let Some(policy) = self.reliable.as_ref().map(|r| r.policy) else {
+            return self.try_round_trip();
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.try_round_trip() {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
+                    self.stats.faults += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                    attempt += 1;
+                    // A failed reconnect burns attempts too; terminal
+                    // connect errors abort immediately.
+                    if let Err(re) = self.reconnect() {
+                        if re.is_retryable() && attempt + 1 < policy.max_attempts {
+                            self.stats.faults += 1;
+                            continue;
+                        }
+                        return Err(re);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     fn round_trip(&mut self, req: &Request) -> Result<Response, RuntimeError> {
         req.encode_into(&mut self.scratch);
-        write_frame(&mut self.writer, &self.scratch)?;
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| RuntimeError::Channel("server closed connection".into()))?;
-        Response::decode(&payload)
+        self.round_trip_encoded()
+    }
+
+    /// Wraps a call/batch request in its sequenced form when a session is
+    /// open; advances the sequence only after a successful reply.
+    fn sequenced(&mut self, req: Request) -> Result<Response, RuntimeError> {
+        let req = match (&self.reliable, req) {
+            (
+                Some(r),
+                Request::Call {
+                    component,
+                    key,
+                    label,
+                    args,
+                },
+            ) => Request::SeqCall {
+                seq: r.next_seq,
+                call: PendingCall {
+                    component,
+                    key,
+                    label,
+                    args,
+                },
+            },
+            (Some(r), Request::Batch(calls)) => Request::SeqBatch {
+                seq: r.next_seq,
+                calls,
+            },
+            (_, req) => req,
+        };
+        let resp = self.round_trip(&req)?;
+        if let Some(r) = self.reliable.as_mut() {
+            r.next_seq += 1;
+        }
+        Ok(resp)
     }
 }
 
@@ -87,7 +427,7 @@ impl Channel for TcpChannel {
         args: &[Value],
     ) -> Result<CallReply, RuntimeError> {
         self.interactions += 1;
-        let resp = self.round_trip(&Request::Call {
+        let resp = self.sequenced(Request::Call {
             component,
             key,
             label,
@@ -96,22 +436,25 @@ impl Channel for TcpChannel {
         match resp {
             Response::Reply { value, server_cost } => Ok(CallReply { value, server_cost }),
             Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
-            Response::Batch(_) => Err(RuntimeError::Channel("unexpected batch reply".into())),
+            other => Err(RuntimeError::Channel(format!(
+                "unexpected reply to call: {other:?}"
+            ))),
         }
     }
 
     fn call_batch(&mut self, calls: &[PendingCall]) -> Result<Vec<CallReply>, RuntimeError> {
-        // The wire format caps one batch frame at u16::MAX calls; larger
-        // buffers ride in multiple frames (each its own interaction).
-        if calls.len() > usize::from(u16::MAX) {
+        // The wire format caps one batch frame at u16::MAX calls (tests may
+        // inject a smaller cap); larger buffers ride in multiple frames
+        // (each its own interaction).
+        if calls.len() > self.batch_cap {
             let mut out = Vec::with_capacity(calls.len());
-            for chunk in calls.chunks(usize::from(u16::MAX)) {
+            for chunk in calls.chunks(self.batch_cap) {
                 out.extend(self.call_batch(chunk)?);
             }
             return Ok(out);
         }
         self.interactions += 1;
-        let resp = self.round_trip(&Request::Batch(calls.to_vec()))?;
+        let resp = self.sequenced(Request::Batch(calls.to_vec()))?;
         match resp {
             Response::Batch(replies) if replies.len() == calls.len() => Ok(replies),
             Response::Batch(replies) => Err(RuntimeError::Channel(format!(
@@ -120,14 +463,15 @@ impl Channel for TcpChannel {
                 replies.len()
             ))),
             Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
-            Response::Reply { .. } => Err(RuntimeError::Channel(
-                "unexpected single reply to batch".into(),
-            )),
+            other => Err(RuntimeError::Channel(format!(
+                "unexpected reply to batch: {other:?}"
+            ))),
         }
     }
 
     fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
-        // Fire-and-forget: no reply expected for release.
+        // Fire-and-forget: no reply expected for release, and the server
+        // treats it idempotently, so it is never sequenced or retried.
         Request::Release { component, key }.encode_into(&mut self.scratch);
         write_frame(&mut self.writer, &self.scratch)
     }
@@ -139,6 +483,77 @@ impl Channel for TcpChannel {
     fn rtt_cost(&self) -> u64 {
         self.rtt_cost
     }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// Handles one request on a legacy (unsequenced) connection. Returns the
+/// number of logical calls served, or `None` to stop serving.
+fn serve_legacy_request(
+    req: Request,
+    server: &mut SecureServer,
+    writer: &mut BufWriter<&TcpStream>,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<u64>, RuntimeError> {
+    match req {
+        Request::Call {
+            component,
+            key,
+            label,
+            args,
+        } => {
+            let (resp, served) = match server.call(component, key, label, &args) {
+                Ok(out) => (
+                    Response::Reply {
+                        value: out.value,
+                        server_cost: out.cost,
+                    },
+                    1,
+                ),
+                Err(e) => (Response::Error(e.to_string()), 0),
+            };
+            resp.encode_into(scratch);
+            write_frame(writer, scratch)?;
+            Ok(Some(served))
+        }
+        Request::Batch(calls) => {
+            let (resp, served) = match server.call_batch(&calls) {
+                Ok(outs) => {
+                    let n = outs.len() as u64;
+                    (
+                        Response::Batch(
+                            outs.into_iter()
+                                .map(|out| CallReply {
+                                    value: out.value,
+                                    server_cost: out.cost,
+                                })
+                                .collect(),
+                        ),
+                        n,
+                    )
+                }
+                Err(e) => (Response::Error(e.to_string()), 0),
+            };
+            resp.encode_into(scratch);
+            write_frame(writer, scratch)?;
+            Ok(Some(served))
+        }
+        Request::Release { component, key } => {
+            server.release(component, key);
+            Ok(Some(0))
+        }
+        Request::Shutdown => Ok(None),
+        Request::Hello { .. } | Request::SeqCall { .. } | Request::SeqBatch { .. } => {
+            let resp = Response::Error("session frames need a session server".into());
+            resp.encode_into(scratch);
+            write_frame(writer, scratch)?;
+            Err(RuntimeError::Channel(
+                "session frame on a sessionless connection".into(),
+            ))
+        }
+    }
 }
 
 /// Serves one client connection until it sends `Shutdown` or disconnects.
@@ -147,15 +562,16 @@ impl Channel for TcpChannel {
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError::Channel`] on transport failures; fragment
-/// execution errors are reported to the client, not returned here.
+/// Returns [`RuntimeError::Transport`] / [`RuntimeError::Channel`] on
+/// transport failures; fragment execution errors are reported to the
+/// client, not returned here.
 pub fn serve_connection(
     stream: &mut TcpStream,
     server: &mut SecureServer,
 ) -> Result<u64, RuntimeError> {
     stream
         .set_nodelay(true)
-        .map_err(|e| RuntimeError::Channel(format!("set_nodelay failed: {e}")))?;
+        .map_err(|e| RuntimeError::transport("set_nodelay", &e))?;
     let mut reader = BufReader::new(&*stream);
     let mut writer = BufWriter::new(&*stream);
     let mut scratch = Vec::with_capacity(256);
@@ -165,46 +581,10 @@ pub fn serve_connection(
             Some(p) => p,
             None => return Ok(served),
         };
-        match Request::decode(&payload)? {
-            Request::Call {
-                component,
-                key,
-                label,
-                args,
-            } => {
-                let resp = match server.call(component, key, label, &args) {
-                    Ok(out) => {
-                        served += 1;
-                        Response::Reply {
-                            value: out.value,
-                            server_cost: out.cost,
-                        }
-                    }
-                    Err(e) => Response::Error(e.to_string()),
-                };
-                resp.encode_into(&mut scratch);
-                write_frame(&mut writer, &scratch)?;
-            }
-            Request::Batch(calls) => {
-                let resp = match server.call_batch(&calls) {
-                    Ok(outs) => {
-                        served += outs.len() as u64;
-                        Response::Batch(
-                            outs.into_iter()
-                                .map(|out| CallReply {
-                                    value: out.value,
-                                    server_cost: out.cost,
-                                })
-                                .collect(),
-                        )
-                    }
-                    Err(e) => Response::Error(e.to_string()),
-                };
-                resp.encode_into(&mut scratch);
-                write_frame(&mut writer, &scratch)?;
-            }
-            Request::Release { component, key } => server.release(component, key),
-            Request::Shutdown => return Ok(served),
+        let req = Request::decode(&payload)?;
+        match serve_legacy_request(req, server, &mut writer, &mut scratch)? {
+            Some(n) => served += n,
+            None => return Ok(served),
         }
     }
 }
@@ -212,17 +592,525 @@ pub fn serve_connection(
 /// Binds a listener on `addr` (use port 0 for an ephemeral port), accepts
 /// **one** connection and serves it to completion. Returns calls served.
 ///
-/// Intended for examples and tests; production deployments would accept in
-/// a loop with one server per authenticated client.
+/// Intended for examples and tests; production deployments use
+/// [`SessionServer`], which accepts in a loop with one server per session.
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError::Channel`] on bind/accept/transport failures.
+/// Accept failures surface as [`RuntimeError::Transport`] (classified
+/// retryable/terminal); transport failures while serving carry the peer
+/// address.
 pub fn serve_once(listener: TcpListener, server: &mut SecureServer) -> Result<u64, RuntimeError> {
-    let (mut stream, _addr) = listener
+    let (mut stream, peer) = listener
         .accept()
-        .map_err(|e| RuntimeError::Channel(format!("accept failed: {e}")))?;
-    serve_connection(&mut stream, server)
+        .map_err(|e| RuntimeError::transport("accept", &e))?;
+    serve_connection(&mut stream, server).map_err(|e| e.with_peer(peer))
+}
+
+/// Server-side chaos: deterministically kill sockets mid-call to exercise
+/// client reconnect + replay. With probability `kill_per_mille`/1000 per
+/// served frame, the connection dies — half the time before executing the
+/// request (client retransmit finds a fresh sequence), half after
+/// executing but before responding (retransmit hits the replay cache).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the per-connection kill schedule.
+    pub seed: u64,
+    /// Kill probability per frame, in thousandths.
+    pub kill_per_mille: u32,
+}
+
+#[derive(Default, Debug)]
+struct StatsInner {
+    connections: AtomicU64,
+    sessions: AtomicU64,
+    calls: AtomicU64,
+    replays: AtomicU64,
+    chaos_kills: AtomicU64,
+}
+
+/// Snapshot of a [`SessionServer`]'s counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Distinct sessions created.
+    pub sessions: u64,
+    /// Logical calls executed (batch entries count; replays do not).
+    pub calls: u64,
+    /// Retransmits answered from the replay cache.
+    pub replays: u64,
+    /// Connections killed by [`ChaosConfig`].
+    pub chaos_kills: u64,
+}
+
+/// Remote control for a running [`SessionServer`]: read stats, stop it.
+#[derive(Clone, Debug)]
+pub struct SessionServerHandle {
+    addr: SocketAddr,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+}
+
+impl SessionServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            sessions: self.stats.sessions.load(Ordering::Relaxed),
+            calls: self.stats.calls.load(Ordering::Relaxed),
+            replays: self.stats.replays.load(Ordering::Relaxed),
+            chaos_kills: self.stats.chaos_kills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Asks the accept loop to exit after the next accept. Existing
+    /// connections drain on their own threads.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a pending accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Per-session secure state: one [`SecureServer`] plus the replay window.
+struct SessionState {
+    server: SecureServer,
+    replay: ReplayCache<Vec<u8>>,
+}
+
+/// A request forwarded from a connection thread to the executor thread.
+/// Hidden state holds non-`Send` values (`Rc` interiors), so all sessions
+/// live on one executor — which also mirrors the paper's deployment of a
+/// single secure coprocessor serving every client.
+enum ExecMsg {
+    /// Ensure the session exists; reply with its next expected sequence.
+    Hello {
+        session: u64,
+        reply: std::sync::mpsc::Sender<u64>,
+    },
+    /// Execute-or-replay one sequenced unit; reply with the encoded
+    /// `Response` frame to send (or cache).
+    Seq {
+        session: u64,
+        seq: u64,
+        calls: Vec<PendingCall>,
+        batch: bool,
+        reply: std::sync::mpsc::Sender<Vec<u8>>,
+    },
+    /// Free one activation's hidden state (fire-and-forget).
+    Release {
+        session: u64,
+        component: ComponentId,
+        key: u64,
+    },
+}
+
+/// The executor loop: owns every session's hidden state, applies the
+/// replay cache, and hands encoded response frames back to the connection
+/// threads. Exits when the last sender (accept loop + connections) drops.
+fn run_executor(
+    rx: std::sync::mpsc::Receiver<ExecMsg>,
+    hidden: HiddenProgram,
+    stats: Arc<StatsInner>,
+) {
+    let mut sessions: HashMap<u64, SessionState> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ExecMsg::Hello { session, reply } => {
+                let state = sessions.entry(session).or_insert_with(|| {
+                    stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    SessionState {
+                        server: SecureServer::new(hidden.clone()),
+                        replay: ReplayCache::new(),
+                    }
+                });
+                let _ = reply.send(state.replay.next_seq());
+            }
+            ExecMsg::Seq {
+                session,
+                seq,
+                calls,
+                batch,
+                reply,
+            } => {
+                let state = sessions.entry(session).or_insert_with(|| {
+                    stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    SessionState {
+                        server: SecureServer::new(hidden.clone()),
+                        replay: ReplayCache::new(),
+                    }
+                });
+                let bytes = match state.replay.check(seq) {
+                    SeqCheck::Fresh => {
+                        let resp = if batch {
+                            match state.server.call_batch(&calls) {
+                                Ok(outs) => {
+                                    stats.calls.fetch_add(outs.len() as u64, Ordering::Relaxed);
+                                    Response::Batch(
+                                        outs.into_iter()
+                                            .map(|out| CallReply {
+                                                value: out.value,
+                                                server_cost: out.cost,
+                                            })
+                                            .collect(),
+                                    )
+                                }
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        } else {
+                            let c = &calls[0];
+                            match state.server.call(c.component, c.key, c.label, &c.args) {
+                                Ok(out) => {
+                                    stats.calls.fetch_add(1, Ordering::Relaxed);
+                                    Response::Reply {
+                                        value: out.value,
+                                        server_cost: out.cost,
+                                    }
+                                }
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        };
+                        let mut buf = Vec::new();
+                        resp.encode_into(&mut buf);
+                        state.replay.store(seq, buf.clone());
+                        buf
+                    }
+                    SeqCheck::Replay(cached) => {
+                        stats.replays.fetch_add(1, Ordering::Relaxed);
+                        cached.clone()
+                    }
+                    SeqCheck::Gap { expected } => {
+                        let resp = Response::Error(format!(
+                            "sequence gap: got {seq}, expected {expected}"
+                        ));
+                        let mut buf = Vec::new();
+                        resp.encode_into(&mut buf);
+                        buf
+                    }
+                };
+                let _ = reply.send(bytes);
+            }
+            ExecMsg::Release {
+                session,
+                component,
+                key,
+            } => {
+                if let Some(state) = sessions.get_mut(&session) {
+                    state.server.release(component, key);
+                }
+            }
+        }
+    }
+}
+
+/// Multi-client accept loop: one I/O thread per client, all sessions
+/// executed on one secure executor thread, with sequenced exactly-once
+/// replay. Sessions survive disconnects — a client reconnecting with the
+/// same session id resumes its hidden state.
+pub struct SessionServer {
+    listener: TcpListener,
+    hidden: HiddenProgram,
+    chaos: Option<ChaosConfig>,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+}
+
+impl SessionServer {
+    /// Binds a listener (use port 0 for an ephemeral port) serving `hidden`
+    /// to every session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the bind fails.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        hidden: HiddenProgram,
+    ) -> Result<SessionServer, RuntimeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| RuntimeError::transport("bind", &e))?;
+        Ok(SessionServer {
+            listener,
+            hidden,
+            chaos: None,
+            stats: Arc::new(StatsInner::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Enables server-side chaos (builder style).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> SessionServer {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the socket is gone.
+    pub fn local_addr(&self) -> Result<SocketAddr, RuntimeError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| RuntimeError::transport("local_addr", &e))
+    }
+
+    /// A handle for stopping the server and reading its stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the socket is gone.
+    pub fn handle(&self) -> Result<SessionServerHandle, RuntimeError> {
+        Ok(SessionServerHandle {
+            addr: self.local_addr()?,
+            stats: Arc::clone(&self.stats),
+            stop: Arc::clone(&self.stop),
+        })
+    }
+
+    /// Runs the accept loop until [`SessionServerHandle::stop`] is called.
+    /// Each connection is served on its own thread; per-connection
+    /// transport errors are contained to that thread (reported via
+    /// `on_event`, may be a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] only for terminal accept
+    /// failures; retryable accept errors (e.g. fd exhaustion) are reported
+    /// and the loop continues.
+    pub fn serve(
+        self,
+        on_event: impl Fn(SocketAddr, &str) + Send + Sync + 'static,
+    ) -> Result<(), RuntimeError> {
+        let on_event = Arc::new(on_event);
+        let (tx, rx) = std::sync::mpsc::channel::<ExecMsg>();
+        {
+            let hidden = self.hidden.clone();
+            let stats = Arc::clone(&self.stats);
+            std::thread::spawn(move || run_executor(rx, hidden, stats));
+        }
+        let mut conn_index = 0u64;
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    let err = RuntimeError::transport("accept", &e);
+                    if err.is_retryable() {
+                        on_event(
+                            "0.0.0.0:0".parse().expect("static addr"),
+                            &format!("accept retry: {err}"),
+                        );
+                        continue;
+                    }
+                    return Err(err);
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            conn_index += 1;
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let stats = Arc::clone(&self.stats);
+            let hidden = self.hidden.clone();
+            let exec = tx.clone();
+            let chaos = self
+                .chaos
+                .map(|c| (c, StdRng::seed_from_u64(c.seed ^ conn_index)));
+            let on_event = Arc::clone(&on_event);
+            std::thread::spawn(move || {
+                match serve_session_connection(stream, &exec, hidden, chaos, &stats) {
+                    Ok(served) => on_event(peer, &format!("served {served} calls")),
+                    Err(e) => on_event(peer, &e.with_peer(peer).to_string()),
+                }
+            });
+        }
+    }
+}
+
+/// Chaos verdict for one frame.
+enum ChaosAction {
+    None,
+    KillBeforeExec,
+    KillAfterExec,
+}
+
+fn chaos_draw(chaos: &mut Option<(ChaosConfig, StdRng)>) -> ChaosAction {
+    match chaos {
+        Some((cfg, rng)) if cfg.kill_per_mille > 0 => {
+            if rng.gen_range(0u32..1000) < cfg.kill_per_mille {
+                if rng.gen_range(0u32..2) == 0 {
+                    ChaosAction::KillBeforeExec
+                } else {
+                    ChaosAction::KillAfterExec
+                }
+            } else {
+                ChaosAction::None
+            }
+        }
+        _ => ChaosAction::None,
+    }
+}
+
+/// Forwards one sequenced unit to the executor and waits for the encoded
+/// response frame.
+fn exec_round_trip(
+    exec: &std::sync::mpsc::Sender<ExecMsg>,
+    session: u64,
+    seq: u64,
+    calls: Vec<PendingCall>,
+    batch: bool,
+) -> Result<Vec<u8>, RuntimeError> {
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    exec.send(ExecMsg::Seq {
+        session,
+        seq,
+        calls,
+        batch,
+        reply: reply_tx,
+    })
+    .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
+    reply_rx
+        .recv()
+        .map_err(|_| RuntimeError::Channel("executor dropped a request".into()))
+}
+
+/// Serves one connection of a [`SessionServer`]: handshake, then sequenced
+/// frames executed (or replayed) by the shared executor thread. Falls back
+/// to the legacy unsequenced protocol (fresh private server, no session)
+/// when the first frame is not `Hello`.
+fn serve_session_connection(
+    stream: TcpStream,
+    exec: &std::sync::mpsc::Sender<ExecMsg>,
+    hidden: HiddenProgram,
+    mut chaos: Option<(ChaosConfig, StdRng)>,
+    stats: &StatsInner,
+) -> Result<u64, RuntimeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| RuntimeError::transport("set_nodelay", &e))?;
+    let mut reader = BufReader::new(&stream);
+    let mut writer = BufWriter::new(&stream);
+    let mut scratch = Vec::with_capacity(256);
+    let mut served = 0u64;
+
+    // First frame decides the mode.
+    let Some(payload) = read_frame(&mut reader)? else {
+        return Ok(0);
+    };
+    let first = Request::decode(&payload)?;
+    let session = match first {
+        Request::Hello { version, session } => {
+            if version != WIRE_VERSION {
+                let resp = Response::Error(format!(
+                    "version mismatch: server speaks {WIRE_VERSION}, client sent {version}"
+                ));
+                resp.encode_into(&mut scratch);
+                write_frame(&mut writer, &scratch)?;
+                return Err(RuntimeError::Channel(format!(
+                    "client version {version} != {WIRE_VERSION}"
+                )));
+            }
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            exec.send(ExecMsg::Hello {
+                session,
+                reply: reply_tx,
+            })
+            .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
+            let next_seq = reply_rx
+                .recv()
+                .map_err(|_| RuntimeError::Channel("executor dropped a request".into()))?;
+            Response::HelloAck {
+                version: WIRE_VERSION,
+                session,
+                next_seq,
+            }
+            .encode_into(&mut scratch);
+            write_frame(&mut writer, &scratch)?;
+            session
+        }
+        // Legacy client: serve it with a private, sessionless server owned
+        // by this thread (hidden state is thread-local, so it cannot go
+        // through the shared executor and does not need to).
+        other => {
+            let mut server = SecureServer::new(hidden);
+            match serve_legacy_request(other, &mut server, &mut writer, &mut scratch)? {
+                Some(n) => served = n,
+                None => return Ok(served),
+            }
+            loop {
+                let Some(payload) = read_frame(&mut reader)? else {
+                    stats.calls.fetch_add(served, Ordering::Relaxed);
+                    return Ok(served);
+                };
+                let req = Request::decode(&payload)?;
+                match serve_legacy_request(req, &mut server, &mut writer, &mut scratch)? {
+                    Some(n) => served += n,
+                    None => {
+                        stats.calls.fetch_add(served, Ordering::Relaxed);
+                        return Ok(served);
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        let Some(payload) = read_frame(&mut reader)? else {
+            return Ok(served);
+        };
+        let req = Request::decode(&payload)?;
+        let action = chaos_draw(&mut chaos);
+        if matches!(action, ChaosAction::KillBeforeExec) {
+            // Drop the connection before the request reaches the executor:
+            // the client's retransmit finds a fresh sequence.
+            stats.chaos_kills.fetch_add(1, Ordering::Relaxed);
+            return Ok(served);
+        }
+        let kill_after = matches!(action, ChaosAction::KillAfterExec);
+        match req {
+            Request::SeqCall { seq, call } => {
+                let bytes = exec_round_trip(exec, session, seq, vec![call], false)?;
+                served += 1;
+                if kill_after {
+                    // Executed and cached, but the response never leaves:
+                    // the retransmit must hit the replay cache.
+                    stats.chaos_kills.fetch_add(1, Ordering::Relaxed);
+                    return Ok(served);
+                }
+                write_frame(&mut writer, &bytes)?;
+            }
+            Request::SeqBatch { seq, calls } => {
+                let n = calls.len() as u64;
+                let bytes = exec_round_trip(exec, session, seq, calls, true)?;
+                served += n;
+                if kill_after {
+                    stats.chaos_kills.fetch_add(1, Ordering::Relaxed);
+                    return Ok(served);
+                }
+                write_frame(&mut writer, &bytes)?;
+            }
+            Request::Release { component, key } => {
+                let _ = exec.send(ExecMsg::Release {
+                    session,
+                    component,
+                    key,
+                });
+            }
+            Request::Shutdown => return Ok(served),
+            Request::Hello { .. } | Request::Call { .. } | Request::Batch(_) => {
+                let resp = Response::Error("unexpected frame on an open session".into());
+                resp.encode_into(&mut scratch);
+                write_frame(&mut writer, &scratch)?;
+                return Err(RuntimeError::Channel(
+                    "unsequenced frame on an open session".into(),
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +1149,14 @@ mod tests {
             }],
         });
         hp
+    }
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy::new()
+            .with_base_backoff(Duration::from_millis(1))
+            .with_timeout(Duration::from_secs(5))
+            .with_max_attempts(8)
+            .with_jitter_seed(42)
     }
 
     #[test]
@@ -338,5 +1234,251 @@ mod tests {
         assert!(matches!(err, RuntimeError::Channel(msg) if msg.contains("remote:")));
         chan.shutdown().unwrap();
         handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn batch_chunking_at_the_cap_boundary() {
+        // The satellite case: exactly cap and cap+1 buffered calls. A small
+        // injected cap keeps it fast; the default cap is the wire maximum.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            let mut server = SecureServer::new(accumulator_program());
+            serve_once(listener, &mut server).expect("serve")
+        });
+        let mut chan = TcpChannel::connect(addr)
+            .expect("connect")
+            .with_batch_cap(3);
+        assert_eq!(
+            TcpChannel::connect(addr).expect("connect").batch_cap,
+            usize::from(u16::MAX),
+            "default cap is the wire-format maximum 65535"
+        );
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let mk = |n: i64| PendingCall {
+            component: c,
+            key: 1,
+            label: l,
+            args: vec![Value::Int(n)],
+        };
+        // Exactly at the cap: one frame.
+        let replies = chan.call_batch(&[mk(1), mk(2), mk(3)]).unwrap();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(chan.interactions(), 1);
+        // One past the cap: two frames, replies still in order and the
+        // accumulator state carries across the chunk boundary.
+        let replies = chan.call_batch(&[mk(1), mk(1), mk(1), mk(1)]).unwrap();
+        let values: Vec<Value> = replies.iter().map(|r| r.value).collect();
+        assert_eq!(
+            values,
+            [Value::Int(7), Value::Int(8), Value::Int(9), Value::Int(10)]
+        );
+        assert_eq!(chan.interactions(), 3, "cap+1 calls cost two interactions");
+        chan.shutdown().unwrap();
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn session_server_serves_many_clients() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                thread::spawn(move || {
+                    let mut chan =
+                        TcpChannel::connect_reliable(addr, quick_policy().with_jitter_seed(w))
+                            .expect("connect");
+                    // Each client accumulates privately in its own session.
+                    for n in 1..=5i64 {
+                        let r = chan.call(c, 1, l, &[Value::Int(n)]).expect("call");
+                        assert_eq!(r.value, Value::Int(n * (n + 1) / 2));
+                    }
+                    chan.shutdown().expect("shutdown");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.calls, 20);
+        assert_eq!(stats.sessions, 4);
+        assert!(stats.connections >= 4);
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn session_survives_reconnect_with_state() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let mut chan = TcpChannel::connect_reliable(addr, quick_policy()).expect("connect");
+        assert_eq!(
+            chan.call(c, 1, l, &[Value::Int(5)]).unwrap().value,
+            Value::Int(5)
+        );
+        // Simulate a dropped link: kill the socket under the channel.
+        chan.reconnect().expect("reconnect");
+        assert_eq!(
+            chan.call(c, 1, l, &[Value::Int(6)]).unwrap().value,
+            Value::Int(11),
+            "hidden state survives the reconnect"
+        );
+        chan.shutdown().unwrap();
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn chaos_kills_are_survived_exactly_once() {
+        // Aggressive server-side chaos: connections die around every ~4th
+        // frame, both before and after execution. The reliable client must
+        // still see every accumulator value exactly once.
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program())
+            .expect("bind")
+            .with_chaos(ChaosConfig {
+                seed: 0xc405,
+                kill_per_mille: 250,
+            });
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let mut chan = TcpChannel::connect_reliable(addr, quick_policy().with_max_attempts(12))
+            .expect("connect");
+        for n in 1..=30i64 {
+            let r = chan.call(c, 1, l, &[Value::Int(n)]).expect("call");
+            assert_eq!(r.value, Value::Int(n * (n + 1) / 2), "call {n}");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.calls, 30, "every logical call executed exactly once");
+        assert!(stats.chaos_kills > 0, "chaos must actually fire");
+        assert!(chan.transport_stats().reconnects > 0);
+        assert_eq!(chan.interactions(), 30);
+        chan.shutdown().unwrap();
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn sequence_gap_is_terminal() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let mut chan = TcpChannel::connect_reliable(addr, quick_policy()).expect("connect");
+        // Corrupt the client's sequence counter to skip ahead.
+        chan.reliable.as_mut().expect("reliable").next_seq = 40;
+        let err = chan
+            .call(ComponentId::new(0), 1, FragLabel::new(0), &[Value::Int(1)])
+            .expect_err("gap must be rejected");
+        assert!(
+            matches!(&err, RuntimeError::Channel(msg) if msg.contains("sequence gap")),
+            "got {err:?}"
+        );
+        assert!(!err.is_retryable());
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        // Hand-roll a bad Hello.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let (mut reader, mut writer) = split_stream(stream).expect("split");
+        let mut buf = Vec::new();
+        Request::Hello {
+            version: WIRE_VERSION + 1,
+            session: 1,
+        }
+        .encode_into(&mut buf);
+        write_frame(&mut writer, &buf).expect("write");
+        let payload = read_frame(&mut reader).expect("read").expect("frame");
+        let resp = Response::decode(&payload).expect("decode");
+        assert!(
+            matches!(&resp, Response::Error(msg) if msg.contains("version mismatch")),
+            "got {resp:?}"
+        );
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn legacy_clients_still_work_against_session_server() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let mut chan = TcpChannel::connect(addr).expect("connect");
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        assert_eq!(
+            chan.call(c, 1, l, &[Value::Int(3)]).unwrap().value,
+            Value::Int(3)
+        );
+        assert_eq!(
+            chan.call(c, 1, l, &[Value::Int(4)]).unwrap().value,
+            Value::Int(7)
+        );
+        chan.shutdown().unwrap();
+        // Give the connection thread a moment to record its calls.
+        for _ in 0..100 {
+            if handle.stats().calls == 2 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handle.stats().calls, 2);
+        assert_eq!(handle.stats().sessions, 0, "legacy mode opens no session");
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn retries_are_not_logical_interactions() {
+        // Chaos forces retransmits; the interaction count and the trace
+        // (per-logical-call) must match a fault-free run.
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program())
+            .expect("bind")
+            .with_chaos(ChaosConfig {
+                seed: 7,
+                kill_per_mille: 300,
+            });
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let mut chan = TcpChannel::connect_reliable(addr, quick_policy().with_max_attempts(12))
+            .expect("connect");
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let mut trace = crate::trace::TraceChannel::new(&mut chan);
+        for n in 1..=10i64 {
+            crate::channel::Channel::call(&mut trace, c, 1, l, &[Value::Int(n)]).expect("call");
+        }
+        let events = trace.into_trace().events;
+        assert_eq!(events.len(), 10, "one trace event per logical call");
+        let stats = chan.transport_stats();
+        assert!(
+            stats.retries > 0 || handle.stats().chaos_kills == 0,
+            "kills force retries"
+        );
+        assert_eq!(chan.interactions(), 10);
+        chan.shutdown().unwrap();
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
     }
 }

@@ -8,8 +8,17 @@
 //! returned value of every call, in order — and nothing more (in
 //! particular, no hidden state). The `hps-attack` crate consumes the
 //! resulting [`Trace`].
+//!
+//! **Retries are invisible here.** The reliability layer
+//! ([`crate::fault::FaultyChannel`], [`crate::tcp::TcpChannel`] in
+//! reliable mode) lives *below* this wiretap: a retransmit re-delivers the
+//! same logical call and a replay re-delivers its cached response, so a
+//! faulty run produces exactly the event sequence of the fault-free run.
+//! The adversary's view — and the paper's interaction counts (Table 5) —
+//! are invariant under transport faults; turbulence shows up only in
+//! [`Channel::transport_stats`].
 
-use crate::channel::{CallReply, Channel, PendingCall};
+use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
 use crate::error::RuntimeError;
 use hps_ir::{ComponentId, FragLabel, Value};
 
@@ -156,6 +165,10 @@ impl Channel for TraceChannel<'_> {
     fn rtt_cost(&self) -> u64 {
         self.inner.rtt_cost()
     }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.inner.transport_stats()
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +250,34 @@ mod tests {
         assert_eq!(trace.events[0].ret, Value::Int(5));
         assert_eq!(trace.events[1].seq, 1);
         assert_eq!(trace.keys_of(c0), vec![1, 2]);
+    }
+
+    #[test]
+    fn faulty_transport_leaves_the_trace_invariant() {
+        use crate::fault::{FaultKind, FaultPlan, FaultyChannel};
+        // The same workload through a clean channel and through a channel
+        // under heavy injected faults: the adversary's recording must be
+        // byte-for-byte identical, with turbulence visible only in the
+        // transport stats.
+        let workload = |chan: &mut dyn Channel| -> Trace {
+            let mut tc = TraceChannel::new(chan);
+            let c0 = ComponentId::new(0);
+            for n in 0..12 {
+                tc.call(c0, n % 3, FragLabel::new(0), &[Value::Int(n as i64)])
+                    .unwrap();
+            }
+            tc.into_trace()
+        };
+        let mut clean = FakeChannel(0);
+        let clean_trace = workload(&mut clean);
+        let mut faulty = FaultyChannel::new(
+            FakeChannel(0),
+            FaultPlan::new(0xbad5eed, &FaultKind::ALL, 300),
+        );
+        let faulty_trace = workload(&mut faulty);
+        assert_eq!(clean_trace, faulty_trace);
+        assert_eq!(faulty.inner().0, clean.0, "same logical calls delivered");
+        assert!(faulty.transport_stats().faults > 0, "faults must fire");
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //!           | 0x02 release(component:u32 key:u64)
 //!           | 0x03 shutdown
 //!           | 0x04 batch(count:u16 call-body*)     ; call-body as in 0x01
+//!           | 0x05 hello(version:u8 session:u64)
+//!           | 0x06 seq-call(seq:u64 call-body)
+//!           | 0x07 seq-batch(seq:u64 count:u16 call-body*)
 //! response := 0x10 reply(value:arg server_cost:u64)
 //!           | 0x11 error(len:u32 utf8-bytes)
 //!           | 0x12 batch(count:u16 reply-body*)    ; reply-body as in 0x10
+//!           | 0x13 hello-ack(version:u8 session:u64 next_seq:u64)
 //! arg      := 0x00 i64 | 0x01 f64-bits | 0x02 u8-bool
 //! ```
 //!
@@ -18,11 +22,28 @@
 //! trip and is answered by one `0x12` batch with a reply per call, in
 //! order. A failing call inside a batch turns the whole response into
 //! `0x11 error`.
+//!
+//! ## Sessions and exactly-once replay
+//!
+//! The `0x05`/`0x13` handshake opens (or resumes) a *session*: the client
+//! names a 64-bit session id and the protocol version it speaks
+//! ([`WIRE_VERSION`]); the server acknowledges with the next sequence
+//! number it expects, so a reconnecting client can detect what the server
+//! already saw. Within a session, call traffic uses the sequenced frames
+//! `0x06`/`0x07`: the per-session monotonic `seq` lets the server
+//! deduplicate a retransmitted call whose response was lost (it replays
+//! the cached response instead of re-executing) and reject sequence gaps.
+//! The unsequenced `0x01`/`0x04` frames remain valid for fire-and-forget
+//! single-connection deployments.
 
 use crate::channel::{CallReply, PendingCall};
 use crate::error::RuntimeError;
 use hps_ir::{ComponentId, FragLabel, Value};
 use std::io::{Read, Write};
+
+/// Version byte exchanged in the `Hello` handshake. Bump on any
+/// incompatible framing change; the server rejects mismatches as terminal.
+pub const WIRE_VERSION: u8 = 2;
 
 /// A request from the open side.
 #[derive(Clone, PartialEq, Debug)]
@@ -49,6 +70,28 @@ pub enum Request {
     Shutdown,
     /// Run a batch of logical calls in order, one round trip.
     Batch(Vec<PendingCall>),
+    /// Open or resume a session (first frame on a reliable connection).
+    Hello {
+        /// Protocol version the client speaks ([`WIRE_VERSION`]).
+        version: u8,
+        /// Client-chosen session id; reconnects reuse it to resume.
+        session: u64,
+    },
+    /// A sequenced call within a session (supports exactly-once replay).
+    SeqCall {
+        /// Per-session monotonic sequence number (starts at 1).
+        seq: u64,
+        /// The logical call.
+        call: PendingCall,
+    },
+    /// A sequenced batch within a session; the whole batch is one
+    /// sequence-numbered unit (it is retransmitted atomically).
+    SeqBatch {
+        /// Per-session monotonic sequence number (starts at 1).
+        seq: u64,
+        /// The logical calls, in order.
+        calls: Vec<PendingCall>,
+    },
 }
 
 /// A response from the secure side.
@@ -65,6 +108,15 @@ pub enum Response {
     Error(String),
     /// One reply per call of a [`Request::Batch`], in order.
     Batch(Vec<CallReply>),
+    /// Acknowledges a [`Request::Hello`], completing the handshake.
+    HelloAck {
+        /// Protocol version the server speaks.
+        version: u8,
+        /// The session id echoed back.
+        session: u64,
+        /// Next sequence number the server expects (1 for a new session).
+        next_seq: u64,
+    },
 }
 
 fn push_value(buf: &mut Vec<u8>, v: Value) {
@@ -196,6 +248,24 @@ impl Request {
                     push_call_body(buf, c.component, c.key, c.label, &c.args);
                 }
             }
+            Request::Hello { version, session } => {
+                buf.push(0x05);
+                buf.push(*version);
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+            Request::SeqCall { seq, call } => {
+                buf.push(0x06);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                push_call_body(buf, call.component, call.key, call.label, &call.args);
+            }
+            Request::SeqBatch { seq, calls } => {
+                buf.push(0x07);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&(calls.len() as u16).to_le_bytes());
+                for c in calls {
+                    push_call_body(buf, c.component, c.key, c.label, &c.args);
+                }
+            }
         }
     }
 
@@ -228,6 +298,23 @@ impl Request {
                     calls.push(read_call_body(&mut r)?);
                 }
                 Request::Batch(calls)
+            }
+            0x05 => Request::Hello {
+                version: r.u8()?,
+                session: r.u64()?,
+            },
+            0x06 => Request::SeqCall {
+                seq: r.u64()?,
+                call: read_call_body(&mut r)?,
+            },
+            0x07 => {
+                let seq = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut calls = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    calls.push(read_call_body(&mut r)?);
+                }
+                Request::SeqBatch { seq, calls }
             }
             t => return Err(RuntimeError::Channel(format!("bad request tag 0x{t:02x}"))),
         };
@@ -285,6 +372,16 @@ impl Response {
                     buf.extend_from_slice(&reply.server_cost.to_le_bytes());
                 }
             }
+            Response::HelloAck {
+                version,
+                session,
+                next_seq,
+            } => {
+                buf.push(0x13);
+                buf.push(*version);
+                buf.extend_from_slice(&session.to_le_bytes());
+                buf.extend_from_slice(&next_seq.to_le_bytes());
+            }
         }
     }
 
@@ -319,6 +416,11 @@ impl Response {
                 }
                 Response::Batch(replies)
             }
+            0x13 => Response::HelloAck {
+                version: r.u8()?,
+                session: r.u64()?,
+                next_seq: r.u64()?,
+            },
             t => return Err(RuntimeError::Channel(format!("bad response tag 0x{t:02x}"))),
         };
         r.done()?;
@@ -330,13 +432,14 @@ impl Response {
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError::Channel`] on I/O failure.
+/// Returns [`RuntimeError::Transport`] on I/O failure (classified via
+/// [`crate::error::FaultClass::of_io`]).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), RuntimeError> {
     let len = (payload.len() as u32).to_le_bytes();
     w.write_all(&len)
         .and_then(|()| w.write_all(payload))
         .and_then(|()| w.flush())
-        .map_err(|e| RuntimeError::Channel(format!("write failed: {e}")))
+        .map_err(|e| RuntimeError::transport("write", &e))
 }
 
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
@@ -344,14 +447,16 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), RuntimeErro
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError::Channel`] on I/O failure, mid-frame EOF or
-/// oversized frames (> 16 MiB).
+/// Returns [`RuntimeError::Transport`] on I/O failure or mid-frame EOF
+/// (both retryable — a dying peer can cut a frame anywhere), and
+/// [`RuntimeError::Channel`] on oversized frames (> 16 MiB), which no
+/// retry can fix.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, RuntimeError> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(RuntimeError::Channel(format!("read failed: {e}"))),
+        Err(e) => return Err(RuntimeError::transport("read", &e)),
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > 16 * 1024 * 1024 {
@@ -359,7 +464,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, RuntimeError> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)
-        .map_err(|e| RuntimeError::Channel(format!("read failed: {e}")))?;
+        .map_err(|e| RuntimeError::transport("read", &e))?;
     Ok(Some(payload))
 }
 
@@ -453,6 +558,43 @@ mod tests {
     }
 
     #[test]
+    fn session_frames_round_trip() {
+        let reqs = [
+            Request::Hello {
+                version: WIRE_VERSION,
+                session: 0xdead_beef_cafe_f00d,
+            },
+            Request::SeqCall {
+                seq: 17,
+                call: PendingCall {
+                    component: ComponentId::new(2),
+                    key: 9,
+                    label: FragLabel::new(4),
+                    args: vec![Value::Int(11), Value::Bool(false)],
+                },
+            },
+            Request::SeqBatch {
+                seq: u64::MAX,
+                calls: vec![PendingCall {
+                    component: ComponentId::new(0),
+                    key: 0,
+                    label: FragLabel::new(0),
+                    args: vec![],
+                }],
+            },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let ack = Response::HelloAck {
+            version: WIRE_VERSION,
+            session: 42,
+            next_seq: 7,
+        };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
     fn rejects_malformed() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[0xff]).is_err());
@@ -461,6 +603,16 @@ mod tests {
         let mut good = Request::Shutdown.encode();
         good.push(0);
         assert!(Request::decode(&good).is_err());
+        // Truncated session frames fail cleanly too.
+        let hello = Request::Hello {
+            version: WIRE_VERSION,
+            session: 1,
+        }
+        .encode();
+        for cut in 0..hello.len() {
+            assert!(Request::decode(&hello[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(Response::decode(&[0x13, 0x02]).is_err());
     }
 
     #[test]

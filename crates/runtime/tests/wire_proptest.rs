@@ -4,6 +4,7 @@
 
 use hps_ir::{ComponentId, FragLabel, Value};
 use hps_runtime::wire::{read_frame, write_frame, Request, Response};
+use hps_runtime::PendingCall;
 use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -12,6 +13,21 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<f64>().prop_map(Value::Float),
         any::<bool>().prop_map(Value::Bool),
     ]
+}
+
+fn pending_call_strategy() -> impl Strategy<Value = PendingCall> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::collection::vec(value_strategy(), 0..8),
+    )
+        .prop_map(|(c, key, l, args)| PendingCall {
+            component: ComponentId(c),
+            key,
+            label: FragLabel(l),
+            args,
+        })
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
@@ -28,10 +44,20 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 label: FragLabel(l),
                 args,
             }),
+        prop::collection::vec(pending_call_strategy(), 0..6).prop_map(Request::Batch),
         (any::<u32>(), any::<u64>()).prop_map(|(c, key)| Request::Release {
             component: ComponentId(c),
             key,
         }),
+        (any::<u8>(), any::<u64>())
+            .prop_map(|(version, session)| Request::Hello { version, session }),
+        (any::<u64>(), pending_call_strategy())
+            .prop_map(|(seq, call)| Request::SeqCall { seq, call }),
+        (
+            any::<u64>(),
+            prop::collection::vec(pending_call_strategy(), 0..6)
+        )
+            .prop_map(|(seq, calls)| Request::SeqBatch { seq, calls }),
         Just(Request::Shutdown),
     ]
 }
@@ -40,6 +66,19 @@ fn response_strategy() -> impl Strategy<Value = Response> {
     prop_oneof![
         (value_strategy(), any::<u64>())
             .prop_map(|(value, server_cost)| Response::Reply { value, server_cost }),
+        prop::collection::vec(
+            (value_strategy(), any::<u64>())
+                .prop_map(|(value, server_cost)| { hps_runtime::CallReply { value, server_cost } }),
+            0..6
+        )
+        .prop_map(Response::Batch),
+        (any::<u8>(), any::<u64>(), any::<u64>()).prop_map(|(version, session, next_seq)| {
+            Response::HelloAck {
+                version,
+                session,
+                next_seq,
+            }
+        }),
         ".{0,120}".prop_map(Response::Error),
     ]
 }
@@ -58,20 +97,21 @@ proptest! {
     fn request_round_trips(req in request_strategy()) {
         let bytes = req.encode();
         let decoded = Request::decode(&bytes).expect("valid encoding decodes");
-        match (&req, &decoded) {
-            (
-                Request::Call { component: c1, key: k1, label: l1, args: a1 },
-                Request::Call { component: c2, key: k2, label: l2, args: a2 },
-            ) => {
-                prop_assert_eq!(c1, c2);
-                prop_assert_eq!(k1, k2);
-                prop_assert_eq!(l1, l2);
-                prop_assert_eq!(a1.len(), a2.len());
-                for (x, y) in a1.iter().zip(a2) {
-                    prop_assert_eq!(value_bits(x), value_bits(y));
-                }
+        // Re-encoding must reproduce the bytes exactly (bit-level, so
+        // NaN-carrying floats round-trip too).
+        prop_assert_eq!(decoded.encode(), bytes);
+        // And for the common case, structural equality must hold as well.
+        if let (
+            Request::Call { component: c1, key: k1, label: l1, args: a1 },
+            Request::Call { component: c2, key: k2, label: l2, args: a2 },
+        ) = (&req, &decoded) {
+            prop_assert_eq!(c1, c2);
+            prop_assert_eq!(k1, k2);
+            prop_assert_eq!(l1, l2);
+            prop_assert_eq!(a1.len(), a2.len());
+            for (x, y) in a1.iter().zip(a2) {
+                prop_assert_eq!(value_bits(x), value_bits(y));
             }
-            (a, b) => prop_assert_eq!(a, b),
         }
     }
 
@@ -115,6 +155,54 @@ proptest! {
                 // Only acceptable if the cut kept the whole frame.
                 prop_assert_eq!(payload, req.encode());
             }
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic(req in request_strategy(), cut in 0usize..48) {
+        // Cut the *decoded payload* (not the frame): every proper prefix of
+        // a valid encoding must decode to a clean error, never panic.
+        let bytes = req.encode();
+        if cut < bytes.len() {
+            prop_assert!(Request::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_tags_error_not_panic(tag in 8u8..=255, rest in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Request tags stop at 0x07; everything above must be rejected.
+        let mut bytes = vec![tag];
+        bytes.extend(rest);
+        prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn overlong_payloads_error_not_panic(req in request_strategy(), junk in prop::collection::vec(any::<u8>(), 1..32)) {
+        // Trailing bytes after a complete body are a framing bug upstream;
+        // the decoder must flag them rather than silently ignore them.
+        let mut bytes = req.encode();
+        bytes.extend(junk);
+        prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_lengths_error_not_allocate(len in 16_777_217u32..u32::MAX) {
+        // A hostile length prefix beyond the 16 MiB cap must error cleanly
+        // (and in particular must not attempt the allocation).
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn random_prefix_frames_never_panic(junk in prop::collection::vec(any::<u8>(), 0..96)) {
+        // Arbitrary bytes fed to the framing layer: any of error, clean
+        // EOF, or a (garbage) frame is fine — panicking or looping is not.
+        let mut cursor = std::io::Cursor::new(junk);
+        while let Ok(Some(payload)) = read_frame(&mut cursor) {
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
         }
     }
 }

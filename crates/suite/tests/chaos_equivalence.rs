@@ -1,0 +1,153 @@
+//! Adversary-view invariance under transport faults, over the whole
+//! benchmark suite: for every benchmark and every (seed, fault-kind) cell
+//! of the reliability matrix, a run under injected faults must produce
+//! byte-identical program output, identical server-side logical call
+//! counts and an identical adversary trace to the fault-free run — with
+//! the turbulence visible only in the transport stats.
+//!
+//! CI pins one matrix cell per job via `HPS_CHAOS_SEED` /
+//! `HPS_CHAOS_FAULT` and uploads the chaos logs written to
+//! `target/chaos-logs/` when a cell fails.
+
+use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_runtime::fault::{FaultKind, FaultPlan, FaultyChannel};
+use hps_runtime::{
+    Channel, ExecConfig, InProcessChannel, Interp, SecureServer, SplitMeta, Trace, TraceChannel,
+    TransportStats,
+};
+use std::path::PathBuf;
+
+fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
+    let selected = select_functions(program);
+    let seeds = hps_security::choose_seeds_all(program, &selected);
+    SplitPlan {
+        targets: seeds
+            .into_iter()
+            .map(|(func, seed)| SplitTarget::Function { func, seed })
+            .collect(),
+        promote_control: true,
+    }
+}
+
+fn matrix() -> Vec<(u64, FaultKind)> {
+    let seeds: Vec<u64> = match std::env::var("HPS_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("HPS_CHAOS_SEED must be an integer")],
+        Err(_) => vec![1, 2, 3, 4],
+    };
+    let kinds: Vec<FaultKind> = match std::env::var("HPS_CHAOS_FAULT") {
+        Ok(s) => vec![s.parse().expect("HPS_CHAOS_FAULT must name a fault kind")],
+        Err(_) => FaultKind::ALL.to_vec(),
+    };
+    seeds
+        .into_iter()
+        .flat_map(|s| kinds.iter().map(move |k| (s, *k)))
+        .collect()
+}
+
+struct RunResult {
+    output: Vec<String>,
+    trace: Trace,
+    interactions: u64,
+    calls_served: u64,
+    stats: TransportStats,
+    chaos_log: Vec<String>,
+}
+
+/// Runs one split benchmark over `channel`, recording the adversary view.
+fn run_traced(
+    open: &hps_ir::Program,
+    meta: &SplitMeta,
+    input: hps_runtime::RtValue,
+    channel: &mut dyn Channel,
+) -> (Vec<String>, Trace) {
+    let mut trace = TraceChannel::new(channel);
+    let outcome = {
+        let mut interp = Interp::new(open, ExecConfig::new()).with_channel(&mut trace, meta);
+        interp.run("main", &[input]).expect("split run")
+    };
+    (outcome.output, trace.into_trace())
+}
+
+fn chaos_log_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-logs");
+    std::fs::create_dir_all(&dir).expect("create chaos log dir");
+    dir
+}
+
+#[test]
+fn faulty_runs_match_fault_free_runs_exactly() {
+    let mut total_faults = 0u64;
+    for (seed, kind) in matrix() {
+        for b in hps_suite::benchmarks() {
+            let program = b.program().expect("parses");
+            let plan = paper_plan(&program);
+            if plan.targets.is_empty() {
+                continue;
+            }
+            let split = split_program(&program, &plan).expect("splits");
+            let meta = SplitMeta::derive(&split.open, &split.hidden);
+
+            let baseline = {
+                let server = SecureServer::new(split.hidden.clone());
+                let mut chan = InProcessChannel::new(server);
+                let (output, trace) =
+                    run_traced(&split.open, &meta, b.workload(600, 77), &mut chan);
+                RunResult {
+                    output,
+                    trace,
+                    interactions: chan.interactions(),
+                    calls_served: chan.server().calls_served(),
+                    stats: chan.transport_stats(),
+                    chaos_log: Vec::new(),
+                }
+            };
+            let faulty = {
+                let server = SecureServer::new(split.hidden.clone());
+                let inner = InProcessChannel::new(server);
+                let mut chan = FaultyChannel::new(inner, FaultPlan::new(seed, &[kind], 200));
+                let (output, trace) =
+                    run_traced(&split.open, &meta, b.workload(600, 77), &mut chan);
+                RunResult {
+                    output,
+                    trace,
+                    interactions: chan.interactions(),
+                    calls_served: chan.inner().server().calls_served(),
+                    stats: chan.transport_stats(),
+                    chaos_log: chan.chaos_log().to_vec(),
+                }
+            };
+
+            // Persist the injected-fault schedule for the CI artifact.
+            let log_path = chaos_log_dir().join(format!("{}-seed{seed}-{kind}.log", b.name));
+            std::fs::write(&log_path, faulty.chaos_log.join("\n")).expect("write chaos log");
+
+            let cell = format!("{} seed={seed} fault={kind}", b.name);
+            assert_eq!(
+                baseline.output, faulty.output,
+                "{cell}: program output diverged"
+            );
+            assert_eq!(
+                baseline.calls_served, faulty.calls_served,
+                "{cell}: server-side logical call count diverged"
+            );
+            assert_eq!(
+                baseline.interactions, faulty.interactions,
+                "{cell}: interaction count diverged"
+            );
+            assert_eq!(
+                baseline.trace, faulty.trace,
+                "{cell}: adversary trace diverged"
+            );
+            assert_eq!(
+                baseline.stats,
+                TransportStats::default(),
+                "{cell}: fault-free run reported transport turbulence"
+            );
+            total_faults += faulty.stats.faults;
+        }
+    }
+    assert!(
+        total_faults > 0,
+        "a 20% fault rate across the whole suite must inject something"
+    );
+}

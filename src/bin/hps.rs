@@ -5,8 +5,9 @@
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
 //!                                             print Of, Hf and the split report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
-//! hps serve <file.ml> <addr> [selection]      host the hidden component on TCP
-//! hps client <file.ml> <addr> [selection] [--batch] [ints...]
+//! hps serve <file.ml> <addr> [selection] [--chaos SEED]
+//!                                             host the hidden component on TCP
+//! hps client <file.ml> <addr> [selection] [--batch] [--retry] [ints...]
 //!                                             run the open component against a server
 //! hps tables [--quick]                        shortcut to the experiment harness
 //! ```
@@ -16,9 +17,9 @@
 //! the open half in memory.
 
 use hiding_program_slices as hps;
-use hps::runtime::{ExecConfig, Interp, RtValue, SecureServer, SplitMeta};
+use hps::runtime::tcp::{ChaosConfig, RetryPolicy, SessionServer, TcpChannel};
+use hps::runtime::{ExecConfig, Interp, RtValue, SplitMeta};
 use hps::split::{split_program, SplitPlan, SplitResult, SplitTarget};
-use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -55,12 +56,15 @@ USAGE:
   hps run <file.ml> [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
-  hps serve <file.ml> <addr> [selection flags]
-  hps client <file.ml> <addr> [selection flags] [--batch] [--args ints...]
+  hps serve <file.ml> <addr> [selection flags] [--chaos SEED]
+  hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
 complexity-guided, cost-restricted seed choice (the paper's pipeline).
 --batch coalesces deferrable hidden calls into batched round trips.
+--retry opens a fault-tolerant session (timeouts, reconnect with backoff,
+exactly-once replay); --chaos SEED makes the server deterministically kill
+connections mid-call to exercise it.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -232,26 +236,47 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
-        .ok_or("usage: hps serve <file.ml> <addr> [flags]")?;
+        .ok_or("usage: hps serve <file.ml> <addr> [flags] [--chaos SEED]")?;
     let addr = args
         .get(1)
-        .ok_or("usage: hps serve <file.ml> <addr> [flags]")?;
-    let program = load(path)?;
-    let split = do_split(&program, &args[2..])?;
-    let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
-    eprintln!(
-        "[hps] serving {} hidden component(s) on {} (one connection at a time; ctrl-c to stop)",
-        split.hidden.components.len(),
-        listener.local_addr().map_err(|e| e.to_string())?
-    );
-    loop {
-        let (mut stream, peer) = listener.accept().map_err(|e| e.to_string())?;
-        let mut server = SecureServer::new(split.hidden.clone());
-        match hps::runtime::tcp::serve_connection(&mut stream, &mut server) {
-            Ok(served) => eprintln!("[hps] {peer}: served {served} calls"),
-            Err(e) => eprintln!("[hps] {peer}: {e}"),
+        .ok_or("usage: hps serve <file.ml> <addr> [flags] [--chaos SEED]")?;
+    let rest = &args[2..];
+    let mut chaos = None;
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--chaos" {
+            let seed = rest
+                .get(i + 1)
+                .ok_or("--chaos needs a seed")?
+                .parse::<u64>()
+                .map_err(|_| "--chaos seed must be an integer".to_string())?;
+            chaos = Some(ChaosConfig {
+                seed,
+                kill_per_mille: 100,
+            });
+            i += 2;
+        } else {
+            flags.push(rest[i].clone());
+            i += 1;
         }
     }
+    let program = load(path)?;
+    let split = do_split(&program, &flags)?;
+    let mut server =
+        SessionServer::bind(addr.as_str(), split.hidden.clone()).map_err(|e| e.to_string())?;
+    if let Some(c) = chaos {
+        eprintln!("[hps] chaos mode: killing ~10% of frames (seed {})", c.seed);
+        server = server.with_chaos(c);
+    }
+    eprintln!(
+        "[hps] serving {} hidden component(s) on {} (multi-client sessions; ctrl-c to stop)",
+        split.hidden.components.len(),
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    server
+        .serve(|peer, event| eprintln!("[hps] {peer}: {event}"))
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
@@ -267,12 +292,21 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         None => (rest, &[]),
     };
     let batch = flags.iter().any(|a| a == "--batch");
-    let flags: Vec<String> = flags.iter().filter(|a| *a != "--batch").cloned().collect();
+    let retry = flags.iter().any(|a| a == "--retry");
+    let flags: Vec<String> = flags
+        .iter()
+        .filter(|a| *a != "--batch" && *a != "--retry")
+        .cloned()
+        .collect();
     let program = load(path)?;
     let split = do_split(&program, &flags)?;
     let entry_args = int_args(entry)?;
-    let mut channel =
-        hps::runtime::tcp::TcpChannel::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let mut channel = if retry {
+        TcpChannel::connect_reliable(addr.as_str(), RetryPolicy::new())
+            .map_err(|e| e.to_string())?
+    } else {
+        TcpChannel::connect(addr.as_str()).map_err(|e| e.to_string())?
+    };
     let meta = SplitMeta::derive(&split.open, &split.hidden);
     let outcome = {
         let mut interp = Interp::new(&split.open, ExecConfig::new().with_batching(batch))
@@ -283,7 +317,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         println!("{line}");
     }
     let interactions = hps::runtime::Channel::interactions(&channel);
+    let stats = hps::runtime::Channel::transport_stats(&channel);
     channel.shutdown().map_err(|e| e.to_string())?;
     eprintln!("[hps] {interactions} open<->hidden interactions");
+    if retry {
+        eprintln!(
+            "[hps] transport: {} retries, {} reconnects, {} faults",
+            stats.retries, stats.reconnects, stats.faults
+        );
+    }
     Ok(())
 }

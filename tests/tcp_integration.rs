@@ -4,14 +4,18 @@
 //! run exactly.
 
 use hiding_program_slices as hps;
-use hps::runtime::tcp::{serve_once, TcpChannel};
+use hps::runtime::tcp::{serve_once, ChaosConfig, RetryPolicy, SessionServer, TcpChannel};
 use hps::runtime::{run_program, Channel, ExecConfig, Interp, SecureServer, SplitMeta};
 use hps::split::split_program;
 use std::net::TcpListener;
 use std::thread;
+use std::time::Duration;
 
-#[test]
-fn benchmark_split_runs_over_tcp() {
+fn rulekit_split() -> (
+    hps::suite::Benchmark,
+    hps::ir::Program,
+    hps::split::SplitResult,
+) {
     let b = hps::suite::benchmark("rulekit").expect("exists");
     let program = b.program().expect("parses");
     let selected = hps::split::select_functions(&program);
@@ -24,6 +28,12 @@ fn benchmark_split_runs_over_tcp() {
         promote_control: true,
     };
     let split = split_program(&program, &plan).expect("splits");
+    (b, program, split)
+}
+
+#[test]
+fn benchmark_split_runs_over_tcp() {
+    let (b, program, split) = rulekit_split();
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
@@ -74,4 +84,113 @@ fn tcp_channel_reports_server_side_failures() {
     assert!(matches!(err, hps::runtime::RuntimeError::Channel(msg) if msg.contains("remote:")));
     channel.shutdown().expect("shutdown");
     server.join().expect("join").expect("serve");
+}
+
+#[test]
+fn benchmark_split_survives_chaos_over_sessions() {
+    // The full deployment under fire: a real benchmark against a
+    // multi-client session server that keeps killing connections. The
+    // reliable channel must deliver the exact fault-free output, and the
+    // server must execute each logical call exactly once.
+    let (b, program, split) = rulekit_split();
+    let server = SessionServer::bind("127.0.0.1:0", split.hidden.clone())
+        .expect("bind")
+        .with_chaos(ChaosConfig {
+            seed: 3,
+            kill_per_mille: 60,
+        });
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr();
+    let serve = thread::spawn(move || server.serve(|_, _| {}));
+
+    let policy = RetryPolicy::new()
+        .with_base_backoff(Duration::from_millis(1))
+        .with_max_attempts(16)
+        .with_jitter_seed(11);
+    let mut channel = TcpChannel::connect_reliable(addr, policy).expect("connect");
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let outcome = {
+        let mut interp =
+            Interp::new(&split.open, ExecConfig::new()).with_channel(&mut channel, &meta);
+        interp
+            .run("main", &[b.workload(300, 9)])
+            .expect("split program survives chaos")
+    };
+    let interactions = channel.interactions();
+    let stats = channel.transport_stats();
+    channel.shutdown().expect("shutdown");
+
+    let original = run_program(&program, &[b.workload(300, 9)]).expect("original runs");
+    assert_eq!(original.output, outcome.output, "chaos changed behaviour");
+    assert_eq!(
+        handle.stats().calls,
+        interactions,
+        "server-side logical calls must match the client's count exactly"
+    );
+    assert!(
+        handle.stats().chaos_kills == 0 || stats.reconnects > 0,
+        "kills must surface as client reconnects"
+    );
+    handle.stop();
+    serve.join().expect("join").expect("serve");
+}
+
+#[test]
+fn concurrent_clients_share_one_session_server() {
+    let (b, program, split) = rulekit_split();
+    let server = SessionServer::bind("127.0.0.1:0", split.hidden.clone()).expect("bind");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr();
+    let serve = thread::spawn(move || server.serve(|_, _| {}));
+
+    let expected = run_program(&program, &[b.workload(200, 5)])
+        .expect("original runs")
+        .output;
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let split = split_program(
+                &b.program().expect("parses"),
+                &hps::split::SplitPlan {
+                    targets: hps::security::choose_seeds_all(
+                        &b.program().expect("parses"),
+                        &hps::split::select_functions(&b.program().expect("parses")),
+                    )
+                    .into_iter()
+                    .map(|(func, seed)| hps::split::SplitTarget::Function { func, seed })
+                    .collect(),
+                    promote_control: true,
+                },
+            )
+            .expect("splits");
+            thread::spawn(move || {
+                // Hidden-side values are not Send; build the workload on
+                // this thread.
+                let input = hps::suite::benchmark("rulekit")
+                    .expect("exists")
+                    .workload(200, 5);
+                let policy = RetryPolicy::new()
+                    .with_base_backoff(Duration::from_millis(1))
+                    .with_jitter_seed(w);
+                let mut channel = TcpChannel::connect_reliable(addr, policy).expect("connect");
+                let meta = SplitMeta::derive(&split.open, &split.hidden);
+                let outcome = {
+                    let mut interp = Interp::new(&split.open, ExecConfig::new())
+                        .with_channel(&mut channel, &meta);
+                    interp.run("main", &[input]).expect("runs")
+                };
+                channel.shutdown().expect("shutdown");
+                outcome.output
+            })
+        })
+        .collect();
+    for w in workers {
+        assert_eq!(w.join().expect("worker"), expected);
+    }
+    assert_eq!(
+        handle.stats().sessions,
+        3,
+        "one isolated session per client"
+    );
+    handle.stop();
+    serve.join().expect("join").expect("serve");
 }
