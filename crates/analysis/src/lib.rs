@@ -17,6 +17,8 @@
 //! * [`callgraph`] — call graph with recursion detection, called-in-loop
 //!   flags and a max-flow vertex cut used by function selection.
 //! * [`modref`] — interprocedural global mod/ref summaries.
+//! * [`mod@taint`] — flow-sensitive taint/information-flow propagation with
+//!   implicit (control-dependence) flows, parameterized by a [`TaintModel`].
 //!
 //! The umbrella type [`FuncAnalysis`] bundles the per-function analyses most
 //! clients need.
@@ -48,6 +50,7 @@ pub mod loops;
 pub mod modref;
 pub mod reaching;
 pub mod structure;
+pub mod taint;
 pub mod vars;
 
 pub use bitset::BitSet;
@@ -59,6 +62,7 @@ pub use loops::{LoopInfo, TripCount};
 pub use modref::ModRef;
 pub use reaching::{DataDeps, DefId, DefSite, DefUse, ReachingDefs};
 pub use structure::StructInfo;
+pub use taint::{TaintAnalysis, TaintModel};
 pub use vars::VarId;
 
 use hps_ir::{FuncId, Program};

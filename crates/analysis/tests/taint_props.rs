@@ -1,0 +1,221 @@
+//! Property tests for the taint lattice and propagation engine:
+//!
+//! * the join (bit-set union) is commutative, associative, idempotent and
+//!   monotone — the algebraic laws the fixpoint argument rests on;
+//! * fixpoint iteration terminates on randomly generated structured CFGs
+//!   (nested loops and branches) and the computed solution really is a
+//!   post-fixpoint: one more full pass changes nothing;
+//! * the solution is sound for the generated seeds: every seeded
+//!   statement's defined variable carries its label immediately after the
+//!   statement executes.
+
+use hps_analysis::taint::{TaintAnalysis, TaintModel};
+use hps_analysis::{BitSet, Cfg, ControlDeps, DomTree};
+use hps_ir::{FuncId, Stmt, StmtId};
+use proptest::prelude::*;
+use std::fmt::Write;
+
+const LABELS: usize = 8;
+
+fn bitset_strategy() -> BoxedStrategy<BitSet> {
+    prop::collection::vec(0usize..LABELS, 0..6)
+        .prop_map(|bits| {
+            let mut s = BitSet::new(LABELS);
+            for b in bits {
+                s.insert(b);
+            }
+            s
+        })
+        .boxed()
+}
+
+fn join(a: &BitSet, b: &BitSet) -> BitSet {
+    let mut out = a.clone();
+    out.union_with(b);
+    out
+}
+
+fn leq(a: &BitSet, b: &BitSet) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+/// Structured-function generator mirroring `tests/invariants.rs`.
+#[derive(Debug, Clone)]
+enum GS {
+    Assign(u8),
+    If(Vec<GS>, Vec<GS>),
+    Loop(Vec<GS>),
+}
+
+fn gs_strategy(depth: u32) -> BoxedStrategy<GS> {
+    if depth == 0 {
+        return (0u8..4).prop_map(GS::Assign).boxed();
+    }
+    let block = prop::collection::vec(gs_strategy(depth - 1), 1..4);
+    prop_oneof![
+        3 => (0u8..4).prop_map(GS::Assign),
+        1 => (block.clone(), block.clone()).prop_map(|(t, e)| GS::If(t, e)),
+        1 => block.prop_map(GS::Loop),
+    ]
+    .boxed()
+}
+
+fn count_loops(stmts: &[GS]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            GS::Loop(b) => 1 + count_loops(b),
+            GS::If(t, e) => count_loops(t) + count_loops(e),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn render(stmts: &[GS], out: &mut String, indent: usize, loops: &mut usize) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            GS::Assign(v) => {
+                let _ = writeln!(out, "{pad}v{v} = v{v} + v{};", (v + 1) % 4);
+            }
+            GS::If(t, e) => {
+                let _ = writeln!(out, "{pad}if (v0 < v1) {{");
+                render(t, out, indent + 1, loops);
+                let _ = writeln!(out, "{pad}}} else {{");
+                render(e, out, indent + 1, loops);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            GS::Loop(b) => {
+                let c = *loops;
+                *loops += 1;
+                let _ = writeln!(out, "{pad}c{c} = 0;");
+                let _ = writeln!(out, "{pad}while (c{c} < 3) {{");
+                render(b, out, indent + 1, loops);
+                let _ = writeln!(out, "{}c{c} = c{c} + 1;", "    ".repeat(indent + 1));
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn build(stmts: &[GS]) -> hps_ir::Program {
+    let mut src = String::from("fn f(x: int) {\n");
+    for v in 0..4 {
+        let _ = writeln!(src, "    var v{v}: int = {v};");
+    }
+    for c in 0..count_loops(stmts) {
+        let _ = writeln!(src, "    var c{c}: int;");
+    }
+    let mut loops = 0;
+    render(stmts, &mut src, 1, &mut loops);
+    src.push_str("}\n");
+    hps_lang::parse(&src).expect("generated program parses")
+}
+
+/// Seeds a label at every statement whose id is ≡ its label (mod stride).
+struct StrideSeeds {
+    stride: usize,
+    implicit: bool,
+}
+
+impl TaintModel for StrideSeeds {
+    fn labels(&self) -> usize {
+        LABELS
+    }
+    fn gen(&self, stmt: &Stmt, out: &mut BitSet) {
+        let id = stmt.id.index();
+        if id.is_multiple_of(self.stride) {
+            out.insert(id % LABELS);
+        }
+    }
+    fn implicit_flows(&self) -> bool {
+        self.implicit
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_is_commutative(a in bitset_strategy(), b in bitset_strategy()) {
+        prop_assert_eq!(join(&a, &b), join(&b, &a));
+    }
+
+    #[test]
+    fn join_is_associative(
+        a in bitset_strategy(),
+        b in bitset_strategy(),
+        c in bitset_strategy()
+    ) {
+        prop_assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
+    }
+
+    #[test]
+    fn join_is_idempotent_with_bottom_identity(a in bitset_strategy()) {
+        prop_assert_eq!(join(&a, &a), a.clone());
+        prop_assert_eq!(join(&a, &BitSet::new(LABELS)), a);
+    }
+
+    #[test]
+    fn join_is_monotone(
+        a in bitset_strategy(),
+        b in bitset_strategy(),
+        c in bitset_strategy()
+    ) {
+        // a ⊑ a ⊔ b, and joining a common element preserves order.
+        let ab = join(&a, &b);
+        prop_assert!(leq(&a, &ab));
+        prop_assert!(leq(&b, &ab));
+        if leq(&a, &b) {
+            prop_assert!(leq(&join(&a, &c), &join(&b, &c)));
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_random_cfgs(
+        stmts in prop::collection::vec(gs_strategy(2), 1..6),
+        stride in 1usize..4,
+        implicit in any::<bool>(),
+    ) {
+        let program = build(&stmts);
+        let f = program.func(FuncId::new(0));
+        let cfg = Cfg::build(f);
+        let postdom = DomTree::postdominators(&cfg);
+        let control = ControlDeps::compute(&cfg, &postdom);
+        let model = StrideSeeds { stride, implicit };
+        // `compute` panics internally if iteration exceeds its lattice-height
+        // bound; reaching this point at all is the termination property.
+        let ta = TaintAnalysis::compute(f, &cfg, &control, &model);
+        prop_assert!(ta.iterations <= 2 + cfg.len() * (ta.vars.len() + 1) * (LABELS + 1));
+        // The result is a genuine post-fixpoint: one more pass is a no-op.
+        prop_assert!(ta.is_fixpoint(f, &cfg, &control, &model));
+    }
+
+    #[test]
+    fn seeded_defs_carry_their_label(
+        stmts in prop::collection::vec(gs_strategy(2), 1..6),
+        stride in 1usize..4,
+    ) {
+        let program = build(&stmts);
+        let f = program.func(FuncId::new(0));
+        let cfg = Cfg::build(f);
+        let postdom = DomTree::postdominators(&cfg);
+        let control = ControlDeps::compute(&cfg, &postdom);
+        let model = StrideSeeds { stride, implicit: true };
+        let ta = TaintAnalysis::compute(f, &cfg, &control, &model);
+        hps_ir::visit::for_each_stmt(&f.body, &mut |stmt| {
+            if stmt.id.index() % stride != 0 {
+                return;
+            }
+            if let hps_ir::StmtKind::Assign { place: hps_ir::Place::Local(l), .. } = &stmt.kind {
+                let node = cfg.node_of(stmt.id);
+                let after = ta.var_taint_after(node, hps_analysis::VarId::Local(*l), &model);
+                assert!(
+                    after.contains(stmt.id.index() % LABELS),
+                    "stmt {:?} lost its seeded label",
+                    StmtId::new(stmt.id.index())
+                );
+            }
+        });
+    }
+}

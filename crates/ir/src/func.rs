@@ -49,6 +49,9 @@ pub struct Function {
     /// runtime uses this to open an activation on the secure side when the
     /// function is entered.
     pub split_component: Option<ComponentId>,
+    /// Audit lint ids suppressed for the whole function via a source-level
+    /// `@allow(...)` attribute on the `fn` declaration.
+    pub allows: Vec<String>,
     next_stmt_id: u32,
 }
 
@@ -63,8 +66,14 @@ impl Function {
             body: Block::new(),
             class: None,
             split_component: None,
+            allows: Vec::new(),
             next_stmt_id: 0,
         }
+    }
+
+    /// Returns `true` if the function suppresses the given audit lint id.
+    pub fn allows_lint(&self, lint: &str) -> bool {
+        self.allows.iter().any(|a| a == lint)
     }
 
     /// Adds a parameter; must be called before any [`Function::add_local`].

@@ -46,6 +46,7 @@ pub mod hidden;
 pub mod ids;
 pub mod pretty;
 pub mod program;
+pub mod span;
 pub mod stmt;
 pub mod types;
 pub mod visit;
@@ -55,5 +56,6 @@ pub use func::{Function, LocalDecl, LocalKind};
 pub use hidden::{ComponentKind, Fragment, HiddenComponent, HiddenProgram, HiddenVar};
 pub use ids::{ClassId, ComponentId, FieldId, FragLabel, FuncId, GlobalId, LocalId, StmtId};
 pub use program::{ClassDef, FieldDecl, GlobalDecl, Program};
+pub use span::Span;
 pub use stmt::{Block, Place, PlaceRoot, Stmt, StmtKind};
 pub use types::{Ty, Value};

@@ -1,0 +1,62 @@
+//! Source positions carried from the front end onto IR statements.
+//!
+//! The span type lives in `hps-ir` (rather than `hps-lang`) so that IR
+//! statements can carry their originating source position without the IR
+//! crate depending on the front end. `hps-lang` re-exports [`Span`] from its
+//! `error` module, so front-end code keeps its historical import paths.
+//!
+//! A span is deliberately coarse — a 1-based line/column pair pointing at the
+//! first token of the construct. That is enough for diagnostics ("`seats` is
+//! read openly at 12:9") and survives the splitting transformation, which
+//! clones and renumbers statements but never invents source text.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+///
+/// [`Span::default`] (`0:0`) means "no source position" — used for
+/// synthesised statements (desugared `for` steps, splitter-introduced
+/// hidden calls that have no single originating token).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Span {
+    /// 1-based line number (0 when unknown).
+    pub line: u32,
+    /// 1-based column number (0 when unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given position.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Returns `true` if this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_known() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert!(Span::new(1, 1).is_known());
+        assert!(!Span::default().is_known());
+    }
+
+    #[test]
+    fn ordering_is_line_major() {
+        assert!(Span::new(2, 1) > Span::new(1, 99));
+        assert!(Span::new(2, 3) > Span::new(2, 1));
+    }
+}

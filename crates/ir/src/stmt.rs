@@ -1,7 +1,7 @@
 //! Statements, blocks and assignable places.
 
 use crate::ids::ComponentId;
-use crate::{ClassId, Expr, FieldId, FragLabel, GlobalId, LocalId, StmtId};
+use crate::{ClassId, Expr, FieldId, FragLabel, GlobalId, LocalId, Span, StmtId};
 
 /// An assignable location.
 #[derive(Clone, PartialEq, Debug)]
@@ -119,12 +119,29 @@ impl Block {
 }
 
 /// A statement together with its stable [`StmtId`].
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Besides the id and kind, a statement carries *metadata* — its originating
+/// source [`Span`] and any `@allow(lint_id)` suppressions attached in the
+/// source. Metadata is ignored by equality: two statements compare equal when
+/// their ids and kinds do, so structural comparisons (round-trip tests,
+/// slice/plan equality) are unaffected by where the code came from.
+#[derive(Clone, Debug)]
 pub struct Stmt {
     /// Identifier, assigned by [`Function::renumber`](crate::Function::renumber).
     pub id: StmtId,
     /// What the statement does.
     pub kind: StmtKind,
+    /// Source position of the statement's first token (`Span::default()`
+    /// when synthesised).
+    pub span: Span,
+    /// Audit lint ids suppressed at this statement via `@allow(...)`.
+    pub allows: Vec<String>,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Stmt) -> bool {
+        self.id == other.id && self.kind == other.kind
+    }
 }
 
 impl Stmt {
@@ -132,12 +149,35 @@ impl Stmt {
     /// [`Function::renumber`](crate::Function::renumber) runs.
     pub const UNNUMBERED: StmtId = StmtId(u32::MAX);
 
-    /// Creates a statement with the placeholder id.
+    /// Creates a statement with the placeholder id and no source position.
     pub fn new(kind: StmtKind) -> Stmt {
         Stmt {
             id: Self::UNNUMBERED,
             kind,
+            span: Span::default(),
+            allows: Vec::new(),
         }
+    }
+
+    /// Creates a statement anchored at a source position.
+    pub fn at(kind: StmtKind, span: Span) -> Stmt {
+        Stmt {
+            id: Self::UNNUMBERED,
+            kind,
+            span,
+            allows: Vec::new(),
+        }
+    }
+
+    /// Returns this statement with the given span attached.
+    pub fn with_span(mut self, span: Span) -> Stmt {
+        self.span = span;
+        self
+    }
+
+    /// Returns `true` if the statement suppresses the given lint id.
+    pub fn allows_lint(&self, lint: &str) -> bool {
+        self.allows.iter().any(|a| a == lint)
     }
 }
 
@@ -278,6 +318,18 @@ mod tests {
         let s = Stmt::new(StmtKind::Break);
         assert_eq!(s.id, Stmt::UNNUMBERED);
         assert_eq!(s.kind.tag(), "break");
+    }
+
+    #[test]
+    fn metadata_is_ignored_by_equality() {
+        let plain = Stmt::new(StmtKind::Nop);
+        let mut placed = Stmt::at(StmtKind::Nop, Span::new(4, 2));
+        placed.allows.push("weak-ilp-constant".into());
+        assert_eq!(plain, placed);
+        assert_eq!(placed.span, Span::new(4, 2));
+        assert!(placed.allows_lint("weak-ilp-constant"));
+        assert!(!placed.allows_lint("unused-leak"));
+        assert_eq!(plain.with_span(Span::new(9, 1)).span, Span::new(9, 1));
     }
 
     #[test]

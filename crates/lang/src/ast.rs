@@ -73,6 +73,8 @@ pub struct AFunc {
     pub body: Vec<AStmt>,
     /// Source position.
     pub span: Span,
+    /// Audit lint ids suppressed via `@allow(...)` attributes on the `fn`.
+    pub allows: Vec<String>,
 }
 
 /// A statement with position.
@@ -82,6 +84,9 @@ pub struct AStmt {
     pub kind: AStmtKind,
     /// Source position.
     pub span: Span,
+    /// Audit lint ids suppressed via `@allow(...)` attributes preceding the
+    /// statement.
+    pub allows: Vec<String>,
 }
 
 /// Statement forms.
@@ -226,8 +231,12 @@ impl AExpr {
 }
 
 impl AStmt {
-    /// Convenience constructor.
+    /// Convenience constructor (no suppressions).
     pub fn new(kind: AStmtKind, span: Span) -> AStmt {
-        AStmt { kind, span }
+        AStmt {
+            kind,
+            span,
+            allows: Vec::new(),
+        }
     }
 }

@@ -3,27 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-/// A source position (1-based line and column).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct Span {
-    /// 1-based line number.
-    pub line: u32,
-    /// 1-based column number.
-    pub col: u32,
-}
-
-impl Span {
-    /// Creates a span at the given position.
-    pub fn new(line: u32, col: u32) -> Span {
-        Span { line, col }
-    }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+/// Source positions are defined in `hps-ir` (so IR statements can carry
+/// them); re-exported here to keep the front end's historical import path.
+pub use hps_ir::Span;
 
 /// Which phase produced a [`LangError`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

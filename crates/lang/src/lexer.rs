@@ -207,6 +207,7 @@ impl<'a> Lexer<'a> {
             ':' => Punct::Colon,
             ',' => Punct::Comma,
             '.' => Punct::Dot,
+            '@' => Punct::At,
             '+' => Punct::Plus,
             '*' => Punct::Star,
             '/' => Punct::Slash,
@@ -290,6 +291,13 @@ mod tests {
         assert_eq!(ks[6], TokenKind::Punct(Punct::Assign));
         assert_eq!(ks[7], TokenKind::Punct(Punct::Lt));
         assert_eq!(ks[8], TokenKind::Punct(Punct::Gt));
+    }
+
+    #[test]
+    fn at_sign_lexes_as_punct() {
+        let ks = kinds("@allow(x)");
+        assert_eq!(ks[0], TokenKind::Punct(Punct::At));
+        assert_eq!(ks[1], TokenKind::Ident("allow".into()));
     }
 
     #[test]

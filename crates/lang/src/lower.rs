@@ -231,6 +231,7 @@ impl Lowerer {
                 };
                 let mut func = Function::new(f.name.clone(), ret.clone());
                 func.class = class;
+                func.allows = f.allows.clone();
                 if let Some(cid) = class {
                     func.add_param("self", Ty::Object(cid));
                 }
@@ -332,6 +333,13 @@ impl Lowerer {
         stmt: &AStmt,
         out: &mut Vec<Stmt>,
     ) -> Result<(), LangError> {
+        // Anchor every lowered statement at the source statement's position
+        // and carry its `@allow` suppressions onto the IR.
+        let mk = |kind: StmtKind| -> Stmt {
+            let mut s = Stmt::at(kind, stmt.span);
+            s.allows.clone_from(&stmt.allows);
+            s
+        };
         match &stmt.kind {
             AStmtKind::VarDecl { name, ty, init } => {
                 if ctx.locals.contains_key(name) {
@@ -351,7 +359,7 @@ impl Lowerer {
                 if let Some(init) = init {
                     let (e, ety) = self.lower_expr(ctx, init)?;
                     self.check_assignable(&t, &ety, init.span)?;
-                    out.push(Stmt::new(StmtKind::Assign {
+                    out.push(mk(StmtKind::Assign {
                         place: Place::Local(lid),
                         value: e,
                     }));
@@ -362,7 +370,7 @@ impl Lowerer {
                 let (p, pty) = self.lower_place(ctx, place)?;
                 let (v, vty) = self.lower_expr(ctx, value)?;
                 self.check_assignable(&pty, &vty, value.span)?;
-                out.push(Stmt::new(StmtKind::Assign { place: p, value: v }));
+                out.push(mk(StmtKind::Assign { place: p, value: v }));
                 Ok(())
             }
             AStmtKind::If {
@@ -374,7 +382,7 @@ impl Lowerer {
                 self.expect_ty(&cty, &Ty::Bool, "if condition", cond.span)?;
                 let t = self.lower_block(ctx, then_blk)?;
                 let e = self.lower_block(ctx, else_blk)?;
-                out.push(Stmt::new(StmtKind::If {
+                out.push(mk(StmtKind::If {
                     cond: c,
                     then_blk: hps_ir::Block::of(t),
                     else_blk: hps_ir::Block::of(e),
@@ -389,7 +397,7 @@ impl Lowerer {
                 let b = self.lower_block(ctx, body)?;
                 ctx.for_depth = saved_for;
                 ctx.loop_depth -= 1;
-                out.push(Stmt::new(StmtKind::While {
+                out.push(mk(StmtKind::While {
                     cond: c,
                     body: hps_ir::Block::of(b),
                 }));
@@ -421,7 +429,7 @@ impl Lowerer {
                 if let Some(step) = step {
                     self.lower_stmt(ctx, step, &mut b)?;
                 }
-                out.push(Stmt::new(StmtKind::While {
+                out.push(mk(StmtKind::While {
                     cond: c,
                     body: hps_ir::Block::of(b),
                 }));
@@ -430,7 +438,7 @@ impl Lowerer {
             AStmtKind::Return(value) => {
                 let ret_ty = self.program.func(ctx.func).ret_ty.clone();
                 match (value, &ret_ty) {
-                    (None, Ty::Void) => out.push(Stmt::new(StmtKind::Return(None))),
+                    (None, Ty::Void) => out.push(mk(StmtKind::Return(None))),
                     (None, other) => {
                         return Err(LangError::check(
                             format!("function returns `{other}` but `return;` has no value"),
@@ -446,7 +454,7 @@ impl Lowerer {
                     (Some(v), expected) => {
                         let (e, ety) = self.lower_expr(ctx, v)?;
                         self.check_assignable(expected, &ety, v.span)?;
-                        out.push(Stmt::new(StmtKind::Return(Some(e))));
+                        out.push(mk(StmtKind::Return(Some(e))));
                     }
                 }
                 Ok(())
@@ -455,7 +463,7 @@ impl Lowerer {
                 if ctx.loop_depth == 0 {
                     return Err(LangError::check("`break` outside of a loop", stmt.span));
                 }
-                out.push(Stmt::new(StmtKind::Break));
+                out.push(mk(StmtKind::Break));
                 Ok(())
             }
             AStmtKind::Continue => {
@@ -469,7 +477,7 @@ impl Lowerer {
                         stmt.span,
                     ));
                 }
-                out.push(Stmt::new(StmtKind::Continue));
+                out.push(mk(StmtKind::Continue));
                 Ok(())
             }
             AStmtKind::Print(e) => {
@@ -480,14 +488,14 @@ impl Lowerer {
                         e.span,
                     ));
                 }
-                out.push(Stmt::new(StmtKind::Print(v)));
+                out.push(mk(StmtKind::Print(v)));
                 Ok(())
             }
             AStmtKind::Expr(e) => {
                 let (v, _) = self.lower_expr_allow_void(ctx, e)?;
                 match v {
                     Expr::Call { .. } => {
-                        out.push(Stmt::new(StmtKind::ExprStmt(v)));
+                        out.push(mk(StmtKind::ExprStmt(v)));
                         Ok(())
                     }
                     _ => Err(LangError::check(
@@ -928,6 +936,40 @@ mod tests {
         assert_eq!(f.num_params, 1);
         assert_eq!(f.locals.len(), 2);
         assert_eq!(f.stmt_count(), 2);
+    }
+
+    #[test]
+    fn spans_round_trip_onto_ir_statements() {
+        let src = "fn f(x: int) -> int {\n    var y: int = x + 1;\n    if (y > 2) {\n        y = y * 2;\n    }\n    return y;\n}";
+        let p = parse(src).unwrap();
+        let f = &p.functions[0];
+        // Every lowered statement carries the position of the source
+        // statement's first token.
+        assert_eq!(f.body.stmts[0].span, hps_ir::Span::new(2, 5)); // var y
+        assert_eq!(f.body.stmts[1].span, hps_ir::Span::new(3, 5)); // if
+        match &f.body.stmts[1].kind {
+            StmtKind::If { then_blk, .. } => {
+                assert_eq!(then_blk.stmts[0].span, hps_ir::Span::new(4, 9)); // y = y * 2
+            }
+            other => panic!("expected if, got {}", other.tag()),
+        }
+        assert_eq!(f.body.stmts[2].span, hps_ir::Span::new(6, 5)); // return
+        let mut all_known = true;
+        hps_ir::visit::for_each_stmt(&f.body, &mut |s| all_known &= s.span.is_known());
+        assert!(all_known, "every lowered statement should carry a span");
+    }
+
+    #[test]
+    fn allows_survive_lowering() {
+        let p = parse(
+            "@allow(weak_ilp_linear)\nfn f(x: int) -> int {\n    @allow(unused_leak)\n    var y: int = x;\n    return y;\n}",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert!(f.allows_lint("weak_ilp_linear"));
+        assert!(!f.allows_lint("unused_leak"));
+        assert!(f.body.stmts[0].allows_lint("unused_leak"));
+        assert!(f.body.stmts[1].allows.is_empty());
     }
 
     #[test]

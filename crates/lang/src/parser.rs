@@ -90,6 +90,31 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Parses zero or more `@allow(lint_id, ...)` attributes, returning the
+    /// collected lint ids.
+    fn attrs(&mut self) -> Result<Vec<String>, LangError> {
+        let mut allows = Vec::new();
+        while self.eat_punct(Punct::At) {
+            let span = self.span();
+            let name = self.expect_ident()?;
+            if name != "allow" {
+                return Err(LangError::parse(
+                    format!("unknown attribute `@{name}` (only `@allow(lint_id)` is supported)"),
+                    span,
+                ));
+            }
+            self.expect_punct(Punct::LParen)?;
+            loop {
+                allows.push(self.expect_ident()?);
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        Ok(allows)
+    }
+
     fn program(&mut self) -> Result<AProgram, LangError> {
         let mut prog = AProgram::default();
         loop {
@@ -98,6 +123,18 @@ impl<'a> Parser<'a> {
                 TokenKind::Keyword(Keyword::Global) => prog.globals.push(self.global()?),
                 TokenKind::Keyword(Keyword::Fn) => prog.funcs.push(self.function()?),
                 TokenKind::Keyword(Keyword::Class) => prog.classes.push(self.class()?),
+                TokenKind::Punct(Punct::At) => {
+                    let allows = self.attrs()?;
+                    if *self.peek() != TokenKind::Keyword(Keyword::Fn) {
+                        return Err(LangError::parse(
+                            "`@allow` attributes at top level must precede a `fn`",
+                            self.span(),
+                        ));
+                    }
+                    let mut f = self.function()?;
+                    f.allows = allows;
+                    prog.funcs.push(f);
+                }
                 other => {
                     return Err(LangError::parse(
                         format!(
@@ -169,6 +206,18 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 TokenKind::Keyword(Keyword::Fn) => methods.push(self.function()?),
+                TokenKind::Punct(Punct::At) => {
+                    let allows = self.attrs()?;
+                    if *self.peek() != TokenKind::Keyword(Keyword::Fn) {
+                        return Err(LangError::parse(
+                            "`@allow` attributes in a class body must precede a `fn`",
+                            self.span(),
+                        ));
+                    }
+                    let mut m = self.function()?;
+                    m.allows = allows;
+                    methods.push(m);
+                }
                 TokenKind::Ident(_) => {
                     let fspan = self.span();
                     let fname = self.expect_ident()?;
@@ -227,6 +276,7 @@ impl<'a> Parser<'a> {
             ret,
             body,
             span,
+            allows: Vec::new(),
         })
     }
 
@@ -266,6 +316,13 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<AStmt, LangError> {
+        let allows = self.attrs()?;
+        let mut s = self.stmt_inner()?;
+        s.allows = allows;
+        Ok(s)
+    }
+
+    fn stmt_inner(&mut self) -> Result<AStmt, LangError> {
         let span = self.span();
         match self.peek().clone() {
             TokenKind::Keyword(Keyword::Var) => {
@@ -715,6 +772,41 @@ mod tests {
     fn parses_array_assignment() {
         let p = parse("fn f(a: int[]) { a[0] = a[1] + 1; }");
         assert!(matches!(p.funcs[0].body[0].kind, AStmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_allow_attributes() {
+        let p = parse(
+            "@allow(weak_ilp_constant)
+             fn f(x: int) -> int {
+                 @allow(unused_leak, weak_ilp_linear)
+                 var y: int = x + 1;
+                 return y;
+             }
+             class C { v: int; @allow(transferable_fragment) fn get() -> int { return self.v; } }",
+        );
+        assert_eq!(p.funcs[0].allows, vec!["weak_ilp_constant"]);
+        assert_eq!(
+            p.funcs[0].body[0].allows,
+            vec!["unused_leak", "weak_ilp_linear"]
+        );
+        assert!(p.funcs[0].body[1].allows.is_empty());
+        assert_eq!(
+            p.classes[0].methods[0].allows,
+            vec!["transferable_fragment"]
+        );
+    }
+
+    #[test]
+    fn error_on_unknown_attribute() {
+        let e = parse_err("@inline fn f() { }");
+        assert!(e.to_string().contains("unknown attribute"), "got {e}");
+    }
+
+    #[test]
+    fn error_on_attribute_before_global() {
+        let e = parse_err("@allow(x) global g: int;");
+        assert!(e.to_string().contains("must precede a `fn`"), "got {e}");
     }
 
     #[test]

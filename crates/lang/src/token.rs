@@ -188,6 +188,8 @@ pub enum Punct {
     OrOr,
     /// `!`
     Bang,
+    /// `@` — introduces attributes such as `@allow(lint_id)`.
+    At,
 }
 
 impl Punct {
@@ -220,6 +222,7 @@ impl Punct {
             Punct::AndAnd => "&&",
             Punct::OrOr => "||",
             Punct::Bang => "!",
+            Punct::At => "@",
         }
     }
 }

@@ -67,16 +67,36 @@ pub fn in_loop_hidden_calls(split: &SplitResult, func: FuncId) -> usize {
     count
 }
 
-/// Picks the best seed variable for splitting `func` under `rule`.
+/// One viable seed with its score, produced by [`ranked_seeds_with`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct SeedCandidate {
+    /// The candidate seed variable.
+    pub seed: LocalId,
+    /// The highest arithmetic complexity among the ILPs its split creates.
+    pub max_ac: Ac,
+    /// How many ILPs the split creates.
+    pub n_ilps: usize,
+}
+
+impl SeedCandidate {
+    /// The score tuple candidates are ordered by (higher is better).
+    fn score(&self) -> (AcType, u32, usize) {
+        (self.max_ac.ty, self.max_ac.degree, self.n_ilps)
+    }
+}
+
+/// Scores every viable seed of `func` under `rule` and returns them best
+/// first.
 ///
-/// Scoring follows the paper: the seed whose split yields the ILP with the
-/// highest maximum arithmetic complexity (ties broken toward more ILPs,
-/// then declaration order). Under [`SeedRule::CostRestricted`], candidates
-/// with in-loop hidden calls are discarded first. Returns `None` when no
-/// candidate produces a usable split.
-pub fn choose_seed_with(program: &Program, func: FuncId, rule: SeedRule) -> Option<LocalId> {
+/// The order is fully deterministic: candidates are ranked by `(AC type,
+/// degree, ILP count)` descending, and candidates with *equal* scores keep
+/// their declaration order — so when several seeds reach the same maximum
+/// complexity the first-declared one wins, and callers can inspect (or log)
+/// the runners-up. Under [`SeedRule::CostRestricted`], candidates whose
+/// split puts hidden calls in open loops are excluded entirely.
+pub fn ranked_seeds_with(program: &Program, func: FuncId, rule: SeedRule) -> Vec<SeedCandidate> {
     let f = program.func(func);
-    let mut best: Option<(LocalId, Ac, usize)> = None;
+    let mut candidates: Vec<SeedCandidate> = Vec::new();
     for (i, local) in f.locals.iter().enumerate() {
         let seed = LocalId::new(i);
         if f.is_param(seed) || !local.ty.is_scalar() {
@@ -107,18 +127,29 @@ pub fn choose_seed_with(program: &Program, func: FuncId, rule: SeedRule) -> Opti
                 inputs: crate::lattice::Inputs::none(),
                 degree: 0,
             });
-        let n_ilps = complexities.len();
-        let better = match &best {
-            None => true,
-            Some((_, cur, cur_n)) => {
-                (max_ac.ty, max_ac.degree, n_ilps) > (cur.ty, cur.degree, *cur_n)
-            }
-        };
-        if better {
-            best = Some((seed, max_ac, n_ilps));
-        }
+        candidates.push(SeedCandidate {
+            seed,
+            max_ac,
+            n_ilps: complexities.len(),
+        });
     }
-    best.map(|(seed, _, _)| seed)
+    // Stable sort: equal scores keep declaration order.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.score()));
+    candidates
+}
+
+/// Picks the best seed variable for splitting `func` under `rule`.
+///
+/// Scoring follows the paper: the seed whose split yields the ILP with the
+/// highest maximum arithmetic complexity (ties broken toward more ILPs,
+/// then declaration order — see [`ranked_seeds_with`] for the full
+/// ranking). Under [`SeedRule::CostRestricted`], candidates with in-loop
+/// hidden calls are discarded first. Returns `None` when no candidate
+/// produces a usable split.
+pub fn choose_seed_with(program: &Program, func: FuncId, rule: SeedRule) -> Option<LocalId> {
+    ranked_seeds_with(program, func, rule)
+        .first()
+        .map(|c| c.seed)
 }
 
 /// [`choose_seed_with`] under the default cost-restricted rule.
@@ -229,6 +260,41 @@ mod tests {
         };
         let split = split_program(&p, &plan).unwrap();
         assert!(in_loop_hidden_calls(&split, func) > 0);
+    }
+
+    #[test]
+    fn equal_scores_tie_break_by_declaration_order() {
+        // `first` and `second` leak structurally identical linear values, so
+        // their candidate scores are equal; the ranking must keep the
+        // declaration order and `choose_seed` must pick `first`.
+        let src = "
+            fn g(x: int, b: int[]) -> int {
+                var first: int = x + 1;
+                b[0] = first;
+                var second: int = x + 2;
+                b[1] = second;
+                return 0;
+            }
+            fn main() { var b: int[] = new int[2]; print(g(1, b)); }";
+        let p = hps_lang::parse(src).unwrap();
+        let func = p.func_by_name("g").unwrap();
+        let f = p.func(func);
+        let ranked = ranked_seeds_with(&p, func, SeedRule::CostRestricted);
+        assert!(ranked.len() >= 2, "both seeds viable: {ranked:?}");
+        assert_eq!(
+            ranked[0].score(),
+            ranked[1].score(),
+            "test premise: the two seeds tie"
+        );
+        assert_eq!(f.local(ranked[0].seed).name, "first");
+        assert_eq!(f.local(ranked[1].seed).name, "second");
+        let chosen = choose_seed(&p, func).unwrap();
+        assert_eq!(f.local(chosen).name, "first");
+        // Ranking is reproducible call to call.
+        assert_eq!(
+            ranked,
+            ranked_seeds_with(&p, func, SeedRule::CostRestricted)
+        );
     }
 
     #[test]

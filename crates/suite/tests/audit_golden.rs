@@ -1,0 +1,109 @@
+//! Golden audit reports for the five benchmark programs.
+//!
+//! Every benchmark is split with the full paper pipeline and audited; the
+//! JSON report must match the checked-in golden byte-for-byte. This pins
+//! the report schema *and* the auditor's verdicts: a change to either shows
+//! up as a golden diff to review.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! HPS_UPDATE_GOLDEN=1 cargo test -p hps-suite --test audit_golden
+//! ```
+
+use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_security::choose_seeds_all;
+use std::path::PathBuf;
+
+fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
+    let selected = select_functions(program);
+    let seeds = choose_seeds_all(program, &selected);
+    SplitPlan {
+        targets: seeds
+            .into_iter()
+            .map(|(func, seed)| SplitTarget::Function { func, seed })
+            .collect(),
+        promote_control: true,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens/audit")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn audit_reports_match_goldens() {
+    let update = std::env::var_os("HPS_UPDATE_GOLDEN").is_some();
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        let report = hps_audit::audit_split(&program, &split);
+        let rendered = hps_audit::render::to_json(&report, b.name).pretty();
+
+        let path = golden_path(b.name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden {} ({e}); regenerate with HPS_UPDATE_GOLDEN=1",
+                b.name,
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            golden,
+            "{}: audit report drifted from {}; regenerate with HPS_UPDATE_GOLDEN=1 \
+             if the change is intentional",
+            b.name,
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn no_benchmark_split_is_denied() {
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        let report = hps_audit::audit_split(&program, &split);
+        assert!(
+            !report.has_deny(),
+            "{}: splitter produced an unsound split: {:#?}",
+            b.name,
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn audit_tables_agree_with_security_analysis() {
+    // The Table 3/4 numbers embedded in the audit report must be the same
+    // ones `hps analyze` prints (both derive from hps-security).
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        let report = hps_audit::audit_split(&program, &split);
+        let security = hps_security::analyze_split(&program, &split);
+        let t = &report.tables;
+        assert_eq!(t.ilps, security.total(), "{}", b.name);
+        assert_eq!(t.counts_by_type, security.counts_by_type(), "{}", b.name);
+        assert_eq!(t.max_degree, security.max_degree(), "{}", b.name);
+        assert_eq!(t.paths_variable, security.paths_variable(), "{}", b.name);
+        assert_eq!(
+            t.predicates_hidden,
+            security.predicates_hidden(),
+            "{}",
+            b.name
+        );
+        assert_eq!(t.flow_hidden, security.flow_hidden(), "{}", b.name);
+        assert_eq!(t.functions_sliced, split.functions_sliced(), "{}", b.name);
+        assert_eq!(t.slice_stmts, split.total_slice_stmts(), "{}", b.name);
+        assert_eq!(t.ilps, split.total_ilps(), "{}", b.name);
+    }
+}

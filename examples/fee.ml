@@ -1,0 +1,20 @@
+// A licensing-fee computation whose pricing rule is worth hiding: the
+// hidden slice keeps the rate formula on the secure side, the open side
+// only sees the accumulated totals.
+//
+//   hps audit examples/fee.ml --func fee --var rate
+
+fn fee(seats: int, months: int) -> int {
+    var rate: int = seats * 3 + 7;
+    var total: int = 0;
+    var m: int = 0;
+    while (m < months) {
+        total = total + rate;
+        m = m + 1;
+    }
+    return total;
+}
+
+fn main(seats: int, months: int) {
+    print(fee(seats, months));
+}

@@ -1,0 +1,37 @@
+// Usage metering with a hidden billing curve. The seed `bucket` drives a
+// piecewise (branching) tariff, so the hidden component keeps both the
+// thresholds and the per-bucket coefficients; automatic selection
+// (`--auto`, the default) picks the phase functions and seeds itself.
+//
+//   hps audit examples/metering.ml
+//
+// The surcharge constant is a deliberately weak leak kept for the demo —
+// the @allow attribute below shows how to acknowledge an accepted finding
+// without silencing the whole audit.
+
+fn tariff(units: int) -> int {
+    var bucket: int = 0;
+    if (units > 100) {
+        bucket = units * 5 - 40;
+    } else {
+        bucket = units * 2;
+    }
+    var bill: int = 0;
+    var u: int = 0;
+    while (u < units) {
+        bill = bill + bucket;
+        u = u + 10;
+    }
+    return bill;
+}
+
+fn surcharge(days: int) -> int {
+    var flat: int = days * 11 + 3;
+    @allow(weak_ilp_open_control)
+    return flat;
+}
+
+fn main(units: int, days: int) {
+    print(tariff(units));
+    print(surcharge(days));
+}

@@ -1,0 +1,28 @@
+// The paper's Figure 2 function: hiding the slice of `a` in fn f.
+// Split and audit with:
+//
+//   hps split  examples/paper_fig2.ml --func f --var a
+//   hps audit  examples/paper_fig2.ml --func f --var a
+
+fn f(x: int, y: int, z: int, b: int[]) -> int {
+    var a: int;
+    var i: int;
+    var sum: int;
+    a = 3 * x + y;
+    b[0] = a;
+    i = a;
+    sum = 0;
+    while (i < z) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    b[1] = sum;
+    return sum;
+}
+
+fn main() {
+    var b: int[] = new int[2];
+    print(f(1, 2, 30, b));
+    print(b[0]);
+    print(b[1]);
+}

@@ -5,6 +5,8 @@
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
 //!                                             print Of, Hf and the split report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
+//! hps audit <file.ml> [selection] [--json|--sarif]
+//!                                             split-soundness audit (non-zero exit on deny)
 //! hps serve <file.ml> <addr> [selection] [--chaos SEED]
 //!                                             host the hidden component on TCP
 //! hps client <file.ml> <addr> [selection] [--batch] [--retry] [ints...]
@@ -39,6 +41,7 @@ fn run() -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "split" => cmd_split(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -56,11 +59,15 @@ USAGE:
   hps run <file.ml> [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
+  hps audit <file.ml> [selection flags] [--json | --sarif]
   hps serve <file.ml> <addr> [selection flags] [--chaos SEED]
   hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
 complexity-guided, cost-restricted seed choice (the paper's pipeline).
+`audit` re-derives the split, proves every hidden-value flow into the open
+component passes a declared ILP, lints for weak leaks and exits non-zero
+on any deny-level finding; --json / --sarif select machine-readable output.
 --batch coalesces deferrable hidden calls into batched round trips.
 --retry opens a fault-tolerant session (timeouts, reconnect with backoff,
 exactly-once replay); --chaos SEED makes the server deterministically kill
@@ -230,6 +237,37 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         counts[3],
         counts[4]
     );
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: hps audit <file.ml> [flags] [--json | --sarif]")?;
+    let rest = &args[1..];
+    let json = rest.iter().any(|a| a == "--json");
+    let sarif = rest.iter().any(|a| a == "--sarif");
+    let flags: Vec<String> = rest
+        .iter()
+        .filter(|a| *a != "--json" && *a != "--sarif")
+        .cloned()
+        .collect();
+    let program = load(path)?;
+    let split = do_split(&program, &flags)?;
+    let report = hps::audit::audit_split(&program, &split);
+    if sarif {
+        print!("{}", hps::audit::render::to_sarif(&report, path).pretty());
+    } else if json {
+        print!("{}", hps::audit::render::to_json(&report, path).pretty());
+    } else {
+        print!("{}", hps::audit::render::render_pretty(&report, path));
+    }
+    if report.has_deny() {
+        return Err(format!(
+            "audit found {} deny-level finding(s)",
+            report.count(hps::audit::Severity::Deny)
+        ));
+    }
     Ok(())
 }
 

@@ -17,6 +17,8 @@
 //! * [`split`] — the splitting transformation (the paper's contribution).
 //! * [`runtime`] — interpreter, secure-server executor and channels.
 //! * [`security`] — ILP identification and complexity analysis.
+//! * [`audit`] — split-soundness auditor: taint analysis, weak-ILP lints
+//!   and structured diagnostics (terminal / JSON / SARIF).
 //! * [`attack`] — the adversary's recovery toolbox.
 //! * [`suite`] — the five benchmark programs and workload generators.
 //!
@@ -51,6 +53,7 @@
 
 pub use hps_analysis as analysis;
 pub use hps_attack as attack;
+pub use hps_audit as audit;
 pub use hps_core as split;
 pub use hps_ir as ir;
 pub use hps_lang as lang;

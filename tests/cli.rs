@@ -94,6 +94,54 @@ fn analyze_reports_ilp_classes() {
 }
 
 #[test]
+fn audit_passes_sound_split_and_emits_machine_formats() {
+    let path = demo_file();
+    let base = [
+        "audit",
+        path.to_str().unwrap(),
+        "--func",
+        "fee",
+        "--var",
+        "rate",
+    ];
+
+    let out = Command::new(HPS).args(base).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "audit denied a sound split: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict: PASS"), "{text}");
+    // The accumulation loop runs openly, so the leak's control flow is
+    // fully observable — the auditor warns about it.
+    assert!(text.contains("weak_ilp_open_control"), "{text}");
+
+    let out = Command::new(HPS)
+        .args(base)
+        .arg("--json")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"hps-audit/v1\""), "{text}");
+    assert!(text.contains("\"deny\": 0"), "{text}");
+
+    let out = Command::new(HPS)
+        .args(base)
+        .arg("--sarif")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(
+        text.contains("\"ruleId\": \"weak_ilp_open_control\""),
+        "{text}"
+    );
+}
+
+#[test]
 fn unknown_inputs_fail_cleanly() {
     let out = Command::new(HPS)
         .args(["run", "/nonexistent.ml"])
