@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hps_bench::split_benchmark;
-use hps_runtime::{run_split, run_split_batched};
+use hps_runtime::{Executor, MetricsRecorder};
 
 fn channel_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_batching");
@@ -15,7 +15,9 @@ fn channel_batching(c: &mut Criterion) {
         let size = 300;
         group.bench_with_input(BenchmarkId::new("demand", b.name), &size, |bench, &size| {
             bench.iter(|| {
-                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+                Executor::new(&split.open, &split.hidden)
+                    .run(&[b.workload(size, 1)])
+                    .expect("runs")
             });
         });
         group.bench_with_input(
@@ -23,7 +25,25 @@ fn channel_batching(c: &mut Criterion) {
             &size,
             |bench, &size| {
                 bench.iter(|| {
-                    run_split_batched(&split.open, &split.hidden, &[b.workload(size, 1)])
+                    Executor::new(&split.open, &split.hidden)
+                        .batching(true)
+                        .run(&[b.workload(size, 1)])
+                        .expect("runs")
+                });
+            },
+        );
+        // The recorder's worst case: telemetry on, demand transport (one
+        // event pair per hidden call). Compare against `demand` to see the
+        // recording cost; the disabled-recorder guard test in
+        // `tests/recorder_guard.rs` enforces the zero-cost claim.
+        group.bench_with_input(
+            BenchmarkId::new("demand_recorded", b.name),
+            &size,
+            |bench, &size| {
+                bench.iter(|| {
+                    Executor::new(&split.open, &split.hidden)
+                        .recorder(MetricsRecorder::new())
+                        .run(&[b.workload(size, 1)])
                         .expect("runs")
                 });
             },

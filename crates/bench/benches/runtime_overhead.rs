@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hps_bench::split_benchmark;
-use hps_runtime::{run_program, run_split};
+use hps_runtime::{run_program, Executor};
 
 fn runtime_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_overhead");
@@ -21,7 +21,9 @@ fn runtime_overhead(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("split", b.name), &size, |bench, &size| {
             bench.iter(|| {
-                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+                Executor::new(&split.open, &split.hidden)
+                    .run(&[b.workload(size, 1)])
+                    .expect("runs")
             });
         });
     }

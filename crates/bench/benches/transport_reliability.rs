@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hps_bench::split_benchmark;
 use hps_runtime::fault::{FaultKind, FaultPlan};
-use hps_runtime::{run_split, run_split_faulty};
+use hps_runtime::Executor;
 
 fn transport_reliability(c: &mut Criterion) {
     let mut group = c.benchmark_group("transport_reliability");
@@ -19,7 +19,9 @@ fn transport_reliability(c: &mut Criterion) {
         &size,
         |bench, &size| {
             bench.iter(|| {
-                run_split(&split.open, &split.hidden, &[b.workload(size, 1)]).expect("runs")
+                Executor::new(&split.open, &split.hidden)
+                    .run(&[b.workload(size, 1)])
+                    .expect("runs")
             });
         },
     );
@@ -28,13 +30,10 @@ fn transport_reliability(c: &mut Criterion) {
         &size,
         |bench, &size| {
             bench.iter(|| {
-                run_split_faulty(
-                    &split.open,
-                    &split.hidden,
-                    &[b.workload(size, 1)],
-                    FaultPlan::quiet(),
-                )
-                .expect("runs")
+                Executor::new(&split.open, &split.hidden)
+                    .faults(FaultPlan::quiet())
+                    .run(&[b.workload(size, 1)])
+                    .expect("runs")
             });
         },
     );
@@ -44,13 +43,10 @@ fn transport_reliability(c: &mut Criterion) {
             &size,
             |bench, &size| {
                 bench.iter(|| {
-                    run_split_faulty(
-                        &split.open,
-                        &split.hidden,
-                        &[b.workload(size, 1)],
-                        FaultPlan::new(7, &FaultKind::ALL, per_mille),
-                    )
-                    .expect("runs")
+                    Executor::new(&split.open, &split.hidden)
+                        .faults(FaultPlan::new(7, &FaultKind::ALL, per_mille))
+                        .run(&[b.workload(size, 1)])
+                        .expect("runs")
                 });
             },
         );

@@ -145,7 +145,7 @@ fn table4() {
 fn table5(scale: usize) {
     println!("Table 5. Runtime overhead caused by software splitting (virtual time, LAN RTT).");
     println!(
-        "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>10} {:>17}",
         "benchmark",
         "analog",
         "input",
@@ -155,11 +155,14 @@ fn table5(scale: usize) {
         "before",
         "after",
         "after-batch",
-        "% increase"
+        "% increase",
+        "open/rtt/server"
     );
     for r in table5_rows(scale) {
+        // Telemetry-derived breakdown of the split run's critical path.
+        let (open_pct, rtt_pct, server_pct) = r.breakdown_percent();
         println!(
-            "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>9.0}%",
+            "{:<10} {:<8} {:<12} {:>8} {:>13} {:>10} {:>12} {:>12} {:>12} {:>9.0}% {:>7.0}%/{:.0}%/{:.0}%",
             r.name,
             r.analog,
             r.input,
@@ -169,7 +172,10 @@ fn table5(scale: usize) {
             fmt_seconds(r.before_s),
             fmt_seconds(r.after_s),
             fmt_seconds(r.batched_s),
-            r.increase_percent()
+            r.increase_percent(),
+            open_pct,
+            rtt_pct,
+            server_pct
         );
     }
     println!();
@@ -210,14 +216,14 @@ fn ablation_promotion() {
         let split_off = split_program(&program, &plan).expect("splits");
         let off = analyze_split(&program, &split_off);
         let input = b.workload(400, 3);
-        let calls_on =
-            hps_runtime::run_split(&split_on.open, &split_on.hidden, &[input.deep_clone()])
-                .expect("runs")
-                .interactions;
-        let calls_off =
-            hps_runtime::run_split(&split_off.open, &split_off.hidden, &[input.deep_clone()])
-                .expect("runs")
-                .interactions;
+        let calls_on = hps_runtime::Executor::new(&split_on.open, &split_on.hidden)
+            .run(&[input.deep_clone()])
+            .expect("runs")
+            .interactions;
+        let calls_off = hps_runtime::Executor::new(&split_off.open, &split_off.hidden)
+            .run(&[input.deep_clone()])
+            .expect("runs")
+            .interactions;
         println!(
             "{:<10} {:>18} {:>18} {:>14} {:>14}",
             b.name,
@@ -252,14 +258,14 @@ fn ablation_selection(scale: usize) {
         let size = (b.workloads()[0].1 / scale.max(1)).clamp(30, 2000);
         let split_cut = split_program(&program, &cut_plan).expect("splits");
         let split_all = split_program(&program, &all_plan).expect("splits");
-        let calls_cut =
-            hps_runtime::run_split(&split_cut.open, &split_cut.hidden, &[b.workload(size, 3)])
-                .expect("runs")
-                .interactions;
-        let calls_all =
-            hps_runtime::run_split(&split_all.open, &split_all.hidden, &[b.workload(size, 3)])
-                .expect("runs")
-                .interactions;
+        let calls_cut = hps_runtime::Executor::new(&split_cut.open, &split_cut.hidden)
+            .run(&[b.workload(size, 3)])
+            .expect("runs")
+            .interactions;
+        let calls_all = hps_runtime::Executor::new(&split_all.open, &split_all.hidden)
+            .run(&[b.workload(size, 3)])
+            .expect("runs")
+            .interactions;
         println!(
             "{:<10} {:>12} {:>12} {:>15} {:>15}",
             b.name,

@@ -18,9 +18,10 @@
 
 use hps_core::{select_functions, split_program, SplitPlan, SplitResult, SplitTarget};
 use hps_ir::Program;
+use hps_runtime::telemetry::metrics::names;
 use hps_runtime::{
-    run_function, run_program, Channel, ExecConfig, InProcessChannel, Interp, RtValue,
-    SecureServer, SplitMeta, Trace, TraceChannel,
+    run_function, run_program, Channel, ExecConfig, Executor, InProcessChannel, Interp,
+    MetricsRecorder, RtValue, SecureServer, SplitMeta, Trace, TraceChannel,
 };
 use hps_security::{analyze_split, choose_seeds_all, SecurityReport};
 use hps_suite::{benchmarks, Benchmark};
@@ -227,6 +228,15 @@ pub struct Table5Row {
     pub after_s: f64,
     /// Virtual runtime of the split program with batching (seconds).
     pub batched_s: f64,
+    /// Round-trip share of the split run's critical path, in virtual cost
+    /// units (telemetry counter `hps_rtt_cost_units_total`).
+    pub rtt_units: u64,
+    /// Secure-device share of the critical path
+    /// (`hps_server_cost_units_total`).
+    pub server_units: u64,
+    /// Total critical-path cost of the split run
+    /// (`hps_run_cost_units_total`).
+    pub run_units: u64,
 }
 
 impl Table5Row {
@@ -246,6 +256,28 @@ impl Table5Row {
         }
         (self.interactions - self.interactions_batched) as f64 / self.interactions as f64 * 100.0
     }
+
+    /// Open-side share of the critical path: total minus the round-trip
+    /// and secure-device shares (all from the run's telemetry).
+    pub fn open_units(&self) -> u64 {
+        self.run_units
+            .saturating_sub(self.rtt_units)
+            .saturating_sub(self.server_units)
+    }
+
+    /// `(open%, rtt%, server%)` of the split run's critical path — the
+    /// telemetry-derived overhead breakdown column.
+    pub fn breakdown_percent(&self) -> (f64, f64, f64) {
+        if self.run_units == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let total = self.run_units as f64;
+        (
+            self.open_units() as f64 / total * 100.0,
+            self.rtt_units as f64 / total * 100.0,
+            self.server_units as f64 / total * 100.0,
+        )
+    }
 }
 
 /// Computes Table 5 (runtime overhead) in deterministic virtual time with
@@ -262,23 +294,17 @@ pub fn table5_rows(scale: usize) -> Vec<Table5Row> {
             let rtt = cfg.cost_model.lan_round_trip();
             let program = b.program().expect("parses");
             let before = run_program(&program, &[b.workload(size, 1)]).expect("original runs");
-            let after = hps_runtime::run_split_with_rtt(
-                &split.open,
-                &split.hidden,
-                &[b.workload(size, 1)],
-                rtt,
-                ExecConfig::new(),
-            )
-            .expect("split runs");
+            let after = Executor::new(&split.open, &split.hidden)
+                .rtt(rtt)
+                .recorder(MetricsRecorder::new())
+                .run(&[b.workload(size, 1)])
+                .expect("split runs");
             assert_eq!(before.output, after.outcome.output, "{} diverged", b.name);
-            let batched = hps_runtime::run_split_with_rtt(
-                &split.open,
-                &split.hidden,
-                &[b.workload(size, 1)],
-                rtt,
-                ExecConfig::new().with_batching(true),
-            )
-            .expect("batched split runs");
+            let batched = Executor::new(&split.open, &split.hidden)
+                .batching(true)
+                .rtt(rtt)
+                .run(&[b.workload(size, 1)])
+                .expect("batched split runs");
             assert_eq!(
                 before.output, batched.outcome.output,
                 "{} diverged under batching",
@@ -294,6 +320,9 @@ pub fn table5_rows(scale: usize) -> Vec<Table5Row> {
                 before_s: cfg.cost_model.to_seconds(before.cost),
                 after_s: cfg.cost_model.to_seconds(after.outcome.cost),
                 batched_s: cfg.cost_model.to_seconds(batched.outcome.cost),
+                rtt_units: after.telemetry.counter(names::RTT_COST_UNITS),
+                server_units: after.telemetry.counter(names::SERVER_COST_UNITS),
+                run_units: after.telemetry.counter(names::RUN_COST_UNITS),
             });
         }
     }

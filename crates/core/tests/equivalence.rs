@@ -3,20 +3,25 @@
 //! class targets, across control-flow shapes, recursion and runtime errors.
 
 use hps_core::{split_program, SplitPlan};
-use hps_runtime::{run_program, run_split, run_split_batched, RtValue};
+use hps_runtime::{run_program, Executor, RtValue};
 
 fn check_equiv(src: &str, plan: &SplitPlan, args: &[RtValue]) -> (Vec<String>, u64) {
     let program = hps_lang::parse(src).expect("parses");
     let split = split_program(&program, plan).expect("splits");
     let original = run_program(&program, args).expect("original runs");
-    let replayed = run_split(&split.open, &split.hidden, args).expect("split runs");
+    let replayed = Executor::new(&split.open, &split.hidden)
+        .run(args)
+        .expect("split runs");
     assert_eq!(
         original.output, replayed.outcome.output,
         "split changed observable behaviour"
     );
     // Round-trip coalescing must be transparent: same output, never more
     // round trips than demand transport.
-    let batched = run_split_batched(&split.open, &split.hidden, args).expect("batched runs");
+    let batched = Executor::new(&split.open, &split.hidden)
+        .batching(true)
+        .run(args)
+        .expect("batched runs");
     assert_eq!(
         original.output, batched.outcome.output,
         "batching changed observable behaviour"
@@ -269,7 +274,9 @@ fn runtime_errors_match_between_versions() {
     let plan = SplitPlan::single(&program, "g", "a").unwrap();
     let split = split_program(&program, &plan).unwrap();
     let orig_err = run_program(&program, &[]).unwrap_err();
-    let split_err = run_split(&split.open, &split.hidden, &[]).unwrap_err();
+    let split_err = Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .unwrap_err();
     assert_eq!(orig_err, split_err);
 }
 
@@ -414,8 +421,13 @@ fn batching_strictly_drops_interactions_for_update_loops() {
     let plan = SplitPlan::global(&program, "total").unwrap();
     let split = split_program(&program, &plan).unwrap();
     assert!(split.defer.deferred_calls >= 1, "{:?}", split.defer);
-    let demand = run_split(&split.open, &split.hidden, &[]).expect("runs");
-    let batched = run_split_batched(&split.open, &split.hidden, &[]).expect("runs");
+    let demand = Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .expect("runs");
+    let batched = Executor::new(&split.open, &split.hidden)
+        .batching(true)
+        .run(&[])
+        .expect("runs");
     assert_eq!(demand.outcome.output, batched.outcome.output);
     assert!(
         batched.interactions < demand.interactions,
@@ -439,8 +451,13 @@ fn batching_runtime_errors_still_surface() {
     let program = hps_lang::parse(src).unwrap();
     let plan = SplitPlan::global(&program, "d").unwrap();
     let split = split_program(&program, &plan).unwrap();
-    let demand_err = run_split(&split.open, &split.hidden, &[]).unwrap_err();
-    let batched_err = run_split_batched(&split.open, &split.hidden, &[]).unwrap_err();
+    let demand_err = Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .unwrap_err();
+    let batched_err = Executor::new(&split.open, &split.hidden)
+        .batching(true)
+        .run(&[])
+        .unwrap_err();
     assert_eq!(demand_err, batched_err);
 }
 

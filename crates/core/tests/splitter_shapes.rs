@@ -146,7 +146,9 @@ fn deep_recursion_keeps_activations_separate() {
     let program = hps_lang::parse(src).unwrap();
     let plan = SplitPlan::single(&program, "fib", "acc").unwrap();
     let split = split_program(&program, &plan).unwrap();
-    let replay = hps_runtime::run_split(&split.open, &split.hidden, &[]).unwrap();
+    let replay = hps_runtime::Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .unwrap();
     assert_eq!(replay.outcome.output, vec!["377"]);
     // Hundreds of overlapping activations were live during the run.
     assert!(replay.interactions > 300, "{}", replay.interactions);
@@ -242,6 +244,8 @@ fn hidden_variable_names_do_not_survive_in_the_open_component() {
     assert!(split.hidden.summary().contains("secret_rate"));
     // Behaviour unchanged.
     let a = hps_runtime::run_program(&program, &[]).unwrap();
-    let b = hps_runtime::run_split(&split.open, &split.hidden, &[]).unwrap();
+    let b = hps_runtime::Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .unwrap();
     assert_eq!(a.output, b.outcome.output);
 }

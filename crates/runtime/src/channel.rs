@@ -3,23 +3,12 @@
 use crate::error::RuntimeError;
 use crate::server::SecureServer;
 use hps_ir::{ComponentId, FragLabel, Value};
+use hps_telemetry::{Event, RecorderHandle};
 
-/// Reliability counters a transport keeps *beside* the logical
-/// interaction count. Retries, reconnects and replays are transport
-/// plumbing: they never add logical calls, trace events or interactions,
-/// so they are reported separately from [`Channel::interactions`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct TransportStats {
-    /// Attempts beyond the first for some logical round trip.
-    pub retries: u64,
-    /// Connections re-established after a transport fault.
-    pub reconnects: u64,
-    /// Faults observed (timeouts, resets, injected drops/dups/truncations).
-    pub faults: u64,
-    /// Deliveries suppressed or answered from the replay cache instead of
-    /// re-executing (duplicate deliveries, retransmits after a lost reply).
-    pub replays: u64,
-}
+// `TransportStats` moved into `hps-telemetry` so transports, reports and
+// serialized snapshots share one definition; re-exported here so existing
+// `crate::channel::TransportStats` paths keep working.
+pub use hps_telemetry::TransportStats;
 
 /// Reply to a fragment call: the returned scalar plus the virtual cost the
 /// secure device reported (the open side waits for the reply, so that cost
@@ -118,6 +107,7 @@ pub struct InProcessChannel {
     server: SecureServer,
     rtt: u64,
     interactions: u64,
+    recorder: RecorderHandle,
 }
 
 impl InProcessChannel {
@@ -127,12 +117,20 @@ impl InProcessChannel {
             server,
             rtt: 0,
             interactions: 0,
+            recorder: RecorderHandle::none(),
         }
     }
 
     /// Sets the virtual round-trip cost (builder style).
     pub fn with_rtt(mut self, rtt: u64) -> InProcessChannel {
         self.rtt = rtt;
+        self
+    }
+
+    /// Attaches a telemetry recorder (builder style). Recording never
+    /// changes replies, costs or interaction counts.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> InProcessChannel {
+        self.recorder = recorder;
         self
     }
 
@@ -157,6 +155,14 @@ impl Channel for InProcessChannel {
     ) -> Result<CallReply, RuntimeError> {
         self.interactions += 1;
         let out = self.server.call(component, key, label, args)?;
+        self.recorder.record(Event::Call {
+            args: args.len() as u64,
+            server_cost: out.cost,
+        });
+        self.recorder.record(Event::RoundTrip {
+            calls: 1,
+            rtt_cost: self.rtt,
+        });
         Ok(CallReply {
             value: out.value,
             server_cost: out.cost,
@@ -168,6 +174,16 @@ impl Channel for InProcessChannel {
         // (and meters) every logical call.
         self.interactions += 1;
         let outs = self.server.call_batch(calls)?;
+        for (call, out) in calls.iter().zip(&outs) {
+            self.recorder.record(Event::Call {
+                args: call.args.len() as u64,
+                server_cost: out.cost,
+            });
+        }
+        self.recorder.record(Event::RoundTrip {
+            calls: calls.len() as u64,
+            rtt_cost: self.rtt,
+        });
         Ok(outs
             .into_iter()
             .map(|out| CallReply {
@@ -179,6 +195,7 @@ impl Channel for InProcessChannel {
 
     fn release(&mut self, component: ComponentId, key: u64) -> Result<(), RuntimeError> {
         self.server.release(component, key);
+        self.recorder.record(Event::Release);
         Ok(())
     }
 

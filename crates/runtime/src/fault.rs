@@ -20,6 +20,7 @@ use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
 use crate::error::{FaultClass, RuntimeError};
 use crate::server::{ReplayCache, SeqCheck};
 use hps_ir::{ComponentId, FragLabel, Value};
+use hps_telemetry::{Event, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,6 +46,17 @@ impl FaultKind {
         FaultKind::Duplicate,
         FaultKind::Truncate,
     ];
+
+    /// Stable lowercase name (the `FromStr` spelling, also used as the
+    /// telemetry fault-kind label).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Truncate => "truncate",
+        }
+    }
 }
 
 impl std::str::FromStr for FaultKind {
@@ -63,12 +75,7 @@ impl std::str::FromStr for FaultKind {
 
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FaultKind::Drop => write!(f, "drop"),
-            FaultKind::Delay => write!(f, "delay"),
-            FaultKind::Duplicate => write!(f, "dup"),
-            FaultKind::Truncate => write!(f, "truncate"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -146,6 +153,7 @@ pub struct FaultyChannel<C: Channel> {
     next_seq: u64,
     replay: ReplayCache<Cached>,
     stats: TransportStats,
+    recorder: RecorderHandle,
 }
 
 impl<C: Channel> FaultyChannel<C> {
@@ -159,12 +167,21 @@ impl<C: Channel> FaultyChannel<C> {
             next_seq: 1,
             replay: ReplayCache::new(),
             stats: TransportStats::default(),
+            recorder: RecorderHandle::none(),
         }
     }
 
     /// Overrides the retry budget (builder style).
     pub fn with_max_attempts(mut self, max_attempts: u32) -> FaultyChannel<C> {
         self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Attaches a telemetry recorder firing `Retry` / `Fault` / `Replay`
+    /// events as the reliability protocol runs (builder style). Recording
+    /// never changes the fault schedule, retries or replies.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> FaultyChannel<C> {
+        self.recorder = recorder;
         self
     }
 
@@ -194,20 +211,20 @@ impl<C: Channel> FaultyChannel<C> {
         for attempt in 0..self.max_attempts {
             if attempt > 0 {
                 self.stats.retries += 1;
+                self.recorder.record(Event::Retry);
             }
             // Request leg: the frame may never reach the receiver.
             let mut duplicated = false;
-            match self.plan.draw(seq, "request") {
-                Some(FaultKind::Drop | FaultKind::Truncate) => {
-                    self.stats.faults += 1;
-                    continue;
+            if let Some(kind) = self.plan.draw(seq, "request") {
+                self.stats.faults += 1;
+                self.recorder.record(Event::Fault {
+                    kind: kind.as_str(),
+                });
+                match kind {
+                    FaultKind::Drop | FaultKind::Truncate => continue,
+                    FaultKind::Delay => {}
+                    FaultKind::Duplicate => duplicated = true,
                 }
-                Some(FaultKind::Delay) => self.stats.faults += 1,
-                Some(FaultKind::Duplicate) => {
-                    self.stats.faults += 1;
-                    duplicated = true;
-                }
-                None => {}
             }
             // Delivery through the receiver's dedup endpoint: execute on
             // the first arrival, replay the cached response on retransmits.
@@ -219,6 +236,7 @@ impl<C: Channel> FaultyChannel<C> {
                 }
                 SeqCheck::Replay(r) => {
                     self.stats.replays += 1;
+                    self.recorder.record(Event::Replay);
                     r.clone()
                 }
                 SeqCheck::Gap { expected } => {
@@ -230,22 +248,25 @@ impl<C: Channel> FaultyChannel<C> {
             if duplicated {
                 // The second copy arrives and is suppressed by the cache.
                 match self.replay.check(seq) {
-                    SeqCheck::Replay(_) => self.stats.replays += 1,
+                    SeqCheck::Replay(_) => {
+                        self.stats.replays += 1;
+                        self.recorder.record(Event::Replay);
+                    }
                     _ => unreachable!("duplicate of a stored seq must replay"),
                 }
             }
             // Response leg: the reply may be lost on its way back.
-            match self.plan.draw(seq, "response") {
-                Some(FaultKind::Drop | FaultKind::Truncate) => {
-                    self.stats.faults += 1;
-                    continue;
-                }
-                Some(FaultKind::Delay | FaultKind::Duplicate) => {
+            if let Some(kind) = self.plan.draw(seq, "response") {
+                self.stats.faults += 1;
+                self.recorder.record(Event::Fault {
+                    kind: kind.as_str(),
+                });
+                match kind {
+                    FaultKind::Drop | FaultKind::Truncate => continue,
                     // A late or doubled reply still completes the round
                     // trip; the extra copy is discarded by the sender.
-                    self.stats.faults += 1;
+                    FaultKind::Delay | FaultKind::Duplicate => {}
                 }
-                None => {}
             }
             self.next_seq = seq + 1;
             return Ok(reply);

@@ -12,20 +12,27 @@
 //!   and release the secure-side state on return. Methods of split classes
 //!   route calls by the receiver object's instance id instead.
 
-use crate::channel::{Channel, PendingCall};
+use crate::channel::{Channel, InProcessChannel, PendingCall, TransportStats};
 use crate::cost::CostModel;
 use crate::error::RuntimeError;
+use crate::fault::{FaultPlan, FaultyChannel};
 use crate::server::SecureServer;
 use crate::value::{ObjData, RtValue};
 use hps_ir::{
     Block, Builtin, ClassId, ComponentId, ComponentKind, Expr, FuncId, HiddenProgram, Place,
     Program, StmtKind, Ty,
 };
+use hps_telemetry::{Event, MetricsRecorder, MetricsSnapshot, RecorderHandle, Snapshot};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Execution limits and cost model.
+///
+/// Construct with [`ExecConfig::new`] / [`ExecConfig::default`] and adjust
+/// through the builder setters; the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking downstream construction.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Maximum statements/iterations executed before aborting.
     pub max_steps: u64,
@@ -58,6 +65,24 @@ impl ExecConfig {
     /// Enables or disables round-trip batching (builder style).
     pub fn with_batching(mut self, batching: bool) -> ExecConfig {
         self.batching = batching;
+        self
+    }
+
+    /// Overrides the step limit (builder style).
+    pub fn with_max_steps(mut self, max_steps: u64) -> ExecConfig {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Overrides the call-depth limit (builder style).
+    pub fn with_max_call_depth(mut self, max_call_depth: usize) -> ExecConfig {
+        self.max_call_depth = max_call_depth;
+        self
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> ExecConfig {
+        self.cost_model = cost_model;
         self
     }
 }
@@ -146,6 +171,207 @@ impl SplitMeta {
     }
 }
 
+/// One configured in-process split execution: open program, hidden
+/// program, and every knob the `run_split*` family used to take as
+/// positional arguments — batching, round-trip latency, fault injection —
+/// plus telemetry recording.
+///
+/// This is the single entry point for running a split program in process;
+/// [`run_split`], [`run_split_batched`], [`run_split_with_rtt`] and
+/// [`run_split_faulty`] are thin wrappers over it. Use [`Interp`] directly
+/// only for custom channels (TCP, tracing).
+///
+/// # Examples
+///
+/// ```
+/// use hps_runtime::{Executor, MetricsRecorder};
+///
+/// let program = hps_lang::parse(
+///     "fn f(x: int) -> int { var a: int = x * 2; return a; }
+///      fn main() { print(f(21)); }",
+/// )?;
+/// let plan = hps_core::SplitPlan::single(&program, "f", "a")?;
+/// let split = hps_core::split_program(&program, &plan)?;
+/// let report = Executor::new(&split.open, &split.hidden)
+///     .batching(true)
+///     .rtt(10)
+///     .recorder(MetricsRecorder::new())
+///     .run(&[])?;
+/// assert_eq!(report.outcome.output, ["42"]);
+/// assert!(report.interactions > 0);
+/// assert_eq!(
+///     report.telemetry.counter("hps_interactions_total"),
+///     report.interactions,
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Executor<'p> {
+    open: &'p Program,
+    hidden: &'p HiddenProgram,
+    config: ExecConfig,
+    rtt: u64,
+    faults: Option<FaultPlan>,
+    recorder: Option<Rc<MetricsRecorder>>,
+}
+
+impl<'p> Executor<'p> {
+    /// An executor with default configuration: no batching, zero
+    /// round-trip cost, no faults, no recorder.
+    pub fn new(open: &'p Program, hidden: &'p HiddenProgram) -> Executor<'p> {
+        Executor {
+            open,
+            hidden,
+            config: ExecConfig::new(),
+            rtt: 0,
+            faults: None,
+            recorder: None,
+        }
+    }
+
+    /// Replaces the whole execution configuration. Set this *before*
+    /// [`Executor::batching`], which edits the stored configuration.
+    pub fn config(mut self, config: ExecConfig) -> Executor<'p> {
+        self.config = config;
+        self
+    }
+
+    /// Enables or disables round-trip batching of deferred hidden calls.
+    pub fn batching(mut self, batching: bool) -> Executor<'p> {
+        self.config.batching = batching;
+        self
+    }
+
+    /// Sets the virtual round-trip cost charged per interaction.
+    pub fn rtt(mut self, rtt: u64) -> Executor<'p> {
+        self.rtt = rtt;
+        self
+    }
+
+    /// Injects transport faults: wraps the channel in a
+    /// [`FaultyChannel`] driven by `plan`. Outcome, interaction count and
+    /// the server-side call sequence stay identical to a fault-free run;
+    /// only [`ExecReport::transport`] (and the reliability telemetry
+    /// counters) record the turbulence.
+    pub fn faults(mut self, plan: FaultPlan) -> Executor<'p> {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a metrics recorder; the events every layer fires during
+    /// the run are aggregated into [`ExecReport::telemetry`]. Recording
+    /// never changes results, costs or interaction counts. Without a
+    /// recorder the telemetry snapshot comes back empty and the hooks
+    /// reduce to one branch each.
+    pub fn recorder(mut self, recorder: MetricsRecorder) -> Executor<'p> {
+        self.recorder = Some(Rc::new(recorder));
+        self
+    }
+
+    /// Runs `main` of the open program against a fresh in-process
+    /// [`SecureServer`] holding the hidden program.
+    ///
+    /// Each call builds a fresh server (and, with [`Executor::faults`], a
+    /// fresh copy of the fault plan, so every run replays the same seeded
+    /// schedule); the recorder, if any, accumulates across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for execution faults on either side, or
+    /// a terminal transport error if a fault plan exhausts the retry
+    /// budget.
+    pub fn run(&self, args: &[RtValue]) -> Result<ExecReport, RuntimeError> {
+        let handle = match &self.recorder {
+            Some(r) => RecorderHandle::new(r.clone()),
+            None => RecorderHandle::none(),
+        };
+        let server = SecureServer::new(self.hidden.clone())
+            .with_cost_model(self.config.cost_model.clone())
+            .with_recorder(handle.clone());
+        let inner = InProcessChannel::new(server)
+            .with_rtt(self.rtt)
+            .with_recorder(handle.clone());
+        let meta = SplitMeta::derive(self.open, self.hidden);
+        let (outcome, interactions, server_cost, transport) = match self.faults.clone() {
+            Some(plan) => {
+                let mut channel = FaultyChannel::new(inner, plan).with_recorder(handle.clone());
+                let mut interp = Interp::new(self.open, self.config.clone())
+                    .with_channel(&mut channel, &meta)
+                    .with_recorder(handle);
+                let outcome = interp.run("main", args)?;
+                drop(interp);
+                (
+                    outcome,
+                    channel.interactions(),
+                    channel.inner().server().cost_spent(),
+                    channel.transport_stats(),
+                )
+            }
+            None => {
+                let mut channel = inner;
+                let mut interp = Interp::new(self.open, self.config.clone())
+                    .with_channel(&mut channel, &meta)
+                    .with_recorder(handle);
+                let outcome = interp.run("main", args)?;
+                drop(interp);
+                (
+                    outcome,
+                    channel.interactions(),
+                    channel.server().cost_spent(),
+                    channel.transport_stats(),
+                )
+            }
+        };
+        let telemetry = match &self.recorder {
+            Some(r) => r.snapshot(),
+            None => MetricsSnapshot::new(),
+        };
+        Ok(ExecReport {
+            outcome,
+            interactions,
+            server_cost,
+            transport,
+            telemetry,
+        })
+    }
+}
+
+/// Everything one [`Executor::run`] reports: the program's outcome, the
+/// paper's interaction/cost measurements, the transport's reliability
+/// counters, and (when a recorder was attached) the full metrics snapshot.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExecReport {
+    /// The ordinary outcome (output, return value, cost, steps).
+    pub outcome: Outcome,
+    /// Open↔hidden round trips (the paper's "Component Interactions").
+    pub interactions: u64,
+    /// Virtual cost units spent by the secure device.
+    pub server_cost: u64,
+    /// Reliability counters from the transport (all zero on fault-free
+    /// channels).
+    pub transport: TransportStats,
+    /// Aggregated telemetry; empty when no recorder was attached.
+    pub telemetry: MetricsSnapshot,
+}
+
+impl ExecReport {
+    /// The run's telemetry as one serializable `hps-telemetry/v1`
+    /// document (transport counters beside the metrics).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(self.transport, self.telemetry.clone())
+    }
+}
+
+impl From<ExecReport> for SplitOutcome {
+    fn from(report: ExecReport) -> SplitOutcome {
+        SplitOutcome {
+            outcome: report.outcome,
+            interactions: report.interactions,
+            server_cost: report.server_cost,
+            transport: report.transport,
+        }
+    }
+}
+
 /// Runs `main` of an ordinary (unsplit) program.
 ///
 /// # Errors
@@ -173,10 +399,12 @@ pub fn run_function(
 }
 
 /// Runs `main` of a split program in process: installs `hidden` on a fresh
-/// [`SecureServer`], connects an [`InProcessChannel`](crate::InProcessChannel)
-/// with zero round-trip cost, and executes the open program against it.
+/// [`SecureServer`], connects an [`InProcessChannel`] with zero round-trip
+/// cost, and executes the open program against it.
 ///
-/// Use [`Interp`] directly for custom channels, latencies or tracing.
+/// Equivalent to `Executor::new(open, hidden).run(args)` — use
+/// [`Executor`] directly for batching, latency, faults or telemetry, and
+/// [`Interp`] for custom channels (TCP, tracing).
 ///
 /// # Examples
 ///
@@ -201,7 +429,9 @@ pub fn run_split(
     hidden: &HiddenProgram,
     args: &[RtValue],
 ) -> Result<SplitOutcome, RuntimeError> {
-    run_split_with_rtt(open, hidden, args, 0, ExecConfig::new())
+    Executor::new(open, hidden)
+        .run(args)
+        .map(SplitOutcome::from)
 }
 
 /// [`run_split`] with round-trip batching enabled: hidden calls marked
@@ -221,7 +451,10 @@ pub fn run_split_batched(
     hidden: &HiddenProgram,
     args: &[RtValue],
 ) -> Result<SplitOutcome, RuntimeError> {
-    run_split_with_rtt(open, hidden, args, 0, ExecConfig::new().with_batching(true))
+    Executor::new(open, hidden)
+        .batching(true)
+        .run(args)
+        .map(SplitOutcome::from)
 }
 
 /// [`run_split`] with an explicit round-trip cost and configuration.
@@ -236,18 +469,11 @@ pub fn run_split_with_rtt(
     rtt: u64,
     config: ExecConfig,
 ) -> Result<SplitOutcome, RuntimeError> {
-    let server = SecureServer::new(hidden.clone()).with_cost_model(config.cost_model.clone());
-    let mut channel = crate::channel::InProcessChannel::new(server).with_rtt(rtt);
-    let meta = SplitMeta::derive(open, hidden);
-    let mut interp = Interp::new(open, config).with_channel(&mut channel, &meta);
-    let outcome = interp.run("main", args)?;
-    drop(interp);
-    Ok(SplitOutcome {
-        outcome,
-        interactions: channel.interactions(),
-        server_cost: channel.server().cost_spent(),
-        transport: channel.transport_stats(),
-    })
+    Executor::new(open, hidden)
+        .config(config)
+        .rtt(rtt)
+        .run(args)
+        .map(SplitOutcome::from)
 }
 
 /// [`run_split`] under injected transport faults: wraps the in-process
@@ -266,20 +492,10 @@ pub fn run_split_faulty(
     args: &[RtValue],
     plan: crate::fault::FaultPlan,
 ) -> Result<SplitOutcome, RuntimeError> {
-    let config = ExecConfig::new();
-    let server = SecureServer::new(hidden.clone()).with_cost_model(config.cost_model.clone());
-    let inner = crate::channel::InProcessChannel::new(server);
-    let mut channel = crate::fault::FaultyChannel::new(inner, plan);
-    let meta = SplitMeta::derive(open, hidden);
-    let mut interp = Interp::new(open, config).with_channel(&mut channel, &meta);
-    let outcome = interp.run("main", args)?;
-    drop(interp);
-    Ok(SplitOutcome {
-        outcome,
-        interactions: channel.interactions(),
-        server_cost: channel.inner().server().cost_spent(),
-        transport: channel.transport_stats(),
-    })
+    Executor::new(open, hidden)
+        .faults(plan)
+        .run(args)
+        .map(SplitOutcome::from)
 }
 
 /// Upper bound on buffered deferred calls before a forced flush.
@@ -318,6 +534,7 @@ pub struct Interp<'a> {
     /// that buffered it.
     pending: Vec<PendingCall>,
     pending_results: Vec<Option<Place>>,
+    recorder: RecorderHandle,
 }
 
 impl<'a> Interp<'a> {
@@ -348,6 +565,7 @@ impl<'a> Interp<'a> {
             next_instance: 1,
             pending: Vec::new(),
             pending_results: Vec::new(),
+            recorder: RecorderHandle::none(),
         }
     }
 
@@ -356,6 +574,14 @@ impl<'a> Interp<'a> {
     pub fn with_channel(mut self, channel: &'a mut dyn Channel, meta: &'a SplitMeta) -> Interp<'a> {
         self.channel = Some(channel);
         self.meta = Some(meta);
+        self
+    }
+
+    /// Attaches a telemetry recorder firing `Deferred` / `Flush` /
+    /// `OpenRun` events (builder style). Recording never changes results,
+    /// costs or step counts.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Interp<'a> {
+        self.recorder = recorder;
         self
     }
 
@@ -381,7 +607,11 @@ impl<'a> Interp<'a> {
         // Deferred calls to persistent (global/class) components may still
         // be buffered; the run's hidden-side effects must be complete
         // before the outcome is observable.
-        self.flush_pending(None)?;
+        self.flush_pending(None, false)?;
+        self.recorder.record(Event::OpenRun {
+            steps: self.steps,
+            cost: self.cost,
+        });
         Ok(Outcome {
             ret,
             output: std::mem::take(&mut self.output),
@@ -418,7 +648,7 @@ impl<'a> Interp<'a> {
         // state is freed below. (On error the run's outcome is discarded,
         // so the buffer is dropped instead of flushed.)
         if result.is_ok() && frame.activation.is_some() {
-            if let Err(e) = self.flush_pending(Some(&mut frame)) {
+            if let Err(e) = self.flush_pending(Some(&mut frame), false) {
                 result = Err(e);
             }
         }
@@ -598,7 +828,7 @@ impl<'a> Interp<'a> {
                 args: vals,
             });
             self.pending_results.push(None);
-            let last = self.flush_pending(Some(frame))?;
+            let last = self.flush_pending(Some(frame), true)?;
             Ok(last.expect("flushing a non-empty batch yields a reply"))
         }
     }
@@ -626,12 +856,13 @@ impl<'a> Interp<'a> {
             args: vals,
         });
         self.pending_results.push(result);
+        self.recorder.record(Event::Deferred);
         // Deterministic cap: an update-only loop may never demand a value,
         // so bound the buffer (and its memory) by flushing periodically.
         // The flush happens in the buffering frame, so result places stay
         // valid.
         if self.pending.len() >= MAX_PENDING_CALLS {
-            self.flush_pending(Some(frame))?;
+            self.flush_pending(Some(frame), false)?;
         }
         Ok(())
     }
@@ -643,12 +874,17 @@ impl<'a> Interp<'a> {
     fn flush_pending(
         &mut self,
         mut frame: Option<&mut Frame>,
+        demanded: bool,
     ) -> Result<Option<hps_ir::Value>, RuntimeError> {
         if self.pending.is_empty() {
             return Ok(None);
         }
         let calls = std::mem::take(&mut self.pending);
         let results = std::mem::take(&mut self.pending_results);
+        self.recorder.record(Event::Flush {
+            pending: calls.len() as u64,
+            demanded,
+        });
         let chan = self.channel.as_deref_mut().ok_or(RuntimeError::NoChannel)?;
         let replies = chan.call_batch(&calls)?;
         self.cost += chan.rtt_cost();
@@ -1060,10 +1296,7 @@ mod tests {
     #[test]
     fn infinite_loop_hits_step_limit() {
         let p = hps_lang::parse("fn main() { while (true) { } }").unwrap();
-        let cfg = ExecConfig {
-            max_steps: 1000,
-            ..ExecConfig::new()
-        };
+        let cfg = ExecConfig::new().with_max_steps(1000);
         assert!(matches!(
             run_function(&p, "main", &[], cfg),
             Err(RuntimeError::StepLimitExceeded { .. })

@@ -21,7 +21,7 @@
 //!
 //! Hidden calls marked `deferred` by the `hps-core` deferrable-call pass
 //! can be buffered and shipped together with the next demanded call as one
-//! [`channel::PendingCall`] batch ([`interp::run_split_batched`] /
+//! [`channel::PendingCall`] batch ([`interp::Executor::batching`] /
 //! [`interp::ExecConfig::batching`]). On the wire this is one
 //! `Request::Batch` frame (tag `0x04`) answered by one `Response::Batch`
 //! frame (tag `0x12`) — see [`wire`]. Batching coalesces transport only:
@@ -47,6 +47,21 @@
 //! counts, server-side call counts and [`trace::TraceChannel`] events all
 //! match the fault-free run, with reliability counters reported separately
 //! in [`channel::TransportStats`].
+//!
+//! ## Telemetry
+//!
+//! Every layer (interpreter, channels, server, fault injector, wiretap)
+//! carries an optional [`RecorderHandle`] and fires `hps-telemetry`
+//! events at its seams — calls, round trips, flushes, retries, faults,
+//! replays, fragments. With no recorder attached the hook is a single
+//! branch on a `None`; with one, events aggregate into a deterministic
+//! [`MetricsSnapshot`] (counters + fixed-bucket histograms over *virtual*
+//! quantities only, so snapshots are byte-for-byte reproducible).
+//! [`interp::Executor`] is the assembled entry point:
+//! `Executor::new(&open, &hidden).batching(true).rtt(10).recorder(r).run(&args)`
+//! returns an [`ExecReport`] bundling outcome, transport counters and the
+//! telemetry snapshot. Recording never changes results, costs, traces or
+//! interaction counts.
 //!
 //! # Examples
 //!
@@ -76,13 +91,19 @@ pub mod trace;
 pub mod value;
 pub mod wire;
 
+/// Telemetry primitives (recorders, metric names, snapshots) re-exported
+/// for callers wiring up [`interp::Executor::recorder`] or the per-channel
+/// `with_recorder` builders.
+pub use hps_telemetry as telemetry;
+pub use hps_telemetry::{MetricsRecorder, MetricsSnapshot, Recorder, RecorderHandle};
+
 pub use channel::{CallReply, Channel, InProcessChannel, PendingCall, TransportStats};
 pub use cost::CostModel;
 pub use error::{FaultClass, RuntimeError};
 pub use fault::{FaultKind, FaultPlan, FaultyChannel};
 pub use interp::{
     run_function, run_program, run_split, run_split_batched, run_split_faulty, run_split_with_rtt,
-    ExecConfig, Interp, Outcome, SplitMeta, SplitOutcome,
+    ExecConfig, ExecReport, Executor, Interp, Outcome, SplitMeta, SplitOutcome,
 };
 pub use server::{ReplayCache, SecureServer, SeqCheck};
 pub use tcp::{ChaosConfig, RetryPolicy, ServerStats, SessionServer, SessionServerHandle};

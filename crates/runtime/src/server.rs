@@ -10,6 +10,7 @@ use crate::error::RuntimeError;
 use crate::fragment::{run_fragment, FragOutcome};
 use crate::value::RtValue;
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
+use hps_telemetry::{Event, RecorderHandle};
 use std::collections::HashMap;
 
 /// Exactly-once dedup state for one session of sequenced calls.
@@ -95,6 +96,7 @@ pub struct SecureServer {
     state: HashMap<(ComponentId, u64), Vec<RtValue>>,
     calls_served: u64,
     cost_spent: u64,
+    recorder: RecorderHandle,
 }
 
 impl SecureServer {
@@ -106,12 +108,21 @@ impl SecureServer {
             state: HashMap::new(),
             calls_served: 0,
             cost_spent: 0,
+            recorder: RecorderHandle::none(),
         }
     }
 
     /// Replaces the cost model (builder style).
     pub fn with_cost_model(mut self, cost_model: CostModel) -> SecureServer {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Attaches a telemetry recorder firing one `Fragment` event per
+    /// executed fragment (builder style). Recording never changes results
+    /// or metering.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> SecureServer {
+        self.recorder = recorder;
         self
     }
 
@@ -148,6 +159,7 @@ impl SecureServer {
         let outcome = run_fragment(fragment, vars, args, &self.cost_model)?;
         self.calls_served += 1;
         self.cost_spent += outcome.cost;
+        self.recorder.record(Event::Fragment { cost: outcome.cost });
         Ok(outcome)
     }
 

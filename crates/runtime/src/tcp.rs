@@ -35,6 +35,7 @@ use crate::error::{FaultClass, RuntimeError};
 use crate::server::{ReplayCache, SecureServer, SeqCheck};
 use crate::wire::{read_frame, write_frame, Request, Response, WIRE_VERSION};
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
+use hps_telemetry::{metrics::names, Event, MetricsSnapshot, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -123,6 +124,7 @@ pub struct TcpChannel {
     batch_cap: usize,
     reliable: Option<Reliable>,
     stats: TransportStats,
+    recorder: RecorderHandle,
 }
 
 fn split_stream(
@@ -181,6 +183,7 @@ impl TcpChannel {
             batch_cap: usize::from(u16::MAX),
             reliable: None,
             stats: TransportStats::default(),
+            recorder: RecorderHandle::none(),
         })
     }
 
@@ -228,6 +231,7 @@ impl TcpChannel {
                 rng,
             }),
             stats: TransportStats::default(),
+            recorder: RecorderHandle::none(),
         };
         chan.handshake()?;
         Ok(chan)
@@ -247,6 +251,13 @@ impl TcpChannel {
     /// `u16::MAX` are clamped.
     pub fn with_batch_cap(mut self, cap: usize) -> TcpChannel {
         self.batch_cap = cap.clamp(1, usize::from(u16::MAX));
+        self
+    }
+
+    /// Attaches a telemetry recorder (builder style). Recording never
+    /// changes frames on the wire, retries or interaction counts.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> TcpChannel {
+        self.recorder = recorder;
         self
     }
 
@@ -324,6 +335,7 @@ impl TcpChannel {
         self.writer = writer;
         self.handshake()?;
         self.stats.reconnects += 1;
+        self.recorder.record(Event::Reconnect);
         Ok(())
     }
 
@@ -361,6 +373,8 @@ impl TcpChannel {
                 Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
                     self.stats.faults += 1;
                     self.stats.retries += 1;
+                    self.recorder.record(Event::Fault { kind: "io" });
+                    self.recorder.record(Event::Retry);
                     self.backoff(attempt);
                     attempt += 1;
                     // A failed reconnect burns attempts too; terminal
@@ -368,6 +382,7 @@ impl TcpChannel {
                     if let Err(re) = self.reconnect() {
                         if re.is_retryable() && attempt + 1 < policy.max_attempts {
                             self.stats.faults += 1;
+                            self.recorder.record(Event::Fault { kind: "io" });
                             continue;
                         }
                         return Err(re);
@@ -434,7 +449,17 @@ impl Channel for TcpChannel {
             args: args.to_vec(),
         })?;
         match resp {
-            Response::Reply { value, server_cost } => Ok(CallReply { value, server_cost }),
+            Response::Reply { value, server_cost } => {
+                self.recorder.record(Event::Call {
+                    args: args.len() as u64,
+                    server_cost,
+                });
+                self.recorder.record(Event::RoundTrip {
+                    calls: 1,
+                    rtt_cost: self.rtt_cost,
+                });
+                Ok(CallReply { value, server_cost })
+            }
             Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
             other => Err(RuntimeError::Channel(format!(
                 "unexpected reply to call: {other:?}"
@@ -456,7 +481,19 @@ impl Channel for TcpChannel {
         self.interactions += 1;
         let resp = self.sequenced(Request::Batch(calls.to_vec()))?;
         match resp {
-            Response::Batch(replies) if replies.len() == calls.len() => Ok(replies),
+            Response::Batch(replies) if replies.len() == calls.len() => {
+                for (call, reply) in calls.iter().zip(&replies) {
+                    self.recorder.record(Event::Call {
+                        args: call.args.len() as u64,
+                        server_cost: reply.server_cost,
+                    });
+                }
+                self.recorder.record(Event::RoundTrip {
+                    calls: calls.len() as u64,
+                    rtt_cost: self.rtt_cost,
+                });
+                Ok(replies)
+            }
             Response::Batch(replies) => Err(RuntimeError::Channel(format!(
                 "batch reply count mismatch: sent {}, got {}",
                 calls.len(),
@@ -473,7 +510,9 @@ impl Channel for TcpChannel {
         // Fire-and-forget: no reply expected for release, and the server
         // treats it idempotently, so it is never sequenced or retried.
         Request::Release { component, key }.encode_into(&mut self.scratch);
-        write_frame(&mut self.writer, &self.scratch)
+        write_frame(&mut self.writer, &self.scratch)?;
+        self.recorder.record(Event::Release);
+        Ok(())
     }
 
     fn interactions(&self) -> u64 {
@@ -642,6 +681,20 @@ pub struct ServerStats {
     pub replays: u64,
     /// Connections killed by [`ChaosConfig`].
     pub chaos_kills: u64,
+}
+
+impl ServerStats {
+    /// The counters as a telemetry snapshot under the `hps_server_*`
+    /// registry names — what `hps serve --metrics` exposes.
+    pub fn to_metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.add(names::SERVER_CONNECTIONS, self.connections);
+        m.add(names::SERVER_SESSIONS, self.sessions);
+        m.add(names::SERVER_CALLS, self.calls);
+        m.add(names::SERVER_REPLAYS, self.replays);
+        m.add(names::SERVER_CHAOS_KILLS, self.chaos_kills);
+        m
+    }
 }
 
 /// Remote control for a running [`SessionServer`]: read stats, stop it.

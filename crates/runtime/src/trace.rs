@@ -21,6 +21,7 @@
 use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
 use crate::error::RuntimeError;
 use hps_ir::{ComponentId, FragLabel, Value};
+use hps_telemetry::{Event, RecorderHandle};
 
 /// One observed logical call (a batched round trip contributes one event
 /// per call it carries — the payload is fully visible on the wire either
@@ -95,6 +96,7 @@ impl Trace {
 pub struct TraceChannel<'a> {
     inner: &'a mut dyn Channel,
     trace: Trace,
+    recorder: RecorderHandle,
 }
 
 impl<'a> TraceChannel<'a> {
@@ -103,7 +105,15 @@ impl<'a> TraceChannel<'a> {
         TraceChannel {
             inner,
             trace: Trace::default(),
+            recorder: RecorderHandle::none(),
         }
+    }
+
+    /// Attaches a telemetry recorder that counts recorded wiretap events
+    /// (builder style). Recording never changes the trace itself.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> TraceChannel<'a> {
+        self.recorder = recorder;
+        self
     }
 
     /// The recorded trace so far.
@@ -134,6 +144,7 @@ impl Channel for TraceChannel<'_> {
             args: args.to_vec(),
             ret: reply.value,
         });
+        self.recorder.record(Event::TraceEvent);
         Ok(reply)
     }
 
@@ -150,6 +161,7 @@ impl Channel for TraceChannel<'_> {
                 args: c.args.clone(),
                 ret: reply.value,
             });
+            self.recorder.record(Event::TraceEvent);
         }
         Ok(replies)
     }

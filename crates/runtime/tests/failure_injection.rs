@@ -5,7 +5,7 @@
 
 use hps_ir::{ComponentId, FragLabel, Value};
 use hps_runtime::{
-    run_program, run_split, CallReply, Channel, ExecConfig, InProcessChannel, Interp, RuntimeError,
+    run_program, CallReply, Channel, ExecConfig, Executor, InProcessChannel, Interp, RuntimeError,
     SecureServer, SplitMeta,
 };
 
@@ -99,7 +99,9 @@ impl Channel for FlakyChannel {
 #[test]
 fn tampered_replies_change_observable_behaviour() {
     let (_program, split) = split_fixture();
-    let honest = run_split(&split.open, &split.hidden, &[]).expect("runs");
+    let honest = Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .expect("runs");
     let mut tampering = TamperingChannel {
         inner: InProcessChannel::new(SecureServer::new(split.hidden.clone())),
     };

@@ -2,7 +2,7 @@
 //! and report which one breaks equivalence.
 
 use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
-use hps_runtime::{run_program, run_split};
+use hps_runtime::{run_program, Executor};
 use hps_security::choose_seed;
 
 fn main() {
@@ -32,7 +32,9 @@ fn main() {
             promote_control: true,
         };
         let split = split_program(&program, &plan).unwrap();
-        let replay = run_split(&split.open, &split.hidden, &[input.deep_clone()]).unwrap();
+        let replay = Executor::new(&split.open, &split.hidden)
+            .run(&[input.deep_clone()])
+            .unwrap();
         let ok = replay.outcome.output == original.output;
         println!(
             "{} (seed {}): {}",

@@ -11,11 +11,13 @@
 
 use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
 use hps_runtime::fault::{FaultKind, FaultPlan, FaultyChannel};
+use hps_runtime::telemetry::metrics::names;
 use hps_runtime::{
-    Channel, ExecConfig, InProcessChannel, Interp, SecureServer, SplitMeta, Trace, TraceChannel,
-    TransportStats,
+    Channel, ExecConfig, InProcessChannel, Interp, MetricsRecorder, Recorder, RecorderHandle,
+    SecureServer, SplitMeta, Trace, TraceChannel, TransportStats,
 };
 use std::path::PathBuf;
+use std::rc::Rc;
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
     let selected = select_functions(program);
@@ -101,10 +103,16 @@ fn faulty_runs_match_fault_free_runs_exactly() {
                     chaos_log: Vec::new(),
                 }
             };
+            // The faulty run carries a telemetry recorder: recording must
+            // survive chaos without perturbing anything, and the fault
+            // counters it aggregates must agree with the transport stats.
+            let recorder = Rc::new(MetricsRecorder::new());
             let faulty = {
-                let server = SecureServer::new(split.hidden.clone());
-                let inner = InProcessChannel::new(server);
-                let mut chan = FaultyChannel::new(inner, FaultPlan::new(seed, &[kind], 200));
+                let handle = RecorderHandle::new(Rc::clone(&recorder) as Rc<dyn Recorder>);
+                let server = SecureServer::new(split.hidden.clone()).with_recorder(handle.clone());
+                let inner = InProcessChannel::new(server).with_recorder(handle.clone());
+                let mut chan = FaultyChannel::new(inner, FaultPlan::new(seed, &[kind], 200))
+                    .with_recorder(handle);
                 let (output, trace) =
                     run_traced(&split.open, &meta, b.workload(600, 77), &mut chan);
                 RunResult {
@@ -142,6 +150,27 @@ fn faulty_runs_match_fault_free_runs_exactly() {
                 baseline.stats,
                 TransportStats::default(),
                 "{cell}: fault-free run reported transport turbulence"
+            );
+            let m = recorder.snapshot();
+            assert_eq!(
+                m.counter(names::FAULTS),
+                faulty.stats.faults,
+                "{cell}: telemetry fault counter drifted from transport stats"
+            );
+            assert_eq!(
+                m.counter(names::RETRIES),
+                faulty.stats.retries,
+                "{cell}: telemetry retry counter drifted from transport stats"
+            );
+            assert_eq!(
+                m.counter(names::REPLAYS),
+                faulty.stats.replays,
+                "{cell}: telemetry replay counter drifted from transport stats"
+            );
+            assert_eq!(
+                m.counter(names::INTERACTIONS),
+                faulty.interactions,
+                "{cell}: telemetry interaction counter drifted from the channel"
             );
             total_faults += faulty.stats.faults;
         }

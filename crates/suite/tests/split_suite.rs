@@ -4,7 +4,7 @@
 //! program.
 
 use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
-use hps_runtime::{run_program, run_split};
+use hps_runtime::{run_program, Executor};
 use hps_security::{analyze_split, choose_seeds_all};
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
@@ -45,7 +45,8 @@ fn every_benchmark_splits_and_stays_equivalent() {
         let input = b.workload(600, 77);
         let original = run_program(&program, &[input.deep_clone()])
             .unwrap_or_else(|e| panic!("{}: original failed: {e}", b.name));
-        let replay = run_split(&split.open, &split.hidden, &[input.deep_clone()])
+        let replay = Executor::new(&split.open, &split.hidden)
+            .run(&[input.deep_clone()])
             .unwrap_or_else(|e| panic!("{}: split run failed: {e}", b.name));
         assert_eq!(
             original.output, replay.outcome.output,
@@ -111,21 +112,15 @@ fn promotion_ablation_trades_traffic_for_hidden_control_flow() {
         let program = b.program().unwrap();
         let mut plan = paper_plan(&program);
         let split = split_program(&program, &plan).unwrap();
-        let with_promo = run_split(
-            &split.open,
-            &split.hidden,
-            &[b.workload(300, 5).deep_clone()],
-        )
-        .unwrap();
+        let with_promo = Executor::new(&split.open, &split.hidden)
+            .run(&[b.workload(300, 5).deep_clone()])
+            .unwrap();
         let report = analyze_split(&program, &split);
         plan.promote_control = false;
         let split_flat = split_program(&program, &plan).unwrap();
-        let without = run_split(
-            &split_flat.open,
-            &split_flat.hidden,
-            &[b.workload(300, 5).deep_clone()],
-        )
-        .unwrap();
+        let without = Executor::new(&split_flat.open, &split_flat.hidden)
+            .run(&[b.workload(300, 5).deep_clone()])
+            .unwrap();
         let report_flat = analyze_split(&program, &split_flat);
         assert_eq!(with_promo.outcome.output, without.outcome.output);
         assert_eq!(

@@ -2,7 +2,7 @@
 //! benchmark programs (beyond the per-function splits the tables use).
 
 use hps_core::{split_program, SplitError, SplitPlan};
-use hps_runtime::{run_program, run_split};
+use hps_runtime::{run_program, Executor};
 
 #[test]
 fn hiding_a_rulekit_global_is_equivalent() {
@@ -13,7 +13,9 @@ fn hiding_a_rulekit_global_is_equivalent() {
     let split = split_program(&program, &plan).unwrap();
     assert_eq!(split.hidden.components.len(), 1);
     let original = run_program(&program, &[b.workload(240, 3)]).unwrap();
-    let replay = run_split(&split.open, &split.hidden, &[b.workload(240, 3)]).unwrap();
+    let replay = Executor::new(&split.open, &split.hidden)
+        .run(&[b.workload(240, 3)])
+        .unwrap();
     assert_eq!(original.output, replay.outcome.output);
     assert!(replay.interactions > 0);
 }
@@ -26,7 +28,9 @@ fn splitting_the_calcc_counter_class_is_equivalent() {
     let plan = SplitPlan::class(&program, "Counter").unwrap();
     let split = split_program(&program, &plan).unwrap();
     let original = run_program(&program, &[b.workload(240, 3)]).unwrap();
-    let replay = run_split(&split.open, &split.hidden, &[b.workload(240, 3)]).unwrap();
+    let replay = Executor::new(&split.open, &split.hidden)
+        .run(&[b.workload(240, 3)])
+        .unwrap();
     assert_eq!(original.output, replay.outcome.output);
 }
 
@@ -56,7 +60,9 @@ fn hiding_every_scalar_global_across_the_suite() {
             let split = split_program(&program, &plan)
                 .unwrap_or_else(|e| panic!("{}::{}: {e}", b.name, g.name));
             let original = run_program(&program, &[b.workload(180, 5)]).unwrap();
-            let replay = run_split(&split.open, &split.hidden, &[b.workload(180, 5)]).unwrap();
+            let replay = Executor::new(&split.open, &split.hidden)
+                .run(&[b.workload(180, 5)])
+                .unwrap();
             assert_eq!(
                 original.output, replay.outcome.output,
                 "{}: hiding global `{}` changed behaviour",

@@ -15,7 +15,7 @@
 //! ```
 
 use hiding_program_slices as hps;
-use hps::runtime::{run_program, run_split, RtValue};
+use hps::runtime::{run_program, Executor, RtValue};
 use hps::split::{check_deployment, split_program, DeviceProfile, SplitPlan};
 
 const APP: &str = r#"
@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The untrusted server does almost all the work.
     let input: Vec<i64> = (0..4000).map(|i| (i * 37) % 900 + 10).collect();
     let original = run_program(&program, &[RtValue::from_ints(&input)])?;
-    let replay = run_split(&split.open, &split.hidden, &[RtValue::from_ints(&input)])?;
+    let replay = Executor::new(&split.open, &split.hidden).run(&[RtValue::from_ints(&input)])?;
     assert_eq!(original.output, replay.outcome.output);
 
     let device = replay.server_cost as f64;

@@ -13,7 +13,7 @@
 //! ```
 
 use hiding_program_slices as hps;
-use hps::runtime::{run_program, run_split};
+use hps::runtime::{run_program, Executor};
 use hps::security::analyze_split;
 use hps::split::{split_program, SplitPlan};
 
@@ -103,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let original = run_program(&program, &[])?;
-    let replay = run_split(&split.open, &split.hidden, &[])?;
+    let replay = Executor::new(&split.open, &split.hidden).run(&[])?;
     assert_eq!(original.output, replay.outcome.output);
     println!(
         "\nsplit verified equivalent; output = {:?}",

@@ -1,14 +1,18 @@
 //! `hps` — command-line front end for slice-based software splitting.
 //!
 //! ```text
-//! hps run <file.ml> [ints...]                 run a MiniLang program
+//! hps run <file.ml> [--split] [--batch] [--metrics-json] [selection] [ints...]
+//!                                             run a MiniLang program; --split runs
+//!                                             the open/hidden pair, --metrics-json
+//!                                             emits the hps-telemetry/v1 snapshot
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
 //!                                             print Of, Hf and the split report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps audit <file.ml> [selection] [--json|--sarif]
 //!                                             split-soundness audit (non-zero exit on deny)
-//! hps serve <file.ml> <addr> [selection] [--chaos SEED]
-//!                                             host the hidden component on TCP
+//! hps serve <file.ml> <addr> [selection] [--chaos SEED] [--metrics ADDR]
+//!                                             host the hidden component on TCP;
+//!                                             --metrics serves Prometheus text format
 //! hps client <file.ml> <addr> [selection] [--batch] [--retry] [ints...]
 //!                                             run the open component against a server
 //! hps tables [--quick]                        shortcut to the experiment harness
@@ -19,9 +23,11 @@
 //! the open half in memory.
 
 use hiding_program_slices as hps;
-use hps::runtime::tcp::{ChaosConfig, RetryPolicy, SessionServer, TcpChannel};
-use hps::runtime::{ExecConfig, Interp, RtValue, SplitMeta};
+use hps::runtime::tcp::{ChaosConfig, RetryPolicy, SessionServer, SessionServerHandle, TcpChannel};
+use hps::runtime::{ExecConfig, Executor, Interp, MetricsRecorder, RtValue, SplitMeta};
 use hps::split::{split_program, SplitPlan, SplitResult, SplitTarget};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,11 +62,11 @@ const HELP: &str = "\
 hps — slicing-based software splitting (CGO 2003 reproduction)
 
 USAGE:
-  hps run <file.ml> [ints...]
+  hps run <file.ml> [--split] [--batch] [--metrics-json] [selection flags] [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
   hps audit <file.ml> [selection flags] [--json | --sarif]
-  hps serve <file.ml> <addr> [selection flags] [--chaos SEED]
+  hps serve <file.ml> <addr> [selection flags] [--chaos SEED] [--metrics ADDR]
   hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
@@ -72,6 +78,10 @@ on any deny-level finding; --json / --sarif select machine-readable output.
 --retry opens a fault-tolerant session (timeouts, reconnect with backoff,
 exactly-once replay); --chaos SEED makes the server deterministically kill
 connections mid-call to exercise it.
+`run --split` executes the open/hidden pair in-process; `--metrics-json`
+(implies --split) prints the deterministic hps-telemetry/v1 snapshot to
+stdout, with program output diverted to stderr. `serve --metrics ADDR`
+exposes the live server counters in Prometheus text format over HTTP.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -164,18 +174,94 @@ fn do_split(program: &hps::ir::Program, flags: &[String]) -> Result<SplitResult,
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: hps run <file.ml> [ints...]")?;
-    let program = load(path)?;
-    let entry_args = int_args(&args[1..])?;
-    let out = hps::runtime::run_program(&program, &entry_args).map_err(|e| e.to_string())?;
-    for line in &out.output {
-        println!("{line}");
+    const USAGE: &str =
+        "usage: hps run <file.ml> [--split] [--batch] [--metrics-json] [selection flags] [ints...]";
+    let path = args.first().ok_or(USAGE)?;
+    let rest = &args[1..];
+    let mut split_mode = false;
+    let mut batch = false;
+    let mut metrics_json = false;
+    let mut selection = Vec::new();
+    let mut ints = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--split" => {
+                split_mode = true;
+                i += 1;
+            }
+            "--batch" => {
+                batch = true;
+                i += 1;
+            }
+            "--metrics-json" => {
+                metrics_json = true;
+                split_mode = true;
+                i += 1;
+            }
+            flag @ ("--func" | "--var" | "--global" | "--class") => {
+                selection.push(rest[i].clone());
+                selection.push(
+                    rest.get(i + 1)
+                        .ok_or_else(|| format!("{flag} needs a name"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--auto" => {
+                selection.push(rest[i].clone());
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`; {USAGE}"));
+            }
+            _ => {
+                ints.push(rest[i].clone());
+                i += 1;
+            }
+        }
     }
-    eprintln!(
-        "[hps] {} steps, {:.4} virtual seconds",
-        out.steps,
-        ExecConfig::new().cost_model.to_seconds(out.cost)
-    );
+    let program = load(path)?;
+    let entry_args = int_args(&ints)?;
+    if !split_mode {
+        if !selection.is_empty() || batch {
+            return Err("selection flags and --batch require --split".into());
+        }
+        let out = hps::runtime::run_program(&program, &entry_args).map_err(|e| e.to_string())?;
+        for line in &out.output {
+            println!("{line}");
+        }
+        eprintln!(
+            "[hps] {} steps, {:.4} virtual seconds",
+            out.steps,
+            ExecConfig::new().cost_model.to_seconds(out.cost)
+        );
+        return Ok(());
+    }
+    let split = do_split(&program, &selection)?;
+    let report = Executor::new(&split.open, &split.hidden)
+        .batching(batch)
+        .recorder(MetricsRecorder::new())
+        .run(&entry_args)
+        .map_err(|e| e.to_string())?;
+    if metrics_json {
+        // The snapshot is the machine-readable product: keep stdout clean
+        // for it and divert the program's own output to stderr.
+        for line in &report.outcome.output {
+            eprintln!("{line}");
+        }
+        print!("{}", report.snapshot().to_json_string());
+    } else {
+        for line in &report.outcome.output {
+            println!("{line}");
+        }
+        eprintln!(
+            "[hps] {} steps, {:.4} virtual seconds, {} open<->hidden interactions",
+            report.outcome.steps,
+            ExecConfig::new().cost_model.to_seconds(report.outcome.cost),
+            report.interactions
+        );
+    }
     Ok(())
 }
 
@@ -272,14 +358,12 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let path = args
-        .first()
-        .ok_or("usage: hps serve <file.ml> <addr> [flags] [--chaos SEED]")?;
-    let addr = args
-        .get(1)
-        .ok_or("usage: hps serve <file.ml> <addr> [flags] [--chaos SEED]")?;
+    const USAGE: &str = "usage: hps serve <file.ml> <addr> [flags] [--chaos SEED] [--metrics ADDR]";
+    let path = args.first().ok_or(USAGE)?;
+    let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
     let mut chaos = None;
+    let mut metrics_addr = None;
     let mut flags = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -294,6 +378,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 kill_per_mille: 100,
             });
             i += 2;
+        } else if rest[i] == "--metrics" {
+            metrics_addr = Some(rest.get(i + 1).ok_or("--metrics needs an address")?.clone());
+            i += 2;
         } else {
             flags.push(rest[i].clone());
             i += 1;
@@ -307,6 +394,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!("[hps] chaos mode: killing ~10% of frames (seed {})", c.seed);
         server = server.with_chaos(c);
     }
+    if let Some(maddr) = metrics_addr {
+        let bound = spawn_metrics_endpoint(&maddr, server.handle().map_err(|e| e.to_string())?)?;
+        eprintln!("[hps] metrics (Prometheus text format) on http://{bound}/metrics");
+    }
     eprintln!(
         "[hps] serving {} hidden component(s) on {} (multi-client sessions; ctrl-c to stop)",
         split.hidden.components.len(),
@@ -315,6 +406,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     server
         .serve(|peer, event| eprintln!("[hps] {peer}: {event}"))
         .map_err(|e| e.to_string())
+}
+
+/// Serves the session server's live counters as Prometheus text format
+/// (content-type `text/plain; version=0.0.4`) over a minimal HTTP/1.0
+/// responder. Every request gets the full exposition regardless of path —
+/// the registry is tiny and scrapes are idempotent reads of atomics.
+fn spawn_metrics_endpoint(addr: &str, handle: SessionServerHandle) -> Result<SocketAddr, String> {
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain (best effort) the request head; we answer any request.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = handle.stats().to_metrics().to_prometheus();
+            let response = format!(
+                "HTTP/1.0 200 OK\r\n\
+                 Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                 Content-Length: {}\r\n\
+                 Connection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
+    Ok(bound)
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {

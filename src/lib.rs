@@ -16,6 +16,9 @@
 //! * [`slicing`] — forward data slices and control-ancestor promotion.
 //! * [`split`] — the splitting transformation (the paper's contribution).
 //! * [`runtime`] — interpreter, secure-server executor and channels.
+//! * [`telemetry`] — counters, deterministic histograms and the
+//!   `hps-telemetry/v1` snapshot document recorded by the runtime's
+//!   optional telemetry hooks.
 //! * [`security`] — ILP identification and complexity analysis.
 //! * [`audit`] — split-soundness auditor: taint analysis, weak-ILP lints
 //!   and structured diagnostics (terminal / JSON / SARIF).
@@ -24,7 +27,8 @@
 //!
 //! # Examples
 //!
-//! Split a function and execute both versions:
+//! Split a function and execute both versions through the
+//! [`runtime::Executor`] builder, recording telemetry along the way:
 //!
 //! ```
 //! use hiding_program_slices as hps;
@@ -46,8 +50,14 @@
 //!     &hps::split::SplitPlan::single(&program, "f", "a")?,
 //! )?;
 //! let original = hps::runtime::run_program(&program, &[])?;
-//! let replayed = hps::runtime::run_split(&split.open, &split.hidden, &[])?;
-//! assert_eq!(original.output, replayed.outcome.output);
+//! let report = hps::runtime::Executor::new(&split.open, &split.hidden)
+//!     .recorder(hps::runtime::MetricsRecorder::new())
+//!     .run(&[])?;
+//! assert_eq!(original.output, report.outcome.output);
+//! assert_eq!(
+//!     report.telemetry.counter("hps_interactions_total"),
+//!     report.interactions,
+//! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -61,3 +71,4 @@ pub use hps_runtime as runtime;
 pub use hps_security as security;
 pub use hps_slicing as slicing;
 pub use hps_suite as suite;
+pub use hps_telemetry as telemetry;

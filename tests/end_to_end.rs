@@ -6,7 +6,7 @@
 use hiding_program_slices as hps;
 use hps::attack::{attack_site, AttackConfig, Verdict};
 use hps::runtime::{
-    run_program, run_split, ExecConfig, InProcessChannel, Interp, RtValue, SecureServer, SplitMeta,
+    run_program, ExecConfig, Executor, InProcessChannel, Interp, RtValue, SecureServer, SplitMeta,
     Trace, TraceChannel,
 };
 use hps::security::{analyze_split, AcType, PathCount};
@@ -73,7 +73,9 @@ fn fig2_pipeline_reproduces_paper_characterization() {
         for z in [0i64, 5, 40] {
             let args = [RtValue::Int(x), RtValue::Int(2), RtValue::Int(z)];
             let original = run_program(&program, &args).expect("runs");
-            let replay = run_split(&split.open, &split.hidden, &args).expect("runs");
+            let replay = Executor::new(&split.open, &split.hidden)
+                .run(&args)
+                .expect("runs");
             assert_eq!(original.output, replay.outcome.output, "x={x} z={z}");
         }
     }
@@ -169,7 +171,9 @@ fn multiple_splits_and_global_hiding_compose() {
     let split = split_program(&program, &plan).expect("splits");
     assert_eq!(split.hidden.components.len(), 2);
     let original = run_program(&program, &[]).expect("runs");
-    let replay = run_split(&split.open, &split.hidden, &[]).expect("runs");
+    let replay = Executor::new(&split.open, &split.hidden)
+        .run(&[])
+        .expect("runs");
     assert_eq!(original.output, replay.outcome.output);
     assert_eq!(original.output, ["35"]);
 }

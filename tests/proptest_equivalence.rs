@@ -10,7 +10,7 @@
 //! fetch/send synchronization and hidden-compute returns.
 
 use hiding_program_slices as hps;
-use hps::runtime::{run_program, run_split, RtValue};
+use hps::runtime::{run_program, Executor, RtValue};
 use hps::split::{split_program, SplitPlan, SplitTarget};
 use proptest::prelude::*;
 
@@ -204,7 +204,8 @@ proptest! {
                 Ok(s) => s,
                 Err(e) => panic!("split failed for seed {local}: {e}\n{src}"),
             };
-            let replay = run_split(&split.open, &split.hidden, &args)
+            let replay = Executor::new(&split.open, &split.hidden)
+                .run(&args)
                 .unwrap_or_else(|e| panic!("split run failed for seed {local}: {e}\n{src}"));
             prop_assert_eq!(
                 &original.output,
@@ -231,7 +232,9 @@ proptest! {
             promote_control: false,
         };
         let split = split_program(&program, &plan).expect("splits");
-        let replay = run_split(&split.open, &split.hidden, &args).expect("runs");
+        let replay = Executor::new(&split.open, &split.hidden)
+            .run(&args)
+            .expect("runs");
         prop_assert_eq!(&original.output, &replay.outcome.output, "\n{}", src);
     }
 
