@@ -1,0 +1,462 @@
+//! `loadgen` — multi-client TCP load harness for the sharded
+//! [`SessionServer`].
+//!
+//! Serves each suite benchmark's hidden program over real TCP at several
+//! shard counts, drives it with N concurrent reliable clients (each
+//! running the full open program and byte-checking its output against the
+//! unsplit reference), and emits `BENCH_loadgen.json` (`hps-loadgen/v1`):
+//! per-(benchmark, shard-count) wall-clock throughput, p50/p99 round-trip
+//! latency from the telemetry HDR histograms, the server's metrics
+//! snapshot, and per-shard counters. The schema and field order are
+//! deterministic; only the measured wall-clock numbers vary between runs.
+//!
+//! Clients pin their session ids (`worker + 1`), so sessions spread over
+//! the shards round-robin and a run is reproducible modulo timing.
+//!
+//! ```text
+//! loadgen [--clients N] [--iters K] [--size S] [--seed SEED]
+//!         [--shards LIST] [--out PATH] [--gate] [--gate-ratio-millis R]
+//! ```
+//!
+//! `--gate` makes the process fail (exit 1) when the *aggregate* sharded
+//! throughput (total calls / total wall time, summed over the suite)
+//! regresses below `R/1000 ×` the single-shard aggregate — the CI
+//! `load-smoke` contract. The gate exists to catch a sharding bug that
+//! serialises or duplicates work, not to certify speedup, so `R` defaults
+//! to a forgiving 750: short smoke cells on a busy runner are noisy, and
+//! on a single-core host `--shards 4` legitimately pays a scheduling tax.
+//! Speedup claims come from the recorded numbers, not the gate.
+
+use hps_bench::split_benchmark;
+use hps_runtime::tcp::{RetryPolicy, SessionServer, TcpChannel};
+use hps_runtime::telemetry::json::Json;
+use hps_runtime::telemetry::Histogram;
+use hps_runtime::{
+    run_program, CallReply, Channel, ExecConfig, Interp, PendingCall, RuntimeError, SplitMeta,
+};
+use hps_suite::benchmarks;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let cfg = match Config::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    eprintln!(
+        "[loadgen] {} clients x {} iters, workload size {}, seed {}, shards {:?}, {} core(s)",
+        cfg.clients, cfg.iters, cfg.size, cfg.seed, cfg.shard_counts, host_parallelism
+    );
+
+    let mut bench_docs = Vec::new();
+    // (calls, wall_micros) summed over all benchmarks, per shard count.
+    let mut totals: Vec<(usize, u64, u64)> = cfg.shard_counts.iter().map(|&s| (s, 0, 0)).collect();
+    for b in benchmarks() {
+        let (program, split) = split_benchmark(&b);
+        let expected = run_program(&program, &[b.workload(cfg.size, cfg.seed)])
+            .expect("reference run")
+            .output;
+        let mut cells = Vec::new();
+        let mut throughput = Vec::new();
+        for (i, &shards) in cfg.shard_counts.iter().enumerate() {
+            let cell = run_cell(&cfg, b.name, &split, shards, &expected);
+            eprintln!(
+                "[loadgen] {:8} shards={} {:>9} calls/s p50={}us p99={}us",
+                b.name, shards, cell.throughput, cell.p50, cell.p99
+            );
+            totals[i].1 += cell.calls;
+            totals[i].2 += cell.wall_micros;
+            throughput.push((shards, cell.throughput));
+            cells.push(cell);
+        }
+        let base = throughput
+            .iter()
+            .find(|(s, _)| *s == 1)
+            .map_or(0, |(_, t)| *t);
+        let peak = throughput.iter().map(|(_, t)| *t).max().unwrap_or(0);
+        let speedup_millis = (peak * 1000).checked_div(base).unwrap_or(0);
+        bench_docs.push(
+            Json::object()
+                .field("name", b.name)
+                .field("paper_analog", b.paper_analog)
+                .field("speedup_millis", speedup_millis)
+                .field(
+                    "cells",
+                    cells.into_iter().map(Cell::into_json).collect::<Vec<_>>(),
+                ),
+        );
+    }
+
+    let aggregate: Vec<(usize, u64, u64)> = totals
+        .iter()
+        .map(|&(shards, calls, wall)| (shards, calls, calls * 1_000_000 / wall.max(1)))
+        .collect();
+    for &(shards, calls, thr) in &aggregate {
+        eprintln!("[loadgen] aggregate shards={shards} {thr:>9} calls/s ({calls} calls)");
+    }
+
+    let doc = Json::object()
+        .field("schema", "hps-loadgen/v1")
+        .field("clients", cfg.clients as u64)
+        .field("iters", cfg.iters as u64)
+        .field("workload_size", cfg.size as u64)
+        .field("seed", cfg.seed)
+        .field("host_parallelism", host_parallelism)
+        .field(
+            "shard_counts",
+            cfg.shard_counts
+                .iter()
+                .map(|&s| Json::Uint(s as u64))
+                .collect::<Vec<_>>(),
+        )
+        .field(
+            "aggregate",
+            aggregate
+                .iter()
+                .map(|&(shards, calls, thr)| {
+                    Json::object()
+                        .field("shards", shards as u64)
+                        .field("calls", calls)
+                        .field("throughput_calls_per_sec", thr)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .field("benchmarks", bench_docs);
+    std::fs::write(&cfg.out, doc.pretty()).expect("write BENCH json");
+    eprintln!("[loadgen] wrote {}", cfg.out);
+
+    if cfg.gate {
+        let base = aggregate
+            .iter()
+            .find(|(s, _, _)| *s == 1)
+            .map_or(0, |&(_, _, t)| t);
+        let mut failed = false;
+        for &(shards, _, thr) in &aggregate {
+            if shards > 1 && thr * 1000 < base * cfg.gate_ratio_millis {
+                eprintln!(
+                    "[loadgen] GATE FAIL shards={shards}: aggregate throughput {thr} < \
+                     {}/1000 x single-shard {base}",
+                    cfg.gate_ratio_millis
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}
+
+struct Config {
+    clients: usize,
+    iters: usize,
+    size: usize,
+    seed: u64,
+    shard_counts: Vec<usize>,
+    out: String,
+    gate: bool,
+    gate_ratio_millis: u64,
+}
+
+impl Config {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Config, String> {
+        const USAGE: &str = "usage: loadgen [--clients N] [--iters K] [--size S] [--seed SEED] \
+                             [--shards LIST] [--out PATH] [--gate] [--gate-ratio-millis R]";
+        let mut cfg = Config {
+            clients: 8,
+            iters: 2,
+            size: 200,
+            seed: 42,
+            shard_counts: vec![1, 4],
+            out: "BENCH_loadgen.json".into(),
+            gate: false,
+            gate_ratio_millis: 750,
+        };
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |name: &str| format!("{name} needs a value\n{USAGE}");
+            match args[i].as_str() {
+                "--clients" => {
+                    cfg.clients = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--clients"))?
+                        .parse()
+                        .map_err(|_| "--clients must be a positive integer".to_string())?;
+                    i += 2;
+                }
+                "--iters" => {
+                    cfg.iters = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--iters"))?
+                        .parse()
+                        .map_err(|_| "--iters must be a positive integer".to_string())?;
+                    i += 2;
+                }
+                "--size" => {
+                    cfg.size = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--size"))?
+                        .parse()
+                        .map_err(|_| "--size must be a positive integer".to_string())?;
+                    i += 2;
+                }
+                "--seed" => {
+                    cfg.seed = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--seed"))?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer".to_string())?;
+                    i += 2;
+                }
+                "--shards" => {
+                    cfg.shard_counts = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--shards"))?
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| {
+                                    "--shards wants a comma list of positive integers".to_string()
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    i += 2;
+                }
+                "--out" => {
+                    cfg.out = args.get(i + 1).ok_or_else(|| need("--out"))?.clone();
+                    i += 2;
+                }
+                "--gate" => {
+                    cfg.gate = true;
+                    i += 1;
+                }
+                "--gate-ratio-millis" => {
+                    cfg.gate_ratio_millis = args
+                        .get(i + 1)
+                        .ok_or_else(|| need("--gate-ratio-millis"))?
+                        .parse()
+                        .map_err(|_| "--gate-ratio-millis must be an integer".to_string())?;
+                    i += 2;
+                }
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        if cfg.clients == 0 || cfg.iters == 0 || cfg.shard_counts.is_empty() {
+            return Err(USAGE.into());
+        }
+        Ok(cfg)
+    }
+}
+
+/// One measured (benchmark, shard-count) cell.
+struct Cell {
+    shards: usize,
+    wall_micros: u64,
+    calls: u64,
+    interactions: u64,
+    throughput: u64,
+    latency: Histogram,
+    p50: u64,
+    p99: u64,
+    server: Json,
+    shard_calls: Vec<u64>,
+    shard_sessions: Vec<u64>,
+    shard_max_queue_depth: Vec<u64>,
+}
+
+impl Cell {
+    fn into_json(self) -> Json {
+        let lat = Json::object()
+            .field("count", self.latency.count())
+            .field("p50_micros", self.p50)
+            .field("p99_micros", self.p99)
+            .field("max_micros", self.latency.max().unwrap_or(0));
+        Json::object()
+            .field("shards", self.shards as u64)
+            .field("wall_micros", self.wall_micros)
+            .field("calls", self.calls)
+            .field("interactions", self.interactions)
+            .field("throughput_calls_per_sec", self.throughput)
+            .field("latency", lat)
+            .field(
+                "shard_calls",
+                self.shard_calls
+                    .into_iter()
+                    .map(Json::Uint)
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "shard_sessions",
+                self.shard_sessions
+                    .into_iter()
+                    .map(Json::Uint)
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "shard_max_queue_depth",
+                self.shard_max_queue_depth
+                    .into_iter()
+                    .map(Json::Uint)
+                    .collect::<Vec<_>>(),
+            )
+            .field("server", self.server)
+    }
+}
+
+/// Serves `split.hidden` at `shards` shard executors and hammers it with
+/// the configured client fleet. Every client byte-checks its output
+/// against the unsplit reference; any mismatch aborts the harness.
+fn run_cell(
+    cfg: &Config,
+    bench: &'static str,
+    split: &hps_core::SplitResult,
+    shards: usize,
+    expected: &[String],
+) -> Cell {
+    let server = SessionServer::bind("127.0.0.1:0", split.hidden.clone())
+        .expect("bind")
+        .with_shards(shards);
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr();
+    let serve = std::thread::spawn(move || server.serve(|_, _| {}));
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..cfg.clients)
+        .map(|w| {
+            let split = split.clone();
+            let expected = expected.to_vec();
+            let (size, seed, iters) = (cfg.size, cfg.seed, cfg.iters);
+            std::thread::spawn(move || {
+                run_client(bench, addr, w, &split, size, seed, iters, &expected)
+            })
+        })
+        .collect();
+    let mut latency = Histogram::new();
+    let mut interactions = 0u64;
+    for w in workers {
+        let (hist, inter) = w.join().expect("client thread");
+        latency.merge(&hist);
+        interactions += inter;
+    }
+    let wall_micros = (started.elapsed().as_micros() as u64).max(1);
+
+    handle.stop();
+    serve.join().expect("serve thread").expect("serve ok");
+
+    let stats = handle.stats();
+    let shard_stats = handle.shard_stats();
+    Cell {
+        shards,
+        wall_micros,
+        calls: stats.calls,
+        interactions,
+        throughput: stats.calls * 1_000_000 / wall_micros,
+        p50: latency.quantile(0.5).unwrap_or(0),
+        p99: latency.quantile(0.99).unwrap_or(0),
+        latency,
+        server: handle.metrics().to_json(),
+        shard_calls: shard_stats.iter().map(|s| s.calls).collect(),
+        shard_sessions: shard_stats.iter().map(|s| s.sessions).collect(),
+        shard_max_queue_depth: shard_stats.iter().map(|s| s.max_queue_depth).collect(),
+    }
+}
+
+/// One client: a pinned-session reliable channel running the open program
+/// `iters` times, returning its round-trip latency histogram and
+/// interaction count.
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    bench: &'static str,
+    addr: SocketAddr,
+    worker: usize,
+    split: &hps_core::SplitResult,
+    size: usize,
+    seed: u64,
+    iters: usize,
+    expected: &[String],
+) -> (Histogram, u64) {
+    let policy = RetryPolicy::new()
+        .with_base_backoff(Duration::from_millis(1))
+        .with_jitter_seed(seed ^ worker as u64);
+    // Pinned session ids 1..=clients spread round-robin over the shards.
+    let mut chan = TcpChannel::connect_reliable_with_session(addr, policy, worker as u64 + 1)
+        .expect("connect");
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let mut timing = TimingChannel {
+        inner: &mut chan,
+        latency: Histogram::new(),
+    };
+    for _ in 0..iters {
+        // RtValue inputs are not Send; each client builds its own.
+        let input = hps_suite::benchmark(bench)
+            .expect("suite benchmark")
+            .workload(size, seed);
+        let outcome = {
+            let mut interp =
+                Interp::new(&split.open, ExecConfig::new()).with_channel(&mut timing, &meta);
+            interp.run("main", &[input]).expect("split run")
+        };
+        assert_eq!(
+            outcome.output, expected,
+            "{bench}: split output diverged from the reference"
+        );
+    }
+    let latency = timing.latency;
+    let interactions = chan.interactions();
+    chan.shutdown().expect("shutdown");
+    (latency, interactions)
+}
+
+/// Channel adapter timing each round trip (wall clock, microseconds).
+/// Wall-clock readings stay out of deterministic telemetry by design; a
+/// bench binary is the exposition layer where they belong.
+struct TimingChannel<'a> {
+    inner: &'a mut TcpChannel,
+    latency: Histogram,
+}
+
+impl Channel for TimingChannel<'_> {
+    fn call(
+        &mut self,
+        component: hps_ir::ComponentId,
+        key: u64,
+        label: hps_ir::FragLabel,
+        args: &[hps_ir::Value],
+    ) -> Result<CallReply, RuntimeError> {
+        let t = Instant::now();
+        let reply = self.inner.call(component, key, label, args);
+        self.latency.record(t.elapsed().as_micros() as u64);
+        reply
+    }
+
+    fn call_batch(&mut self, calls: &[PendingCall]) -> Result<Vec<CallReply>, RuntimeError> {
+        let t = Instant::now();
+        let replies = self.inner.call_batch(calls);
+        self.latency.record(t.elapsed().as_micros() as u64);
+        replies
+    }
+
+    fn release(&mut self, component: hps_ir::ComponentId, key: u64) -> Result<(), RuntimeError> {
+        self.inner.release(component, key)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.inner.rtt_cost()
+    }
+
+    fn transport_stats(&self) -> hps_runtime::TransportStats {
+        self.inner.transport_stats()
+    }
+}

@@ -5,6 +5,11 @@
 //! restricted by construction (scalar-only, no calls, no aggregates, no
 //! returns); anything outside that subset raises
 //! [`RuntimeError::IllegalFragmentOp`] — it would indicate a splitter bug.
+//!
+//! Fragment execution is single-threaded by design: a fragment only ever
+//! runs on the thread owning its component's hidden variables (one shard
+//! executor in [`crate::shard`], or the caller's thread in-process), so
+//! per-shard fragment counters need no synchronisation with execution.
 
 use crate::cost::CostModel;
 use crate::error::RuntimeError;

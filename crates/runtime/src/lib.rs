@@ -39,6 +39,9 @@
 //! * [`tcp::SessionServer`] accepts many clients and deduplicates
 //!   retransmits through a [`server::ReplayCache`] — a retried call whose
 //!   response was lost is answered from the cache, never re-executed.
+//!   Sessions execute on a [`shard`] pool (`session_id % shards`): each
+//!   shard thread exclusively owns its sessions' hidden state, so
+//!   execution scales across cores without locking hidden values.
 //! * [`fault::FaultyChannel`] wraps any channel with a seeded,
 //!   deterministic fault schedule (drops, delays, duplicates,
 //!   truncations) for in-process chaos testing.
@@ -86,6 +89,7 @@ pub mod fragment;
 pub mod interp;
 mod ops;
 pub mod server;
+pub mod shard;
 pub mod tcp;
 pub mod trace;
 pub mod value;
@@ -106,6 +110,7 @@ pub use interp::{
     ExecConfig, ExecReport, Executor, Interp, Outcome, SplitMeta, SplitOutcome,
 };
 pub use server::{ReplayCache, SecureServer, SeqCheck};
+pub use shard::ShardStats;
 pub use tcp::{ChaosConfig, RetryPolicy, ServerStats, SessionServer, SessionServerHandle};
 pub use trace::{Trace, TraceChannel, TraceEvent};
 pub use value::RtValue;

@@ -22,12 +22,21 @@ use std::collections::HashMap;
 /// client sends strictly one sequence number at a time: a retransmit can
 /// only ever be of the last sequence the server completed.
 ///
+/// The cache is a **bounded sliding window**: it keeps at most
+/// [`ReplayCache::capacity`] completed responses and evicts the oldest on
+/// every overflowing [`ReplayCache::store`], so a long-running session's
+/// memory is capped no matter how many sequences it completes. Evictions
+/// are counted ([`ReplayCache::evictions`]) and the session server surfaces
+/// them as the `hps_server_replay_evictions_total` telemetry counter.
+///
 /// Used by the TCP session server (caching encoded response frames) and by
 /// the in-process fault-injection harness (caching decoded replies).
 #[derive(Clone, Debug)]
 pub struct ReplayCache<T> {
     next_seq: u64,
-    last: Option<(u64, T)>,
+    window: std::collections::VecDeque<(u64, T)>,
+    capacity: usize,
+    evictions: u64,
 }
 
 /// Outcome of presenting a sequence number to a [`ReplayCache`].
@@ -47,11 +56,22 @@ pub enum SeqCheck<'a, T> {
 }
 
 impl<T> ReplayCache<T> {
-    /// A fresh session expecting sequence 1.
+    /// A fresh session expecting sequence 1, holding one completed
+    /// response (the protocol minimum — a retransmit can only be of the
+    /// last completed sequence).
     pub fn new() -> ReplayCache<T> {
+        ReplayCache::with_capacity(1)
+    }
+
+    /// A fresh session keeping up to `capacity` completed responses
+    /// (values below 1 are clamped to 1: dropping the last response would
+    /// break exactly-once replay).
+    pub fn with_capacity(capacity: usize) -> ReplayCache<T> {
         ReplayCache {
             next_seq: 1,
-            last: None,
+            window: std::collections::VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            evictions: 0,
         }
     }
 
@@ -60,12 +80,22 @@ impl<T> ReplayCache<T> {
         self.next_seq
     }
 
+    /// The maximum number of completed responses kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Completed responses evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Classifies an incoming sequence number.
     pub fn check(&self, seq: u64) -> SeqCheck<'_, T> {
         if seq == self.next_seq {
             SeqCheck::Fresh
-        } else if matches!(&self.last, Some((s, _)) if *s == seq) {
-            SeqCheck::Replay(&self.last.as_ref().expect("matched above").1)
+        } else if let Some((_, cached)) = self.window.iter().find(|(s, _)| *s == seq) {
+            SeqCheck::Replay(cached)
         } else {
             SeqCheck::Gap {
                 expected: self.next_seq,
@@ -74,11 +104,20 @@ impl<T> ReplayCache<T> {
     }
 
     /// Records the response for the just-executed `seq` and advances the
-    /// window. `seq` must be the value [`ReplayCache::check`] called Fresh.
-    pub fn store(&mut self, seq: u64, response: T) {
+    /// window, evicting the oldest cached response when the capacity bound
+    /// overflows. Returns the number of evicted entries (0 or 1). `seq`
+    /// must be the value [`ReplayCache::check`] called Fresh.
+    pub fn store(&mut self, seq: u64, response: T) -> u64 {
         debug_assert_eq!(seq, self.next_seq, "store must follow a Fresh check");
-        self.last = Some((seq, response));
+        self.window.push_back((seq, response));
         self.next_seq = seq + 1;
+        if self.window.len() > self.capacity {
+            self.window.pop_front();
+            self.evictions += 1;
+            1
+        } else {
+            0
+        }
     }
 }
 
@@ -303,6 +342,25 @@ mod tests {
         assert_eq!(cache.check(1), SeqCheck::Gap { expected: 3 });
         assert_eq!(cache.check(9), SeqCheck::Gap { expected: 3 });
         assert_eq!(cache.check(2), SeqCheck::Replay(&"two"));
+        assert_eq!(cache.capacity(), 1, "new() keeps the protocol minimum");
+        assert_eq!(cache.evictions(), 1, "storing seq 2 evicted seq 1");
+    }
+
+    #[test]
+    fn replay_window_is_capacity_bounded() {
+        let mut cache: ReplayCache<u64> = ReplayCache::with_capacity(3);
+        for seq in 1..=10u64 {
+            assert_eq!(cache.check(seq), SeqCheck::Fresh);
+            let evicted = cache.store(seq, seq * 100);
+            assert_eq!(evicted, u64::from(seq > 3), "seq {seq}");
+        }
+        // The last `capacity` responses replay; older ones are gone.
+        assert_eq!(cache.check(10), SeqCheck::Replay(&1000));
+        assert_eq!(cache.check(8), SeqCheck::Replay(&800));
+        assert_eq!(cache.check(7), SeqCheck::Gap { expected: 11 });
+        assert_eq!(cache.evictions(), 7);
+        // Capacity never drops below the protocol minimum of one.
+        assert_eq!(ReplayCache::<u64>::with_capacity(0).capacity(), 1);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The shard pool: multi-core execution of hidden session state.
+//!
+//! Hidden runtime values are built on `Rc<RefCell<…>>` ([`crate::value`])
+//! and are deliberately **not `Send`** — sharing them across threads would
+//! need locking on the interpreter's hot path. Instead of making values
+//! thread-safe, the session server shards *ownership*: a pool of N
+//! executor threads, each owning the complete state (one [`SecureServer`]
+//! plus replay window per session) of every session hashed to it
+//! (`session_id % shards`). A hidden value is created, mutated and dropped
+//! on exactly one thread for its whole life, so the hot path stays
+//! lock-free, while the requests and replies that *do* cross threads are
+//! plain `Send` data: scalar [`hps_ir::Value`] arguments in, encoded
+//! response frames (`Vec<u8>`) out.
+//!
+//! Connection threads feed the pool through **per-shard bounded channels**
+//! ([`std::sync::mpsc::sync_channel`]): a shard running behind exerts
+//! back-pressure on exactly the connections talking to it, never on other
+//! shards. Enqueue depth is observed into the
+//! `hps_server_shard_queue_depth` histogram and per-shard counters
+//! ([`ShardStats`]) record how the load spread, so a saturated shard is
+//! visible in telemetry rather than a mystery.
+//!
+//! Because a session's calls are executed in order by a single owner
+//! thread regardless of the shard count, the adversary-visible view —
+//! program output, reply bytes, trace events, interaction counts — is
+//! byte-identical for `--shards 1` and `--shards N`
+//! (`crates/suite/tests/shard_equivalence.rs` pins this, chaos included).
+
+use crate::channel::{CallReply, PendingCall};
+use crate::server::{ReplayCache, SecureServer, SeqCheck};
+use crate::wire::Response;
+use hps_ir::{ComponentId, HiddenProgram};
+use hps_telemetry::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default bound of each per-shard request queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default replay-window capacity per session (the protocol minimum: a
+/// retransmit can only be of the last completed sequence).
+pub const DEFAULT_REPLAY_CAPACITY: usize = 1;
+
+/// Counters shared by every thread of a session server. Updated with
+/// relaxed atomics (the queue-depth histogram takes a short mutex at
+/// enqueue time only — never on the executor hot path).
+#[derive(Default, Debug)]
+pub(crate) struct StatsInner {
+    pub(crate) connections: AtomicU64,
+    pub(crate) sessions: AtomicU64,
+    pub(crate) calls: AtomicU64,
+    pub(crate) replays: AtomicU64,
+    pub(crate) replay_evictions: AtomicU64,
+    pub(crate) chaos_kills: AtomicU64,
+    pub(crate) queue_depth: Mutex<Histogram>,
+    pub(crate) shards: Mutex<Vec<Arc<ShardCounters>>>,
+}
+
+impl StatsInner {
+    pub(crate) fn queue_depth_histogram(&self) -> Histogram {
+        self.queue_depth.lock().expect("queue depth lock").clone()
+    }
+
+    pub(crate) fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .lock()
+            .expect("shard table lock")
+            .iter()
+            .enumerate()
+            .map(|(shard, c)| ShardStats {
+                shard,
+                calls: c.calls.load(Ordering::Relaxed),
+                fragments: c.fragments.load(Ordering::Relaxed),
+                cost_units: c.cost.load(Ordering::Relaxed),
+                sessions: c.sessions.load(Ordering::Relaxed),
+                max_queue_depth: c.max_depth.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Per-shard live counters (internal; snapshot via [`ShardStats`]).
+#[derive(Default, Debug)]
+pub(crate) struct ShardCounters {
+    calls: AtomicU64,
+    fragments: AtomicU64,
+    cost: AtomicU64,
+    sessions: AtomicU64,
+    depth: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+/// Snapshot of one shard executor's counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Logical calls this shard executed (batch entries count).
+    pub calls: u64,
+    /// Hidden fragments this shard ran (one per successful call).
+    pub fragments: u64,
+    /// Virtual cost units this shard's fragments spent.
+    pub cost_units: u64,
+    /// Sessions owned by this shard.
+    pub sessions: u64,
+    /// Deepest request queue observed at an enqueue.
+    pub max_queue_depth: u64,
+}
+
+/// The shard a session is owned by. Pure function of the session id, so
+/// every connection of a session — including reconnects — lands on the
+/// same owner thread.
+pub(crate) fn shard_of(session: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (session % shards as u64) as usize
+}
+
+/// A request forwarded from a connection thread to a shard executor. Only
+/// `Send` data crosses: scalar call arguments in, encoded frames out.
+pub(crate) enum ExecMsg {
+    /// Ensure the session exists; reply with its next expected sequence.
+    Hello { session: u64, reply: Sender<u64> },
+    /// Execute-or-replay one sequenced unit; reply with the encoded
+    /// `Response` frame to send (or cache).
+    Seq {
+        session: u64,
+        seq: u64,
+        calls: Vec<PendingCall>,
+        batch: bool,
+        reply: Sender<Vec<u8>>,
+    },
+    /// Free one activation's hidden state (fire-and-forget).
+    Release {
+        session: u64,
+        component: ComponentId,
+        key: u64,
+    },
+}
+
+/// The cloneable handle connection threads use to reach the pool. Routes
+/// by session id and records queue-depth telemetry at every enqueue.
+#[derive(Clone)]
+pub(crate) struct ShardSenders {
+    senders: Vec<SyncSender<ExecMsg>>,
+    counters: Vec<Arc<ShardCounters>>,
+    stats: Arc<StatsInner>,
+}
+
+impl ShardSenders {
+    /// Enqueues `msg` on the owning shard's bounded queue, blocking for
+    /// back-pressure when the shard is `queue_capacity` deep. `Err` means
+    /// the executor exited — only possible outside a clean drain.
+    pub(crate) fn send(&self, session: u64, msg: ExecMsg) -> Result<(), ()> {
+        let shard = shard_of(session, self.senders.len());
+        let c = &self.counters[shard];
+        let depth = c.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        c.max_depth.fetch_max(depth, Ordering::Relaxed);
+        self.stats
+            .queue_depth
+            .lock()
+            .expect("queue depth lock")
+            .record(depth);
+        self.senders[shard].send(msg).map_err(|_| {
+            c.depth.fetch_sub(1, Ordering::Relaxed);
+        })
+    }
+}
+
+/// The pool: N shard executors plus the origin copy of their senders.
+///
+/// Lifecycle: connection threads clone [`ShardSenders`]; an executor exits
+/// when *every* sender to it is gone. [`ShardPool::drain`] drops the
+/// pool's own senders and joins the threads, so in-flight requests from
+/// still-living connections are always answered first — the graceful half
+/// of `SessionServerHandle::stop`.
+pub(crate) struct ShardPool {
+    senders: ShardSenders,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` executor threads (min 1), each owning the sessions
+    /// hashed to it, fed by a bounded queue of `queue_capacity`.
+    pub(crate) fn spawn(
+        shards: usize,
+        queue_capacity: usize,
+        replay_capacity: usize,
+        hidden: &HiddenProgram,
+        stats: &Arc<StatsInner>,
+    ) -> ShardPool {
+        let shards = shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut counters = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity.max(1));
+            let c = Arc::new(ShardCounters::default());
+            let thread = std::thread::Builder::new()
+                .name(format!("hps-shard-{shard}"))
+                .spawn({
+                    let hidden = hidden.clone();
+                    let stats = Arc::clone(stats);
+                    let c = Arc::clone(&c);
+                    move || run_shard_executor(rx, hidden, stats, c, replay_capacity)
+                })
+                .expect("spawn shard executor");
+            senders.push(tx);
+            counters.push(c);
+            threads.push(thread);
+        }
+        *stats.shards.lock().expect("shard table lock") = counters.clone();
+        ShardPool {
+            senders: ShardSenders {
+                senders,
+                counters,
+                stats: Arc::clone(stats),
+            },
+            threads,
+        }
+    }
+
+    /// A routing handle for a connection thread.
+    pub(crate) fn senders(&self) -> ShardSenders {
+        self.senders.clone()
+    }
+
+    /// Graceful drain: drops the pool's senders and joins every executor.
+    /// Each executor keeps serving until the last connection-held sender
+    /// drops, so no in-flight request is abandoned.
+    pub(crate) fn drain(self) {
+        let ShardPool { senders, threads } = self;
+        drop(senders);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Per-session secure state: one [`SecureServer`] plus the replay window.
+struct SessionState {
+    server: SecureServer,
+    replay: ReplayCache<Vec<u8>>,
+}
+
+/// One shard's executor loop: owns the hidden state of every session
+/// hashed here, applies the replay cache, and hands encoded response
+/// frames back to the connection threads. Exits when the last sender
+/// (pool + connections) drops.
+fn run_shard_executor(
+    rx: Receiver<ExecMsg>,
+    hidden: HiddenProgram,
+    stats: Arc<StatsInner>,
+    counters: Arc<ShardCounters>,
+    replay_capacity: usize,
+) {
+    let mut sessions: HashMap<u64, SessionState> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        counters.depth.fetch_sub(1, Ordering::Relaxed);
+        match msg {
+            ExecMsg::Hello { session, reply } => {
+                let state = open_session(
+                    &mut sessions,
+                    session,
+                    &hidden,
+                    &stats,
+                    &counters,
+                    replay_capacity,
+                );
+                let _ = reply.send(state.replay.next_seq());
+            }
+            ExecMsg::Seq {
+                session,
+                seq,
+                calls,
+                batch,
+                reply,
+            } => {
+                let state = open_session(
+                    &mut sessions,
+                    session,
+                    &hidden,
+                    &stats,
+                    &counters,
+                    replay_capacity,
+                );
+                let bytes = match state.replay.check(seq) {
+                    SeqCheck::Fresh => {
+                        let (resp, served, cost) = execute(&mut state.server, &calls, batch);
+                        stats.calls.fetch_add(served, Ordering::Relaxed);
+                        counters.calls.fetch_add(served, Ordering::Relaxed);
+                        counters.fragments.fetch_add(served, Ordering::Relaxed);
+                        counters.cost.fetch_add(cost, Ordering::Relaxed);
+                        let mut buf = Vec::new();
+                        resp.encode_into(&mut buf);
+                        let evicted = state.replay.store(seq, buf.clone());
+                        stats.replay_evictions.fetch_add(evicted, Ordering::Relaxed);
+                        buf
+                    }
+                    SeqCheck::Replay(cached) => {
+                        stats.replays.fetch_add(1, Ordering::Relaxed);
+                        cached.clone()
+                    }
+                    SeqCheck::Gap { expected } => {
+                        let resp = Response::Error(format!(
+                            "sequence gap: got {seq}, expected {expected}"
+                        ));
+                        let mut buf = Vec::new();
+                        resp.encode_into(&mut buf);
+                        buf
+                    }
+                };
+                let _ = reply.send(bytes);
+            }
+            ExecMsg::Release {
+                session,
+                component,
+                key,
+            } => {
+                if let Some(state) = sessions.get_mut(&session) {
+                    state.server.release(component, key);
+                }
+            }
+        }
+    }
+}
+
+fn open_session<'a>(
+    sessions: &'a mut HashMap<u64, SessionState>,
+    session: u64,
+    hidden: &HiddenProgram,
+    stats: &StatsInner,
+    counters: &ShardCounters,
+    replay_capacity: usize,
+) -> &'a mut SessionState {
+    sessions.entry(session).or_insert_with(|| {
+        stats.sessions.fetch_add(1, Ordering::Relaxed);
+        counters.sessions.fetch_add(1, Ordering::Relaxed);
+        SessionState {
+            server: SecureServer::new(hidden.clone()),
+            replay: ReplayCache::with_capacity(replay_capacity),
+        }
+    })
+}
+
+/// Executes one sequenced unit against a session's secure server,
+/// returning the response, the number of logical calls served, and the
+/// virtual cost they spent.
+fn execute(server: &mut SecureServer, calls: &[PendingCall], batch: bool) -> (Response, u64, u64) {
+    if batch {
+        match server.call_batch(calls) {
+            Ok(outs) => {
+                let n = outs.len() as u64;
+                let cost: u64 = outs.iter().map(|out| out.cost).sum();
+                (
+                    Response::Batch(
+                        outs.into_iter()
+                            .map(|out| CallReply {
+                                value: out.value,
+                                server_cost: out.cost,
+                            })
+                            .collect(),
+                    ),
+                    n,
+                    cost,
+                )
+            }
+            Err(e) => (Response::Error(e.to_string()), 0, 0),
+        }
+    } else {
+        let c = &calls[0];
+        match server.call(c.component, c.key, c.label, &c.args) {
+            Ok(out) => (
+                Response::Reply {
+                    value: out.value,
+                    server_cost: out.cost,
+                },
+                1,
+                out.cost,
+            ),
+            Err(e) => (Response::Error(e.to_string()), 0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_hash_to_stable_shards() {
+        for session in 0..100u64 {
+            assert_eq!(shard_of(session, 1), 0);
+            let s4 = shard_of(session, 4);
+            assert!(s4 < 4);
+            assert_eq!(s4, shard_of(session, 4), "routing must be stable");
+        }
+        // All shards are reachable.
+        let hit: std::collections::HashSet<usize> = (0..100u64).map(|s| shard_of(s, 4)).collect();
+        assert_eq!(hit.len(), 4);
+    }
+
+    #[test]
+    fn exec_messages_are_send() {
+        // The whole sharding design rests on this: requests and replies
+        // cross threads, hidden values never do.
+        fn assert_send<T: Send>() {}
+        assert_send::<ExecMsg>();
+        assert_send::<Vec<u8>>();
+    }
+}

@@ -22,9 +22,13 @@
 //!   and retransmits the same sequence number.
 //! * **Server** — [`SessionServer`] accepts many clients (thread per
 //!   connection), keys one [`SecureServer`] per session id, and
-//!   deduplicates retransmits through a [`ReplayCache`] of encoded
-//!   response frames: a retried call whose response was lost is answered
+//!   deduplicates retransmits through a [`crate::server::ReplayCache`] of
+//!   encoded response frames: a retried call whose response was lost is answered
 //!   from the cache, never re-executed. Sequence gaps are terminal.
+//!   Sessions execute on a pool of shard threads ([`crate::shard`]), each
+//!   owning the state of the sessions hashed to it — lock-free hidden
+//!   execution that scales with cores while keeping every per-session
+//!   guarantee above.
 //!
 //! Retries, reconnects and replays are visible only in
 //! [`Channel::transport_stats`] — never in [`Channel::interactions`],
@@ -32,16 +36,16 @@
 
 use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
 use crate::error::{FaultClass, RuntimeError};
-use crate::server::{ReplayCache, SecureServer, SeqCheck};
+use crate::server::SecureServer;
+use crate::shard::{ExecMsg, ShardPool, ShardSenders, StatsInner};
 use crate::wire::{read_frame, write_frame, Request, Response, WIRE_VERSION};
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
-use hps_telemetry::{metrics::names, Event, MetricsSnapshot, RecorderHandle};
+use hps_telemetry::{metrics::names, Event, Histogram, MetricsSnapshot, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -201,10 +205,6 @@ impl TcpChannel {
         addr: impl ToSocketAddrs,
         policy: RetryPolicy,
     ) -> Result<TcpChannel, RuntimeError> {
-        let addrs: Vec<SocketAddr> = addr
-            .to_socket_addrs()
-            .map_err(|e| RuntimeError::transport("resolve", &e))?
-            .collect();
         // Session ids only need uniqueness across concurrent clients of one
         // server; salt the seeded stream with wall clock and pid.
         let clock = std::time::SystemTime::now()
@@ -214,6 +214,28 @@ impl TcpChannel {
         let mut rng =
             StdRng::seed_from_u64(policy.jitter_seed ^ clock ^ u64::from(std::process::id()));
         let session = rng.gen_range(1..u64::MAX);
+        TcpChannel::connect_reliable_with_session(addr, policy, session)
+    }
+
+    /// [`TcpChannel::connect_reliable`] with a caller-chosen session id
+    /// (must be non-zero and unique among this server's live clients).
+    /// Session ids decide shard placement (`session % shards` on a sharded
+    /// [`SessionServer`]), so benchmarks and tests use this to spread — or
+    /// deliberately collide — clients across shards deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpChannel::connect_reliable`].
+    pub fn connect_reliable_with_session(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        session: u64,
+    ) -> Result<TcpChannel, RuntimeError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| RuntimeError::transport("resolve", &e))?
+            .collect();
+        let rng = StdRng::seed_from_u64(policy.jitter_seed);
         let stream = connect_stream(&addrs, policy.timeout)?;
         let (reader, writer) = split_stream(stream)?;
         let mut chan = TcpChannel {
@@ -659,15 +681,6 @@ pub struct ChaosConfig {
     pub kill_per_mille: u32,
 }
 
-#[derive(Default, Debug)]
-struct StatsInner {
-    connections: AtomicU64,
-    sessions: AtomicU64,
-    calls: AtomicU64,
-    replays: AtomicU64,
-    chaos_kills: AtomicU64,
-}
-
 /// Snapshot of a [`SessionServer`]'s counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ServerStats {
@@ -679,6 +692,8 @@ pub struct ServerStats {
     pub calls: u64,
     /// Retransmits answered from the replay cache.
     pub replays: u64,
+    /// Cached responses evicted from bounded replay windows.
+    pub replay_evictions: u64,
     /// Connections killed by [`ChaosConfig`].
     pub chaos_kills: u64,
 }
@@ -692,6 +707,7 @@ impl ServerStats {
         m.add(names::SERVER_SESSIONS, self.sessions);
         m.add(names::SERVER_CALLS, self.calls);
         m.add(names::SERVER_REPLAYS, self.replays);
+        m.add(names::SERVER_REPLAY_EVICTIONS, self.replay_evictions);
         m.add(names::SERVER_CHAOS_KILLS, self.chaos_kills);
         m
     }
@@ -718,165 +734,61 @@ impl SessionServerHandle {
             sessions: self.stats.sessions.load(Ordering::Relaxed),
             calls: self.stats.calls.load(Ordering::Relaxed),
             replays: self.stats.replays.load(Ordering::Relaxed),
+            replay_evictions: self.stats.replay_evictions.load(Ordering::Relaxed),
             chaos_kills: self.stats.chaos_kills.load(Ordering::Relaxed),
         }
     }
 
-    /// Asks the accept loop to exit after the next accept. Existing
-    /// connections drain on their own threads.
+    /// Per-shard call/session/queue-depth counters, one entry per shard.
+    pub fn shard_stats(&self) -> Vec<crate::shard::ShardStats> {
+        self.stats.shard_stats()
+    }
+
+    /// Enqueue-time queue-depth distribution across every shard.
+    pub fn queue_depth(&self) -> Histogram {
+        self.stats.queue_depth_histogram()
+    }
+
+    /// Full telemetry snapshot: the `hps_server_*` counters plus the
+    /// `hps_server_shard_queue_depth` histogram. Virtual cost is summed
+    /// across the shard executors.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.stats().to_metrics();
+        let cost: u64 = self.shard_stats().iter().map(|s| s.cost_units).sum();
+        m.add(names::SERVER_COST_UNITS, cost);
+        m.merge_histogram(names::SERVER_SHARD_QUEUE_DEPTH, &self.queue_depth());
+        m
+    }
+
+    /// Asks the server to shut down cleanly: the accept loop exits at its
+    /// next poll, live connections are served to completion, and the shard
+    /// pool drains every in-flight request before its threads exit.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock a pending accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
     }
 }
 
-/// Per-session secure state: one [`SecureServer`] plus the replay window.
-struct SessionState {
-    server: SecureServer,
-    replay: ReplayCache<Vec<u8>>,
-}
-
-/// A request forwarded from a connection thread to the executor thread.
-/// Hidden state holds non-`Send` values (`Rc` interiors), so all sessions
-/// live on one executor — which also mirrors the paper's deployment of a
-/// single secure coprocessor serving every client.
-enum ExecMsg {
-    /// Ensure the session exists; reply with its next expected sequence.
-    Hello {
-        session: u64,
-        reply: std::sync::mpsc::Sender<u64>,
-    },
-    /// Execute-or-replay one sequenced unit; reply with the encoded
-    /// `Response` frame to send (or cache).
-    Seq {
-        session: u64,
-        seq: u64,
-        calls: Vec<PendingCall>,
-        batch: bool,
-        reply: std::sync::mpsc::Sender<Vec<u8>>,
-    },
-    /// Free one activation's hidden state (fire-and-forget).
-    Release {
-        session: u64,
-        component: ComponentId,
-        key: u64,
-    },
-}
-
-/// The executor loop: owns every session's hidden state, applies the
-/// replay cache, and hands encoded response frames back to the connection
-/// threads. Exits when the last sender (accept loop + connections) drops.
-fn run_executor(
-    rx: std::sync::mpsc::Receiver<ExecMsg>,
-    hidden: HiddenProgram,
-    stats: Arc<StatsInner>,
-) {
-    let mut sessions: HashMap<u64, SessionState> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ExecMsg::Hello { session, reply } => {
-                let state = sessions.entry(session).or_insert_with(|| {
-                    stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    SessionState {
-                        server: SecureServer::new(hidden.clone()),
-                        replay: ReplayCache::new(),
-                    }
-                });
-                let _ = reply.send(state.replay.next_seq());
-            }
-            ExecMsg::Seq {
-                session,
-                seq,
-                calls,
-                batch,
-                reply,
-            } => {
-                let state = sessions.entry(session).or_insert_with(|| {
-                    stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    SessionState {
-                        server: SecureServer::new(hidden.clone()),
-                        replay: ReplayCache::new(),
-                    }
-                });
-                let bytes = match state.replay.check(seq) {
-                    SeqCheck::Fresh => {
-                        let resp = if batch {
-                            match state.server.call_batch(&calls) {
-                                Ok(outs) => {
-                                    stats.calls.fetch_add(outs.len() as u64, Ordering::Relaxed);
-                                    Response::Batch(
-                                        outs.into_iter()
-                                            .map(|out| CallReply {
-                                                value: out.value,
-                                                server_cost: out.cost,
-                                            })
-                                            .collect(),
-                                    )
-                                }
-                                Err(e) => Response::Error(e.to_string()),
-                            }
-                        } else {
-                            let c = &calls[0];
-                            match state.server.call(c.component, c.key, c.label, &c.args) {
-                                Ok(out) => {
-                                    stats.calls.fetch_add(1, Ordering::Relaxed);
-                                    Response::Reply {
-                                        value: out.value,
-                                        server_cost: out.cost,
-                                    }
-                                }
-                                Err(e) => Response::Error(e.to_string()),
-                            }
-                        };
-                        let mut buf = Vec::new();
-                        resp.encode_into(&mut buf);
-                        state.replay.store(seq, buf.clone());
-                        buf
-                    }
-                    SeqCheck::Replay(cached) => {
-                        stats.replays.fetch_add(1, Ordering::Relaxed);
-                        cached.clone()
-                    }
-                    SeqCheck::Gap { expected } => {
-                        let resp = Response::Error(format!(
-                            "sequence gap: got {seq}, expected {expected}"
-                        ));
-                        let mut buf = Vec::new();
-                        resp.encode_into(&mut buf);
-                        buf
-                    }
-                };
-                let _ = reply.send(bytes);
-            }
-            ExecMsg::Release {
-                session,
-                component,
-                key,
-            } => {
-                if let Some(state) = sessions.get_mut(&session) {
-                    state.server.release(component, key);
-                }
-            }
-        }
-    }
-}
-
-/// Multi-client accept loop: one I/O thread per client, all sessions
-/// executed on one secure executor thread, with sequenced exactly-once
-/// replay. Sessions survive disconnects — a client reconnecting with the
-/// same session id resumes its hidden state.
+/// Multi-client accept loop: one I/O thread per client, sessions executed
+/// on a pool of shard threads (each owning the sessions hashed to it) with
+/// sequenced exactly-once replay. Sessions survive disconnects — a client
+/// reconnecting with the same session id resumes its hidden state on the
+/// same shard.
 pub struct SessionServer {
     listener: TcpListener,
     hidden: HiddenProgram,
     chaos: Option<ChaosConfig>,
+    shards: usize,
+    queue_capacity: usize,
+    replay_capacity: usize,
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
 }
 
 impl SessionServer {
     /// Binds a listener (use port 0 for an ephemeral port) serving `hidden`
-    /// to every session.
+    /// to every session. Defaults to a single shard — byte-compatible with
+    /// the previous one-executor design; use [`SessionServer::with_shards`]
+    /// to scale across cores.
     ///
     /// # Errors
     ///
@@ -890,6 +802,9 @@ impl SessionServer {
             listener,
             hidden,
             chaos: None,
+            shards: 1,
+            queue_capacity: crate::shard::DEFAULT_QUEUE_CAPACITY,
+            replay_capacity: crate::shard::DEFAULT_REPLAY_CAPACITY,
             stats: Arc::new(StatsInner::default()),
             stop: Arc::new(AtomicBool::new(false)),
         })
@@ -898,6 +813,32 @@ impl SessionServer {
     /// Enables server-side chaos (builder style).
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> SessionServer {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the shard-executor count (builder style; min 1). Sessions are
+    /// routed by `session_id % shards`, so any count yields the same
+    /// per-session behaviour — more shards only adds parallelism across
+    /// sessions.
+    pub fn with_shards(mut self, shards: usize) -> SessionServer {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-session replay-window capacity (builder style; min 1).
+    /// Each session retains at most this many cached response frames;
+    /// older entries are evicted (counted in
+    /// [`ServerStats::replay_evictions`]).
+    pub fn with_replay_capacity(mut self, capacity: usize) -> SessionServer {
+        self.replay_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-shard request-queue bound (builder style; min 1). A
+    /// full queue blocks the enqueueing connection threads — back-pressure
+    /// on exactly the sessions of the busy shard.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> SessionServer {
+        self.queue_capacity = capacity.max(1);
         self
     }
 
@@ -930,6 +871,12 @@ impl SessionServer {
     /// transport errors are contained to that thread (reported via
     /// `on_event`, may be a no-op).
     ///
+    /// On stop the shutdown is graceful and ordered: the accept loop exits
+    /// first, then every live connection thread is joined (their in-flight
+    /// requests still reach the shards), and only then is the shard pool
+    /// drained — so no connection ever observes a dead executor during a
+    /// clean shutdown.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Transport`] only for terminal accept
@@ -940,16 +887,31 @@ impl SessionServer {
         on_event: impl Fn(SocketAddr, &str) + Send + Sync + 'static,
     ) -> Result<(), RuntimeError> {
         let on_event = Arc::new(on_event);
-        let (tx, rx) = std::sync::mpsc::channel::<ExecMsg>();
-        {
-            let hidden = self.hidden.clone();
-            let stats = Arc::clone(&self.stats);
-            std::thread::spawn(move || run_executor(rx, hidden, stats));
-        }
+        let pool = ShardPool::spawn(
+            self.shards,
+            self.queue_capacity,
+            self.replay_capacity,
+            &self.hidden,
+            &self.stats,
+        );
+        // Poll the listener so stop() needs no nudge connection: WouldBlock
+        // means "check the stop flag, nap briefly, try again".
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| RuntimeError::transport("set_nonblocking", &e))?;
+        let mut conns: Vec<(TcpStream, std::thread::JoinHandle<()>)> = Vec::new();
         let mut conn_index = 0u64;
-        loop {
+        let result = loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break Ok(());
+            }
             let (stream, peer) = match self.listener.accept() {
                 Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conns.retain(|(_, c)| !c.is_finished());
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
                 Err(e) => {
                     let err = RuntimeError::transport("accept", &e);
                     if err.is_retryable() {
@@ -959,28 +921,56 @@ impl SessionServer {
                         );
                         continue;
                     }
-                    return Err(err);
+                    break Err(err);
                 }
             };
-            if self.stop.load(Ordering::SeqCst) {
-                return Ok(());
+            // Accepted sockets do not inherit the listener's non-blocking
+            // mode portably; force blocking I/O for the connection thread.
+            if let Err(e) = stream.set_nonblocking(false) {
+                on_event(peer, &format!("set_blocking: {e}"));
+                continue;
             }
             conn_index += 1;
             self.stats.connections.fetch_add(1, Ordering::Relaxed);
             let stats = Arc::clone(&self.stats);
             let hidden = self.hidden.clone();
-            let exec = tx.clone();
+            let exec = pool.senders();
             let chaos = self
                 .chaos
                 .map(|c| (c, StdRng::seed_from_u64(c.seed ^ conn_index)));
             let on_event = Arc::clone(&on_event);
-            std::thread::spawn(move || {
-                match serve_session_connection(stream, &exec, hidden, chaos, &stats) {
-                    Ok(served) => on_event(peer, &format!("served {served} calls")),
-                    Err(e) => on_event(peer, &e.with_peer(peer).to_string()),
+            let watch = match stream.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    on_event(peer, &format!("clone stream: {e}"));
+                    continue;
                 }
-            });
+            };
+            conns.push((
+                watch,
+                std::thread::spawn(move || {
+                    match serve_session_connection(stream, &exec, hidden, chaos, &stats) {
+                        Ok(served) => on_event(peer, &format!("served {served} calls")),
+                        Err(e) => on_event(peer, &e.with_peer(peer).to_string()),
+                    }
+                }),
+            ));
+        };
+        // Graceful drain, in order. First close the *read* half of every
+        // live connection: a thread idle in read_frame sees EOF and exits
+        // at a frame boundary, while a thread mid-request still executes
+        // it, writes the response over the intact write half, and exits on
+        // its next read. Then join those threads (they hold shard
+        // senders), and only then drain the pool — so no in-flight request
+        // ever finds its executor gone.
+        for (watch, _) in &conns {
+            let _ = watch.shutdown(std::net::Shutdown::Read);
         }
+        for (_, c) in conns {
+            let _ = c.join();
+        }
+        pool.drain();
+        result
     }
 }
 
@@ -1008,23 +998,26 @@ fn chaos_draw(chaos: &mut Option<(ChaosConfig, StdRng)>) -> ChaosAction {
     }
 }
 
-/// Forwards one sequenced unit to the executor and waits for the encoded
-/// response frame.
+/// Forwards one sequenced unit to the owning shard and waits for the
+/// encoded response frame.
 fn exec_round_trip(
-    exec: &std::sync::mpsc::Sender<ExecMsg>,
+    exec: &ShardSenders,
     session: u64,
     seq: u64,
     calls: Vec<PendingCall>,
     batch: bool,
 ) -> Result<Vec<u8>, RuntimeError> {
     let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    exec.send(ExecMsg::Seq {
+    exec.send(
         session,
-        seq,
-        calls,
-        batch,
-        reply: reply_tx,
-    })
+        ExecMsg::Seq {
+            session,
+            seq,
+            calls,
+            batch,
+            reply: reply_tx,
+        },
+    )
     .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
     reply_rx
         .recv()
@@ -1032,12 +1025,12 @@ fn exec_round_trip(
 }
 
 /// Serves one connection of a [`SessionServer`]: handshake, then sequenced
-/// frames executed (or replayed) by the shared executor thread. Falls back
-/// to the legacy unsequenced protocol (fresh private server, no session)
-/// when the first frame is not `Hello`.
+/// frames executed (or replayed) by the session's shard executor. Falls
+/// back to the legacy unsequenced protocol (fresh private server, no
+/// session) when the first frame is not `Hello`.
 fn serve_session_connection(
     stream: TcpStream,
-    exec: &std::sync::mpsc::Sender<ExecMsg>,
+    exec: &ShardSenders,
     hidden: HiddenProgram,
     mut chaos: Option<(ChaosConfig, StdRng)>,
     stats: &StatsInner,
@@ -1068,10 +1061,13 @@ fn serve_session_connection(
                 )));
             }
             let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            exec.send(ExecMsg::Hello {
+            exec.send(
                 session,
-                reply: reply_tx,
-            })
+                ExecMsg::Hello {
+                    session,
+                    reply: reply_tx,
+                },
+            )
             .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
             let next_seq = reply_rx
                 .recv()
@@ -1147,11 +1143,14 @@ fn serve_session_connection(
                 write_frame(&mut writer, &bytes)?;
             }
             Request::Release { component, key } => {
-                let _ = exec.send(ExecMsg::Release {
+                let _ = exec.send(
                     session,
-                    component,
-                    key,
-                });
+                    ExecMsg::Release {
+                        session,
+                        component,
+                        key,
+                    },
+                );
             }
             Request::Shutdown => return Ok(served),
             Request::Hello { .. } | Request::Call { .. } | Request::Batch(_) => {
@@ -1364,6 +1363,125 @@ mod tests {
         assert!(stats.connections >= 4);
         handle.stop();
         serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn sharded_server_matches_single_shard_behaviour() {
+        // Same workload as session_server_serves_many_clients, but spread
+        // over four shard executors: per-session results are identical and
+        // the shard counters account for every call and session.
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program())
+            .expect("bind")
+            .with_shards(4);
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let workers: Vec<_> = (0..8)
+            .map(|w| {
+                thread::spawn(move || {
+                    let mut chan =
+                        TcpChannel::connect_reliable(addr, quick_policy().with_jitter_seed(w))
+                            .expect("connect");
+                    for n in 1..=5i64 {
+                        let r = chan.call(c, 1, l, &[Value::Int(n)]).expect("call");
+                        assert_eq!(r.value, Value::Int(n * (n + 1) / 2));
+                    }
+                    chan.shutdown().expect("shutdown");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.calls, 40);
+        assert_eq!(stats.sessions, 8);
+        let shards = handle.shard_stats();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(|s| s.calls).sum::<u64>(), 40);
+        assert_eq!(shards.iter().map(|s| s.fragments).sum::<u64>(), 40);
+        assert!(shards.iter().map(|s| s.cost_units).sum::<u64>() > 0);
+        assert_eq!(shards.iter().map(|s| s.sessions).sum::<u64>(), 8);
+        // Every enqueue (8 Hellos + 40 sequenced calls) was observed into
+        // the queue-depth histogram, and the full snapshot carries it.
+        assert_eq!(handle.queue_depth().count(), 48);
+        let m = handle.metrics();
+        assert_eq!(m.counter(names::SERVER_CALLS), 40);
+        assert_eq!(
+            m.histogram(names::SERVER_SHARD_QUEUE_DEPTH)
+                .expect("histogram in snapshot")
+                .count(),
+            48
+        );
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+    }
+
+    #[test]
+    fn stop_drains_in_flight_requests() {
+        // Regression: a clean stop() must let a request already accepted by
+        // a shard finish and deliver its response — no connection may
+        // observe "executor is gone" mid-call during shutdown.
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program()).expect("bind");
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let worker = thread::spawn(move || {
+            // One big batch frame: tens of milliseconds of execution, so
+            // the stop below lands while it is in flight. Built up front so
+            // the frame hits the wire immediately after the ready signal.
+            let calls: Vec<PendingCall> = (0..50_000)
+                .map(|_| PendingCall {
+                    component: c,
+                    key: 1,
+                    label: l,
+                    args: vec![Value::Int(1)],
+                })
+                .collect();
+            let mut chan = TcpChannel::connect_reliable(addr, quick_policy()).expect("connect");
+            chan.call(c, 1, l, &[Value::Int(1)]).expect("warm-up call");
+            ready_tx.send(()).expect("signal");
+            let replies = chan
+                .call_batch(&calls)
+                .expect("in-flight batch survives a clean stop");
+            replies.len()
+        });
+        ready_rx.recv().expect("worker ready");
+        thread::sleep(Duration::from_millis(50));
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+        assert_eq!(worker.join().expect("worker"), 50_000);
+        assert_eq!(handle.stats().calls, 50_001);
+    }
+
+    #[test]
+    fn bounded_replay_window_evicts_and_counts() {
+        let server = SessionServer::bind("127.0.0.1:0", accumulator_program())
+            .expect("bind")
+            .with_shards(2)
+            .with_replay_capacity(2);
+        let handle = server.handle().expect("handle");
+        let addr = handle.addr();
+        let serve = thread::spawn(move || server.serve(|_, _| {}));
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        let mut chan = TcpChannel::connect_reliable(addr, quick_policy()).expect("connect");
+        for n in 1..=5i64 {
+            chan.call(c, 1, l, &[Value::Int(n)]).expect("call");
+        }
+        chan.shutdown().expect("shutdown");
+        handle.stop();
+        serve.join().expect("serve thread").expect("serve ok");
+        let stats = handle.stats();
+        assert_eq!(stats.calls, 5);
+        // Window of 2: storing responses 1..=5 evicts 1, 2 and 3.
+        assert_eq!(stats.replay_evictions, 3);
+        assert_eq!(handle.metrics().counter(names::SERVER_REPLAY_EVICTIONS), 3);
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! Runtime values.
+//!
+//! Aggregates use shared mutable interiors (`Rc<RefCell<…>>`), so
+//! [`RtValue`] is deliberately **not `Send`**: making it thread-safe would
+//! put a lock on every array/field access in the interpreter's hot path.
+//! Threaded layers respect this by confining values instead of sharing
+//! them — the [`crate::shard`] pool hashes each session to one executor
+//! thread that exclusively owns its hidden state for the session's whole
+//! life, and only scalar [`hps_ir::Value`]s and encoded frames cross
+//! threads.
 
 use hps_ir::{ClassId, Ty, Value};
 use std::cell::RefCell;

@@ -11,13 +11,16 @@
 
 use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
 use hps_runtime::fault::{FaultKind, FaultPlan, FaultyChannel};
+use hps_runtime::tcp::TcpChannel;
 use hps_runtime::telemetry::metrics::names;
 use hps_runtime::{
-    Channel, ExecConfig, InProcessChannel, Interp, MetricsRecorder, Recorder, RecorderHandle,
-    SecureServer, SplitMeta, Trace, TraceChannel, TransportStats,
+    Channel, ChaosConfig, ExecConfig, InProcessChannel, Interp, MetricsRecorder, Recorder,
+    RecorderHandle, RetryPolicy, SecureServer, SessionServer, SplitMeta, Trace, TraceChannel,
+    TransportStats,
 };
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::time::Duration;
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
     let selected = select_functions(program);
@@ -178,5 +181,91 @@ fn faulty_runs_match_fault_free_runs_exactly() {
     assert!(
         total_faults > 0,
         "a 20% fault rate across the whole suite must inject something"
+    );
+}
+
+/// The same chaos matrix, but sharded: each cell runs its faulty client
+/// against a real four-shard TCP [`SessionServer`] whose connections are
+/// additionally killed at random by [`ChaosConfig`]. Channel faults ride
+/// on [`FaultyChannel`] (which delivers each logical call to the wrapped
+/// reliable TCP channel exactly once), connection kills exercise the
+/// reconnect + server-side replay path — and none of it may leak into the
+/// program output, the adversary trace, the interaction count or the
+/// server's logical call count.
+#[test]
+fn chaos_matrix_holds_on_sharded_tcp_server() {
+    let mut total_faults = 0u64;
+    let mut total_kills = 0u64;
+    for (seed, kind) in matrix() {
+        for b in hps_suite::benchmarks() {
+            let program = b.program().expect("parses");
+            let plan = paper_plan(&program);
+            if plan.targets.is_empty() {
+                continue;
+            }
+            let split = split_program(&program, &plan).expect("splits");
+            let meta = SplitMeta::derive(&split.open, &split.hidden);
+
+            let baseline = {
+                let server = SecureServer::new(split.hidden.clone());
+                let mut chan = InProcessChannel::new(server);
+                let (output, trace) =
+                    run_traced(&split.open, &meta, b.workload(300, 77), &mut chan);
+                (
+                    output,
+                    trace,
+                    chan.interactions(),
+                    chan.server().calls_served(),
+                )
+            };
+
+            let server = SessionServer::bind("127.0.0.1:0", split.hidden.clone())
+                .expect("bind")
+                .with_shards(4)
+                .with_chaos(ChaosConfig {
+                    seed,
+                    kill_per_mille: 20,
+                });
+            let handle = server.handle().expect("handle");
+            let addr = handle.addr();
+            let serve = std::thread::spawn(move || server.serve(|_, _| {}));
+
+            let policy = RetryPolicy::new()
+                .with_base_backoff(Duration::from_millis(1))
+                .with_jitter_seed(seed);
+            let inner =
+                TcpChannel::connect_reliable_with_session(addr, policy, seed).expect("connect");
+            let mut chan = FaultyChannel::new(inner, FaultPlan::new(seed, &[kind], 200));
+            let (output, trace) = run_traced(&split.open, &meta, b.workload(300, 77), &mut chan);
+            let interactions = chan.interactions();
+            let faults = chan.transport_stats().faults;
+            chan.into_inner().shutdown().expect("shutdown");
+
+            handle.stop();
+            serve.join().expect("serve thread").expect("serve ok");
+            let stats = handle.stats();
+
+            let cell = format!("{} seed={seed} fault={kind} shards=4", b.name);
+            assert_eq!(baseline.0, output, "{cell}: program output diverged");
+            assert_eq!(baseline.1, trace, "{cell}: adversary trace diverged");
+            assert_eq!(
+                baseline.2, interactions,
+                "{cell}: interaction count diverged"
+            );
+            assert_eq!(
+                baseline.3, stats.calls,
+                "{cell}: server-side logical call count diverged"
+            );
+            total_faults += faults;
+            total_kills += stats.chaos_kills;
+        }
+    }
+    assert!(
+        total_faults > 0,
+        "a 20% channel fault rate across the sharded matrix must inject something"
+    );
+    assert!(
+        total_kills > 0,
+        "a 2% connection kill rate across the sharded matrix must kill something"
     );
 }

@@ -64,6 +64,8 @@ pub mod names {
     pub const SERVER_CONNECTIONS: &str = "hps_server_connections_total";
     /// Virtual cost units spent executing fragments on the secure device.
     pub const SERVER_COST_UNITS: &str = "hps_server_cost_units_total";
+    /// Entries evicted from session replay caches by the capacity bound.
+    pub const SERVER_REPLAY_EVICTIONS: &str = "hps_server_replay_evictions_total";
     /// Retransmits answered from a session server's replay cache.
     pub const SERVER_REPLAYS: &str = "hps_server_replays_total";
     /// Distinct sessions created on a session server.
@@ -79,6 +81,8 @@ pub mod names {
     pub const FLUSH_PENDING: &str = "hps_flush_pending";
     /// Histogram: virtual cost units per fragment execution.
     pub const FRAGMENT_COST_UNITS: &str = "hps_fragment_cost_units";
+    /// Histogram: shard queue depth observed at each enqueue.
+    pub const SERVER_SHARD_QUEUE_DEPTH: &str = "hps_server_shard_queue_depth";
 }
 
 /// Every registered counter, in registry (lexicographic) order.
@@ -107,6 +111,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     names::SERVER_CHAOS_KILLS,
     names::SERVER_CONNECTIONS,
     names::SERVER_COST_UNITS,
+    names::SERVER_REPLAY_EVICTIONS,
     names::SERVER_REPLAYS,
     names::SERVER_SESSIONS,
     names::TRACE_EVENTS,
@@ -118,6 +123,7 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     names::CALL_ARGS,
     names::FLUSH_PENDING,
     names::FRAGMENT_COST_UNITS,
+    names::SERVER_SHARD_QUEUE_DEPTH,
 ];
 
 fn assert_registered(name: &'static str, registry: &[&str], kind: &str) {
@@ -161,6 +167,14 @@ impl MetricsSnapshot {
     pub fn observe(&mut self, name: &'static str, value: u64) {
         assert_registered(name, ALL_HISTOGRAMS, "histogram");
         self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Folds a pre-aggregated histogram into a registered name (bucket-wise,
+    /// lossless). Used by threaded servers that aggregate observations
+    /// outside a recorder and expose them at scrape time.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &Histogram) {
+        assert_registered(name, ALL_HISTOGRAMS, "histogram");
+        self.histograms.entry(name).or_default().merge(h);
     }
 
     /// Current value of a counter (0 if never touched).

@@ -10,9 +10,11 @@
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps audit <file.ml> [selection] [--json|--sarif]
 //!                                             split-soundness audit (non-zero exit on deny)
-//! hps serve <file.ml> <addr> [selection] [--chaos SEED] [--metrics ADDR]
+//! hps serve <file.ml> <addr> [selection] [--shards N] [--chaos SEED] [--metrics ADDR]
 //!                                             host the hidden component on TCP;
-//!                                             --metrics serves Prometheus text format
+//!                                             --shards spreads sessions over N
+//!                                             executor threads, --metrics serves
+//!                                             Prometheus text format
 //! hps client <file.ml> <addr> [selection] [--batch] [--retry] [ints...]
 //!                                             run the open component against a server
 //! hps tables [--quick]                        shortcut to the experiment harness
@@ -66,7 +68,7 @@ USAGE:
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
   hps audit <file.ml> [selection flags] [--json | --sarif]
-  hps serve <file.ml> <addr> [selection flags] [--chaos SEED] [--metrics ADDR]
+  hps serve <file.ml> <addr> [selection flags] [--shards N] [--chaos SEED] [--metrics ADDR]
   hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
@@ -80,8 +82,10 @@ exactly-once replay); --chaos SEED makes the server deterministically kill
 connections mid-call to exercise it.
 `run --split` executes the open/hidden pair in-process; `--metrics-json`
 (implies --split) prints the deterministic hps-telemetry/v1 snapshot to
-stdout, with program output diverted to stderr. `serve --metrics ADDR`
-exposes the live server counters in Prometheus text format over HTTP.
+stdout, with program output diverted to stderr. `serve --shards N` spreads
+sessions over N executor threads (session_id % N) for multi-core
+throughput; `serve --metrics ADDR` exposes the live server counters and
+the shard queue-depth histogram in Prometheus text format over HTTP.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -358,12 +362,14 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: hps serve <file.ml> <addr> [flags] [--chaos SEED] [--metrics ADDR]";
+    const USAGE: &str =
+        "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--chaos SEED] [--metrics ADDR]";
     let path = args.first().ok_or(USAGE)?;
     let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
     let mut chaos = None;
     let mut metrics_addr = None;
+    let mut shards = 1usize;
     let mut flags = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -381,6 +387,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         } else if rest[i] == "--metrics" {
             metrics_addr = Some(rest.get(i + 1).ok_or("--metrics needs an address")?.clone());
             i += 2;
+        } else if rest[i] == "--shards" {
+            shards = rest
+                .get(i + 1)
+                .ok_or("--shards needs a count")?
+                .parse::<usize>()
+                .map_err(|_| "--shards must be a positive integer".to_string())?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            i += 2;
         } else {
             flags.push(rest[i].clone());
             i += 1;
@@ -388,8 +404,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let program = load(path)?;
     let split = do_split(&program, &flags)?;
-    let mut server =
-        SessionServer::bind(addr.as_str(), split.hidden.clone()).map_err(|e| e.to_string())?;
+    let mut server = SessionServer::bind(addr.as_str(), split.hidden.clone())
+        .map_err(|e| e.to_string())?
+        .with_shards(shards);
     if let Some(c) = chaos {
         eprintln!("[hps] chaos mode: killing ~10% of frames (seed {})", c.seed);
         server = server.with_chaos(c);
@@ -399,9 +416,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!("[hps] metrics (Prometheus text format) on http://{bound}/metrics");
     }
     eprintln!(
-        "[hps] serving {} hidden component(s) on {} (multi-client sessions; ctrl-c to stop)",
+        "[hps] serving {} hidden component(s) on {} ({} shard{}; multi-client sessions; ctrl-c to stop)",
         split.hidden.components.len(),
-        server.local_addr().map_err(|e| e.to_string())?
+        server.local_addr().map_err(|e| e.to_string())?,
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
     server
         .serve(|peer, event| eprintln!("[hps] {peer}: {event}"))
@@ -422,7 +441,7 @@ fn spawn_metrics_endpoint(addr: &str, handle: SessionServerHandle) -> Result<Soc
             // Drain (best effort) the request head; we answer any request.
             let mut buf = [0u8; 1024];
             let _ = stream.read(&mut buf);
-            let body = handle.stats().to_metrics().to_prometheus();
+            let body = handle.metrics().to_prometheus();
             let response = format!(
                 "HTTP/1.0 200 OK\r\n\
                  Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
