@@ -1,0 +1,236 @@
+//! `fragment_vm` — tree-walk vs bytecode-VM execution of the hidden side
+//! of every suite benchmark, plus the CI no-regression gate.
+//!
+//! For each benchmark the harness records the real hidden-call trace of one
+//! split run, then replays it against fresh [`SecureServer`]s in two modes:
+//!
+//! * **tree** — `with_fragment_vm(false)`, the AST interpreter;
+//! * **vm** — a shared warm [`VmCache`] (`with_vm_cache`), so iterations
+//!   measure steady-state bytecode dispatch the way a long-lived shard
+//!   executor runs it (compile cost is paid once, on the first iteration).
+//!
+//! Replaying raw fragment calls isolates the secure side: the open-side
+//! interpreter and transport, identical in both modes, stay out of the
+//! numbers. Besides the usual criterion-style stdout lines the bench writes
+//! a machine-readable report (`hps-vm-bench/v1`, default
+//! `target/BENCH_vm.json`) and `--gate` turns it into a CI check:
+//!
+//! ```text
+//! fragment_vm [--test] [--quick] [--out PATH] [--gate] [--gate-ratio-millis R]
+//! ```
+//!
+//! The gate fails (exit 1) when any benchmark's VM median exceeds
+//! `R/1000 ×` its tree-walk median. `R` defaults to a forgiving 1100: the
+//! gate exists to catch the VM *losing* to the interpreter (a compile-cache
+//! or dispatch regression), not to certify the exact speedup on a noisy CI
+//! runner. Speedup claims come from the recorded medians, not the gate.
+
+use hps_bench::{record_trace, split_benchmark};
+use hps_runtime::telemetry::json::Json;
+use hps_runtime::{SecureServer, VmCache};
+use hps_suite::benchmarks;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = match Config::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut criterion = criterion::Criterion::default().sample_size(20);
+    let quick = criterion.is_quick();
+    let test_mode = criterion.is_test_mode();
+    // Quick mode trades trace length for CI wall time; both modes replay the
+    // complete hidden-call log of a real split execution.
+    let size = if quick { 60 } else { 200 };
+
+    let mut rows = Vec::new();
+    for b in benchmarks() {
+        let (_, split) = split_benchmark(&b);
+        let trace = record_trace(&b, &split, 1, size);
+        assert!(
+            !trace.events.is_empty(),
+            "{}: split run produced no hidden calls",
+            b.name
+        );
+
+        let replay = |server: &mut SecureServer| {
+            for e in &trace.events {
+                server
+                    .call(e.component, e.key, e.label, &e.args)
+                    .expect("replayed call");
+            }
+        };
+
+        criterion.bench_function(format!("fragment_vm/{}/tree", b.name), |bench| {
+            bench.iter(|| {
+                let mut server = SecureServer::new(split.hidden.clone()).with_fragment_vm(false);
+                replay(&mut server);
+                criterion::black_box(server.cost_spent())
+            });
+        });
+        let tree_ns = criterion.last_median_ns();
+
+        let cache = Arc::new(VmCache::for_program(&split.hidden));
+        criterion.bench_function(format!("fragment_vm/{}/vm", b.name), |bench| {
+            bench.iter(|| {
+                let mut server =
+                    SecureServer::new(split.hidden.clone()).with_vm_cache(Arc::clone(&cache));
+                replay(&mut server);
+                criterion::black_box(server.cost_spent())
+            });
+        });
+        let vm_ns = criterion.last_median_ns();
+
+        // One metered replay for the deterministic attribution columns.
+        let mut meter = SecureServer::new(split.hidden.clone()).with_vm_cache(Arc::clone(&cache));
+        replay(&mut meter);
+
+        rows.push(Row {
+            name: b.name,
+            calls: trace.events.len() as u64,
+            cost_units: meter.cost_spent(),
+            tree_ns: tree_ns as u64,
+            vm_ns: vm_ns as u64,
+            vm_compiles: cache.compiles(),
+            vm_cache_hits: cache.cache_hits(),
+        });
+    }
+
+    if test_mode {
+        // Smoke run (cargo test --benches): correctness only, no report.
+        return;
+    }
+
+    for r in &rows {
+        eprintln!(
+            "[fragment_vm] {:10} tree {:>9} ns  vm {:>9} ns  speedup {}.{:03}x",
+            r.name,
+            r.tree_ns,
+            r.vm_ns,
+            r.speedup_millis() / 1000,
+            r.speedup_millis() % 1000,
+        );
+    }
+
+    let doc = Json::object()
+        .field("schema", "hps-vm-bench/v1")
+        .field("quick", u64::from(quick))
+        .field("workload_size", size as u64)
+        .field("gate_ratio_millis", cfg.gate_ratio_millis)
+        .field(
+            "benchmarks",
+            rows.iter().map(Row::to_json).collect::<Vec<_>>(),
+        );
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&cfg.out, doc.pretty()).expect("write BENCH_vm json");
+    eprintln!("[fragment_vm] wrote {}", cfg.out);
+
+    if cfg.gate {
+        let mut failed = false;
+        for r in &rows {
+            if r.vm_ns * 1000 > r.tree_ns * cfg.gate_ratio_millis {
+                eprintln!(
+                    "[fragment_vm] GATE FAIL {}: vm median {} ns > {}/1000 x tree median {} ns",
+                    r.name, r.vm_ns, cfg.gate_ratio_millis, r.tree_ns
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[fragment_vm] gate pass: vm <= {}/1000 x tree on all {} benchmarks",
+            cfg.gate_ratio_millis,
+            rows.len()
+        );
+    }
+}
+
+/// One benchmark's measured pair of medians plus attribution counters.
+struct Row {
+    name: &'static str,
+    calls: u64,
+    cost_units: u64,
+    tree_ns: u64,
+    vm_ns: u64,
+    vm_compiles: u64,
+    vm_cache_hits: u64,
+}
+
+impl Row {
+    /// Tree-walk median over VM median, ×1000 (1500 = VM 1.5× faster).
+    fn speedup_millis(&self) -> u64 {
+        (self.tree_ns * 1000).checked_div(self.vm_ns).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", self.name)
+            .field("calls", self.calls)
+            .field("cost_units", self.cost_units)
+            .field("tree_median_ns", self.tree_ns)
+            .field("vm_median_ns", self.vm_ns)
+            .field("speedup_millis", self.speedup_millis())
+            .field("vm_compiles", self.vm_compiles)
+            .field("vm_cache_hits", self.vm_cache_hits)
+    }
+}
+
+struct Config {
+    out: String,
+    gate: bool,
+    gate_ratio_millis: u64,
+}
+
+impl Config {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Config, String> {
+        const USAGE: &str =
+            "usage: fragment_vm [--test] [--quick] [--out PATH] [--gate] [--gate-ratio-millis R]";
+        let mut cfg = Config {
+            out: "target/BENCH_vm.json".into(),
+            gate: false,
+            gate_ratio_millis: 1100,
+        };
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                // Consumed by Criterion::default(); accepted here so the
+                // harness and the shim share one argv.
+                "--test" | "--quick" => i += 1,
+                "--out" => {
+                    cfg.out = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--out needs a value\n{USAGE}"))?
+                        .clone();
+                    i += 2;
+                }
+                "--gate" => {
+                    cfg.gate = true;
+                    i += 1;
+                }
+                "--gate-ratio-millis" => {
+                    cfg.gate_ratio_millis = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--gate-ratio-millis needs a value\n{USAGE}"))?
+                        .parse()
+                        .map_err(|_| "--gate-ratio-millis must be an integer".to_string())?;
+                    i += 2;
+                }
+                // cargo bench passes filter strings and --bench through.
+                "--bench" => i += 1,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}\n{USAGE}"));
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(cfg)
+    }
+}

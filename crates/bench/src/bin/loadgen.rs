@@ -270,6 +270,10 @@ struct Cell {
     shard_calls: Vec<u64>,
     shard_sessions: Vec<u64>,
     shard_max_queue_depth: Vec<u64>,
+    vm_compiles: u64,
+    vm_cache_hits: u64,
+    shard_compile_nanos: Vec<u64>,
+    shard_exec_nanos: Vec<u64>,
 }
 
 impl Cell {
@@ -306,6 +310,28 @@ impl Cell {
                     .into_iter()
                     .map(Json::Uint)
                     .collect::<Vec<_>>(),
+            )
+            // Fragment-VM attribution: how much of the cell's wall time went
+            // to one-off bytecode compilation vs fragment execution.
+            .field(
+                "vm",
+                Json::object()
+                    .field("compiles", self.vm_compiles)
+                    .field("cache_hits", self.vm_cache_hits)
+                    .field(
+                        "shard_compile_nanos",
+                        self.shard_compile_nanos
+                            .into_iter()
+                            .map(Json::Uint)
+                            .collect::<Vec<_>>(),
+                    )
+                    .field(
+                        "shard_exec_nanos",
+                        self.shard_exec_nanos
+                            .into_iter()
+                            .map(Json::Uint)
+                            .collect::<Vec<_>>(),
+                    ),
             )
             .field("server", self.server)
     }
@@ -366,6 +392,10 @@ fn run_cell(
         shard_calls: shard_stats.iter().map(|s| s.calls).collect(),
         shard_sessions: shard_stats.iter().map(|s| s.sessions).collect(),
         shard_max_queue_depth: shard_stats.iter().map(|s| s.max_queue_depth).collect(),
+        vm_compiles: stats.vm_compiles,
+        vm_cache_hits: stats.vm_cache_hits,
+        shard_compile_nanos: shard_stats.iter().map(|s| s.compile_nanos).collect(),
+        shard_exec_nanos: shard_stats.iter().map(|s| s.exec_nanos).collect(),
     }
 }
 

@@ -21,16 +21,22 @@ pub fn black_box<T>(x: T) -> T {
 /// Top-level driver handed to each `criterion_group!` target.
 pub struct Criterion {
     test_mode: bool,
+    quick_mode: bool,
     default_sample_size: usize,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // `cargo bench -- --test` / `cargo test --benches` smoke-run mode.
+        // `cargo bench -- --test` / `cargo test --benches` smoke-run mode;
+        // `--quick` mirrors upstream's reduced-precision fast mode (CI).
         let test_mode = std::env::args().any(|a| a == "--test");
+        let quick_mode = std::env::args().any(|a| a == "--quick");
         Criterion {
             test_mode,
+            quick_mode,
             default_sample_size: 20,
+            results: Vec::new(),
         }
     }
 }
@@ -40,6 +46,37 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         self.default_sample_size = n.max(1);
         self
+    }
+
+    /// `true` when `--quick` was passed: sample counts are capped so a full
+    /// bench binary finishes in CI-friendly time.
+    pub fn is_quick(&self) -> bool {
+        self.quick_mode
+    }
+
+    /// `true` when `--test` was passed (smoke-run, no timing).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Median wall-clock nanoseconds of the most recently completed
+    /// benchmark (0.0 in `--test` mode). Lets harnesses with custom `main`s
+    /// harvest timings for machine-readable reports and regression gates.
+    pub fn last_median_ns(&self) -> f64 {
+        self.results.last().map_or(0.0, |(_, ns)| *ns)
+    }
+
+    /// All `(benchmark id, median ns)` pairs recorded so far, in run order.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.quick_mode {
+            requested.min(5)
+        } else {
+            requested
+        }
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -55,8 +92,9 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.to_string();
-        let samples = self.default_sample_size;
-        run_one(&id, samples, self.test_mode, f);
+        let samples = self.effective_samples(self.default_sample_size);
+        let median = run_one(&id, samples, self.test_mode, f);
+        self.results.push((id, median));
     }
 }
 
@@ -78,10 +116,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        let samples = self
-            .sample_size
-            .unwrap_or(self.criterion.default_sample_size);
-        run_one(&full, samples, self.criterion.test_mode, f);
+        let samples = self.criterion.effective_samples(
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        );
+        let median = run_one(&full, samples, self.criterion.test_mode, f);
+        self.criterion.results.push((full, median));
         self
     }
 
@@ -183,7 +223,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(id: &str, samples: usize, test_mode: bool, mut f: F)
+fn run_one<F>(id: &str, samples: usize, test_mode: bool, mut f: F) -> f64
 where
     F: FnMut(&mut Bencher),
 {
@@ -198,6 +238,7 @@ where
     } else {
         println!("{id:<48} median {}", format_ns(bencher.median_ns));
     }
+    bencher.median_ns
 }
 
 fn format_ns(ns: f64) -> String {
@@ -247,7 +288,9 @@ mod tests {
     fn group_runs_and_reports() {
         let mut c = Criterion {
             test_mode: true,
+            quick_mode: false,
             default_sample_size: 3,
+            results: Vec::new(),
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(2);

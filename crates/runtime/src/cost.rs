@@ -64,6 +64,18 @@ impl CostModel {
         }
     }
 
+    /// The charge for one builtin call — [`CostModel::transcendental`] for
+    /// `exp`/`log`/`sqrt`/`floor`, [`CostModel::builtin`] otherwise. Shared
+    /// by the fragment tree-walk and the bytecode lowerer so both account
+    /// identically.
+    pub fn builtin_cost(&self, b: hps_ir::Builtin) -> u64 {
+        if b.is_transcendental() {
+            self.transcendental
+        } else {
+            self.builtin
+        }
+    }
+
     /// Converts a unit count to virtual seconds.
     pub fn to_seconds(&self, units: u64) -> f64 {
         units as f64 / self.units_per_second as f64

@@ -38,6 +38,7 @@ struct FragFrame<'a> {
     cost_model: &'a CostModel,
     cost: u64,
     steps: u64,
+    limit: u64,
 }
 
 /// Executes a fragment.
@@ -56,6 +57,24 @@ pub fn run_fragment(
     args: &[hps_ir::Value],
     cost_model: &CostModel,
 ) -> Result<FragOutcome, RuntimeError> {
+    run_fragment_with_limit(fragment, vars, args, cost_model, FRAGMENT_STEP_LIMIT)
+}
+
+/// [`run_fragment`] with an explicit step limit. Differential tests use
+/// small limits to pin the exact statement count at which
+/// [`RuntimeError::StepLimitExceeded`] fires in both the tree-walk and the
+/// bytecode VM ([`crate::bytecode`]).
+///
+/// # Errors
+///
+/// As [`run_fragment`], with `StepLimitExceeded` carrying `limit`.
+pub fn run_fragment_with_limit(
+    fragment: &Fragment,
+    vars: &mut [RtValue],
+    args: &[hps_ir::Value],
+    cost_model: &CostModel,
+    limit: u64,
+) -> Result<FragOutcome, RuntimeError> {
     if args.len() != fragment.params.len() {
         return Err(RuntimeError::Channel(format!(
             "fragment {} expects {} args, got {}",
@@ -72,6 +91,7 @@ pub fn run_fragment(
         cost_model,
         cost: cost_model.marshal_per_arg * args.len() as u64,
         steps: 0,
+        limit,
     };
     frame.exec_block(&fragment.body)?;
     let value = match &fragment.ret {
@@ -101,10 +121,8 @@ enum Flow {
 impl FragFrame<'_> {
     fn tick(&mut self) -> Result<(), RuntimeError> {
         self.steps += 1;
-        if self.steps > FRAGMENT_STEP_LIMIT {
-            return Err(RuntimeError::StepLimitExceeded {
-                limit: FRAGMENT_STEP_LIMIT,
-            });
+        if self.steps > self.limit {
+            return Err(RuntimeError::StepLimitExceeded { limit: self.limit });
         }
         Ok(())
     }
@@ -230,11 +248,7 @@ impl FragFrame<'_> {
                 ops::binop(*op, &a, &b)?
             }
             Expr::BuiltinCall { builtin, args } => {
-                self.cost += if builtin.is_transcendental() {
-                    self.cost_model.transcendental
-                } else {
-                    self.cost_model.builtin
-                };
+                self.cost += self.cost_model.builtin_cost(*builtin);
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a)?);

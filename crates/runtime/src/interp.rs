@@ -45,6 +45,12 @@ pub struct ExecConfig {
     /// point) in one round trip. Off by default so unbatched interaction
     /// counts stay reproducible.
     pub batching: bool,
+    /// Execute fragments on the secure side's bytecode VM
+    /// ([`crate::bytecode`]) instead of the tree-walk. On by default
+    /// (`HPS_FRAGMENT_VM=0` flips the default); results, costs and errors
+    /// are identical either way — the flag exists for differential testing
+    /// and `hps run/serve --no-vm`.
+    pub fragment_vm: bool,
 }
 
 impl ExecConfig {
@@ -59,7 +65,14 @@ impl ExecConfig {
             max_call_depth: 128,
             cost_model: CostModel::new(),
             batching: false,
+            fragment_vm: crate::bytecode::vm_enabled_by_default(),
         }
+    }
+
+    /// Enables or disables the fragment bytecode VM (builder style).
+    pub fn with_fragment_vm(mut self, fragment_vm: bool) -> ExecConfig {
+        self.fragment_vm = fragment_vm;
+        self
     }
 
     /// Enables or disables round-trip batching (builder style).
@@ -247,6 +260,14 @@ impl<'p> Executor<'p> {
         self
     }
 
+    /// Enables or disables the secure side's fragment bytecode VM for this
+    /// run (defaults to [`ExecConfig::fragment_vm`]). Either mode yields
+    /// byte-identical results, costs, traces and errors.
+    pub fn fragment_vm(mut self, enabled: bool) -> Executor<'p> {
+        self.config.fragment_vm = enabled;
+        self
+    }
+
     /// Injects transport faults: wraps the channel in a
     /// [`FaultyChannel`] driven by `plan`. Outcome, interaction count and
     /// the server-side call sequence stay identical to a fault-free run;
@@ -286,6 +307,7 @@ impl<'p> Executor<'p> {
         };
         let server = SecureServer::new(self.hidden.clone())
             .with_cost_model(self.config.cost_model.clone())
+            .with_fragment_vm(self.config.fragment_vm)
             .with_recorder(handle.clone());
         let inner = InProcessChannel::new(server)
             .with_rtt(self.rtt)

@@ -81,6 +81,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod bytecode;
 pub mod channel;
 pub mod cost;
 pub mod error;
@@ -101,6 +102,7 @@ pub mod wire;
 pub use hps_telemetry as telemetry;
 pub use hps_telemetry::{MetricsRecorder, MetricsSnapshot, Recorder, RecorderHandle};
 
+pub use bytecode::{compile_fragment, CompiledFragment, VmCache};
 pub use channel::{CallReply, Channel, InProcessChannel, PendingCall, TransportStats};
 pub use cost::CostModel;
 pub use error::{FaultClass, RuntimeError};

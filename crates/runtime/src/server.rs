@@ -5,6 +5,7 @@
 //! created lazily on first touch (so no extra round trip is needed to open
 //! an activation) and freed on [`SecureServer::release`].
 
+use crate::bytecode::{run_compiled, vm_enabled_by_default, VmCache};
 use crate::cost::CostModel;
 use crate::error::RuntimeError;
 use crate::fragment::{run_fragment, FragOutcome};
@@ -12,6 +13,7 @@ use crate::value::RtValue;
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
 use hps_telemetry::{Event, RecorderHandle};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Exactly-once dedup state for one session of sequenced calls.
 ///
@@ -136,11 +138,20 @@ pub struct SecureServer {
     calls_served: u64,
     cost_spent: u64,
     recorder: RecorderHandle,
+    /// Compile-once fragment bytecode cache; `None` runs the tree-walk.
+    /// Shardable: the cache may be shared with other servers of the same
+    /// hidden program via [`SecureServer::with_vm_cache`].
+    vm: Option<Arc<VmCache>>,
 }
 
 impl SecureServer {
     /// Creates a server installing the given hidden program.
+    ///
+    /// The fragment bytecode VM is enabled by default; set
+    /// `HPS_FRAGMENT_VM=0` or call [`SecureServer::with_fragment_vm`]
+    /// to fall back to the tree-walk (differential testing).
     pub fn new(hidden: HiddenProgram) -> SecureServer {
+        let vm = vm_enabled_by_default().then(|| Arc::new(VmCache::for_program(&hidden)));
         SecureServer {
             hidden,
             cost_model: CostModel::new(),
@@ -148,12 +159,30 @@ impl SecureServer {
             calls_served: 0,
             cost_spent: 0,
             recorder: RecorderHandle::none(),
+            vm,
         }
     }
 
-    /// Replaces the cost model (builder style).
+    /// Replaces the cost model (builder style). Call before the first
+    /// fragment executes: lowered bytecode bakes the model's charges in.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> SecureServer {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Enables or disables the fragment bytecode VM (builder style).
+    /// Enabling creates a fresh empty cache for this server's program.
+    pub fn with_fragment_vm(mut self, enabled: bool) -> SecureServer {
+        self.vm = enabled.then(|| Arc::new(VmCache::for_program(&self.hidden)));
+        self
+    }
+
+    /// Shares an existing compile-once cache (builder style) — the shard
+    /// pool hands every session of a shard the same cache so each fragment
+    /// lowers at most once per shard. The cache must have been built for
+    /// this server's hidden program and cost model.
+    pub fn with_vm_cache(mut self, cache: Arc<VmCache>) -> SecureServer {
+        self.vm = Some(cache);
         self
     }
 
@@ -183,9 +212,13 @@ impl SecureServer {
             return Err(RuntimeError::UnknownComponent(component));
         }
         let comp = &self.hidden.components[component.index()];
-        let fragment = comp
-            .fragment(label)
+        let position = comp
+            .fragments
+            .iter()
+            .position(|f| f.label == label)
             .ok_or(RuntimeError::UnknownFragment { component, label })?;
+        let fragment = &comp.fragments[position];
+        let n_vars = comp.vars.len();
         let vars = self.state.entry((component, key)).or_insert_with(|| {
             comp.vars
                 .iter()
@@ -195,7 +228,26 @@ impl SecureServer {
                 })
                 .collect()
         });
-        let outcome = run_fragment(fragment, vars, args, &self.cost_model)?;
+        let compiled = self.vm.as_ref().and_then(|cache| {
+            cache.get_or_compile(
+                component.index(),
+                position,
+                fragment,
+                n_vars,
+                &self.cost_model,
+            )
+        });
+        let outcome = match compiled {
+            Some((code, fresh)) => {
+                self.recorder.record(if fresh {
+                    Event::VmCompile
+                } else {
+                    Event::VmCacheHit
+                });
+                run_compiled(code, vars, args)?
+            }
+            None => run_fragment(fragment, vars, args, &self.cost_model)?,
+        };
         self.calls_served += 1;
         self.cost_spent += outcome.cost;
         self.recorder.record(Event::Fragment { cost: outcome.cost });
@@ -242,6 +294,27 @@ impl SecureServer {
     /// Number of live activations/instances.
     pub fn live_activations(&self) -> usize {
         self.state.len()
+    }
+
+    /// True when fragment calls execute on the bytecode VM.
+    pub fn fragment_vm_enabled(&self) -> bool {
+        self.vm.is_some()
+    }
+
+    /// Fragments lowered to bytecode by this server's cache (shared caches
+    /// report the shared totals).
+    pub fn vm_compiles(&self) -> u64 {
+        self.vm.as_ref().map_or(0, |c| c.compiles())
+    }
+
+    /// Fragment executions served from already-compiled bytecode.
+    pub fn vm_cache_hits(&self) -> u64 {
+        self.vm.as_ref().map_or(0, |c| c.cache_hits())
+    }
+
+    /// Wall-clock nanoseconds this server's cache spent lowering fragments.
+    pub fn vm_compile_nanos(&self) -> u64 {
+        self.vm.as_ref().map_or(0, |c| c.compile_nanos())
     }
 
     /// Read-only view of the installed hidden program.
@@ -361,6 +434,26 @@ mod tests {
         assert_eq!(cache.evictions(), 7);
         // Capacity never drops below the protocol minimum of one.
         assert_eq!(ReplayCache::<u64>::with_capacity(0).capacity(), 1);
+    }
+
+    #[test]
+    fn vm_and_tree_walk_agree_and_cache_counts() {
+        let mk = |vm| SecureServer::new(counter_program()).with_fragment_vm(vm);
+        let mut on = mk(true);
+        let mut off = mk(false);
+        assert!(on.fragment_vm_enabled());
+        assert!(!off.fragment_vm_enabled());
+        let c = ComponentId::new(0);
+        let l = FragLabel::new(0);
+        for i in 0..4 {
+            let a = on.call(c, 1, l, &[Value::Int(i)]).unwrap();
+            let b = off.call(c, 1, l, &[Value::Int(i)]).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(on.cost_spent(), off.cost_spent());
+        assert_eq!(on.vm_compiles(), 1, "one fragment lowers once");
+        assert_eq!(on.vm_cache_hits(), 3);
+        assert_eq!(off.vm_compiles() + off.vm_cache_hits(), 0);
     }
 
     #[test]

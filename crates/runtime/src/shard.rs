@@ -26,6 +26,7 @@
 //! byte-identical for `--shards 1` and `--shards N`
 //! (`crates/suite/tests/shard_equivalence.rs` pins this, chaos included).
 
+use crate::bytecode::VmCache;
 use crate::channel::{CallReply, PendingCall};
 use crate::server::{ReplayCache, SecureServer, SeqCheck};
 use crate::wire::Response;
@@ -55,6 +56,10 @@ pub(crate) struct StatsInner {
     pub(crate) replays: AtomicU64,
     pub(crate) replay_evictions: AtomicU64,
     pub(crate) chaos_kills: AtomicU64,
+    /// VM counters from *legacy* (sessionless) connections, whose private
+    /// servers die with the connection; shard caches are read live instead.
+    pub(crate) legacy_vm_compiles: AtomicU64,
+    pub(crate) legacy_vm_cache_hits: AtomicU64,
     pub(crate) queue_depth: Mutex<Histogram>,
     pub(crate) shards: Mutex<Vec<Arc<ShardCounters>>>,
 }
@@ -77,6 +82,10 @@ impl StatsInner {
                 cost_units: c.cost.load(Ordering::Relaxed),
                 sessions: c.sessions.load(Ordering::Relaxed),
                 max_queue_depth: c.max_depth.load(Ordering::Relaxed),
+                vm_compiles: c.vm.as_ref().map_or(0, |v| v.compiles()),
+                vm_cache_hits: c.vm.as_ref().map_or(0, |v| v.cache_hits()),
+                compile_nanos: c.vm.as_ref().map_or(0, |v| v.compile_nanos()),
+                exec_nanos: c.exec_nanos.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -91,6 +100,11 @@ pub(crate) struct ShardCounters {
     sessions: AtomicU64,
     depth: AtomicU64,
     max_depth: AtomicU64,
+    /// Wall-clock nanoseconds this shard spent executing sequenced units.
+    exec_nanos: AtomicU64,
+    /// The shard's shared compile-once bytecode cache (`None` = tree-walk).
+    /// Every session of the shard compiles into — and hits — this cache.
+    vm: Option<Arc<VmCache>>,
 }
 
 /// Snapshot of one shard executor's counters.
@@ -108,6 +122,18 @@ pub struct ShardStats {
     pub sessions: u64,
     /// Deepest request queue observed at an enqueue.
     pub max_queue_depth: u64,
+    /// Fragments lowered to bytecode by this shard's compile-once cache
+    /// (0 when the VM is disabled).
+    pub vm_compiles: u64,
+    /// Fragment executions this shard served from compiled bytecode.
+    pub vm_cache_hits: u64,
+    /// Wall-clock nanoseconds spent compiling fragments on this shard.
+    /// Wall-clock fields feed load attribution (`BENCH_*.json`) only —
+    /// they never enter deterministic metrics snapshots.
+    pub compile_nanos: u64,
+    /// Wall-clock nanoseconds spent executing sequenced units (includes
+    /// compile time of first-touch fragments).
+    pub exec_nanos: u64,
 }
 
 /// The shard a session is owned by. Pure function of the session id, so
@@ -183,11 +209,14 @@ pub(crate) struct ShardPool {
 
 impl ShardPool {
     /// Spawns `shards` executor threads (min 1), each owning the sessions
-    /// hashed to it, fed by a bounded queue of `queue_capacity`.
+    /// hashed to it, fed by a bounded queue of `queue_capacity`. With
+    /// `fragment_vm` on, each shard gets one compile-once bytecode cache
+    /// shared by all its sessions (fragments lower at most once per shard).
     pub(crate) fn spawn(
         shards: usize,
         queue_capacity: usize,
         replay_capacity: usize,
+        fragment_vm: bool,
         hidden: &HiddenProgram,
         stats: &Arc<StatsInner>,
     ) -> ShardPool {
@@ -197,7 +226,10 @@ impl ShardPool {
         let mut threads = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity.max(1));
-            let c = Arc::new(ShardCounters::default());
+            let c = Arc::new(ShardCounters {
+                vm: fragment_vm.then(|| Arc::new(VmCache::for_program(hidden))),
+                ..ShardCounters::default()
+            });
             let thread = std::thread::Builder::new()
                 .name(format!("hps-shard-{shard}"))
                 .spawn({
@@ -288,7 +320,11 @@ fn run_shard_executor(
                 );
                 let bytes = match state.replay.check(seq) {
                     SeqCheck::Fresh => {
+                        let t0 = std::time::Instant::now();
                         let (resp, served, cost) = execute(&mut state.server, &calls, batch);
+                        counters
+                            .exec_nanos
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         stats.calls.fetch_add(served, Ordering::Relaxed);
                         counters.calls.fetch_add(served, Ordering::Relaxed);
                         counters.fragments.fetch_add(served, Ordering::Relaxed);
@@ -338,8 +374,16 @@ fn open_session<'a>(
     sessions.entry(session).or_insert_with(|| {
         stats.sessions.fetch_add(1, Ordering::Relaxed);
         counters.sessions.fetch_add(1, Ordering::Relaxed);
+        // Sessions share the shard's compile-once cache: the shard thread
+        // exclusively owns its sessions, but compiled code is plain
+        // `Send + Sync` data, so sharing it is safe and each fragment
+        // lowers at most once per shard.
+        let server = match &counters.vm {
+            Some(cache) => SecureServer::new(hidden.clone()).with_vm_cache(Arc::clone(cache)),
+            None => SecureServer::new(hidden.clone()).with_fragment_vm(false),
+        };
         SessionState {
-            server: SecureServer::new(hidden.clone()),
+            server,
             replay: ReplayCache::with_capacity(replay_capacity),
         }
     })

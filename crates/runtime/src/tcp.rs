@@ -696,6 +696,11 @@ pub struct ServerStats {
     pub replay_evictions: u64,
     /// Connections killed by [`ChaosConfig`].
     pub chaos_kills: u64,
+    /// Fragments lowered to bytecode by the fragment VM's compile-once
+    /// caches (all shards plus legacy connections; 0 with the VM off).
+    pub vm_compiles: u64,
+    /// Fragment executions served from already-compiled bytecode.
+    pub vm_cache_hits: u64,
 }
 
 impl ServerStats {
@@ -709,6 +714,8 @@ impl ServerStats {
         m.add(names::SERVER_REPLAYS, self.replays);
         m.add(names::SERVER_REPLAY_EVICTIONS, self.replay_evictions);
         m.add(names::SERVER_CHAOS_KILLS, self.chaos_kills);
+        m.add(names::SERVER_VM_COMPILES, self.vm_compiles);
+        m.add(names::SERVER_VM_CACHE_HITS, self.vm_cache_hits);
         m
     }
 }
@@ -729,6 +736,7 @@ impl SessionServerHandle {
 
     /// Snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
+        let shards = self.stats.shard_stats();
         ServerStats {
             connections: self.stats.connections.load(Ordering::Relaxed),
             sessions: self.stats.sessions.load(Ordering::Relaxed),
@@ -736,6 +744,10 @@ impl SessionServerHandle {
             replays: self.stats.replays.load(Ordering::Relaxed),
             replay_evictions: self.stats.replay_evictions.load(Ordering::Relaxed),
             chaos_kills: self.stats.chaos_kills.load(Ordering::Relaxed),
+            vm_compiles: self.stats.legacy_vm_compiles.load(Ordering::Relaxed)
+                + shards.iter().map(|s| s.vm_compiles).sum::<u64>(),
+            vm_cache_hits: self.stats.legacy_vm_cache_hits.load(Ordering::Relaxed)
+                + shards.iter().map(|s| s.vm_cache_hits).sum::<u64>(),
         }
     }
 
@@ -780,6 +792,7 @@ pub struct SessionServer {
     shards: usize,
     queue_capacity: usize,
     replay_capacity: usize,
+    fragment_vm: bool,
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
 }
@@ -805,9 +818,19 @@ impl SessionServer {
             shards: 1,
             queue_capacity: crate::shard::DEFAULT_QUEUE_CAPACITY,
             replay_capacity: crate::shard::DEFAULT_REPLAY_CAPACITY,
+            fragment_vm: crate::bytecode::vm_enabled_by_default(),
             stats: Arc::new(StatsInner::default()),
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Enables or disables the fragment bytecode VM (builder style;
+    /// defaults to on unless `HPS_FRAGMENT_VM=0`). Either mode serves
+    /// byte-identical responses; with the VM on, each shard keeps one
+    /// compile-once cache shared across its sessions.
+    pub fn with_fragment_vm(mut self, enabled: bool) -> SessionServer {
+        self.fragment_vm = enabled;
+        self
     }
 
     /// Enables server-side chaos (builder style).
@@ -891,6 +914,7 @@ impl SessionServer {
             self.shards,
             self.queue_capacity,
             self.replay_capacity,
+            self.fragment_vm,
             &self.hidden,
             &self.stats,
         );
@@ -934,6 +958,7 @@ impl SessionServer {
             self.stats.connections.fetch_add(1, Ordering::Relaxed);
             let stats = Arc::clone(&self.stats);
             let hidden = self.hidden.clone();
+            let fragment_vm = self.fragment_vm;
             let exec = pool.senders();
             let chaos = self
                 .chaos
@@ -949,7 +974,14 @@ impl SessionServer {
             conns.push((
                 watch,
                 std::thread::spawn(move || {
-                    match serve_session_connection(stream, &exec, hidden, chaos, &stats) {
+                    match serve_session_connection(
+                        stream,
+                        &exec,
+                        hidden,
+                        fragment_vm,
+                        chaos,
+                        &stats,
+                    ) {
                         Ok(served) => on_event(peer, &format!("served {served} calls")),
                         Err(e) => on_event(peer, &e.with_peer(peer).to_string()),
                     }
@@ -1032,6 +1064,7 @@ fn serve_session_connection(
     stream: TcpStream,
     exec: &ShardSenders,
     hidden: HiddenProgram,
+    fragment_vm: bool,
     mut chaos: Option<(ChaosConfig, StdRng)>,
     stats: &StatsInner,
 ) -> Result<u64, RuntimeError> {
@@ -1085,14 +1118,28 @@ fn serve_session_connection(
         // by this thread (hidden state is thread-local, so it cannot go
         // through the shared executor and does not need to).
         other => {
-            let mut server = SecureServer::new(hidden);
+            let mut server = SecureServer::new(hidden).with_fragment_vm(fragment_vm);
+            // The private server dies with the connection; fold its VM
+            // counters into the shared stats before each exit.
+            let fold_vm = |server: &SecureServer| {
+                stats
+                    .legacy_vm_compiles
+                    .fetch_add(server.vm_compiles(), Ordering::Relaxed);
+                stats
+                    .legacy_vm_cache_hits
+                    .fetch_add(server.vm_cache_hits(), Ordering::Relaxed);
+            };
             match serve_legacy_request(other, &mut server, &mut writer, &mut scratch)? {
                 Some(n) => served = n,
-                None => return Ok(served),
+                None => {
+                    fold_vm(&server);
+                    return Ok(served);
+                }
             }
             loop {
                 let Some(payload) = read_frame(&mut reader)? else {
                     stats.calls.fetch_add(served, Ordering::Relaxed);
+                    fold_vm(&server);
                     return Ok(served);
                 };
                 let req = Request::decode(&payload)?;
@@ -1100,6 +1147,7 @@ fn serve_session_connection(
                     Some(n) => served += n,
                     None => {
                         stats.calls.fetch_add(served, Ordering::Relaxed);
+                        fold_vm(&server);
                         return Ok(served);
                     }
                 }

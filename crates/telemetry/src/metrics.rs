@@ -70,6 +70,10 @@ pub mod names {
     pub const SERVER_REPLAYS: &str = "hps_server_replays_total";
     /// Distinct sessions created on a session server.
     pub const SERVER_SESSIONS: &str = "hps_server_sessions_total";
+    /// Fragment executions served from already-compiled bytecode.
+    pub const SERVER_VM_CACHE_HITS: &str = "hps_server_vm_cache_hits_total";
+    /// Fragments lowered to bytecode by the VM's compile-once cache.
+    pub const SERVER_VM_COMPILES: &str = "hps_server_vm_compiles_total";
     /// Events captured by the adversary's wiretap.
     pub const TRACE_EVENTS: &str = "hps_trace_events_total";
 
@@ -114,6 +118,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     names::SERVER_REPLAY_EVICTIONS,
     names::SERVER_REPLAYS,
     names::SERVER_SESSIONS,
+    names::SERVER_VM_CACHE_HITS,
+    names::SERVER_VM_COMPILES,
     names::TRACE_EVENTS,
 ];
 

@@ -1,7 +1,7 @@
 //! `hps` — command-line front end for slice-based software splitting.
 //!
 //! ```text
-//! hps run <file.ml> [--split] [--batch] [--metrics-json] [selection] [ints...]
+//! hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection] [ints...]
 //!                                             run a MiniLang program; --split runs
 //!                                             the open/hidden pair, --metrics-json
 //!                                             emits the hps-telemetry/v1 snapshot
@@ -10,7 +10,7 @@
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps audit <file.ml> [selection] [--json|--sarif]
 //!                                             split-soundness audit (non-zero exit on deny)
-//! hps serve <file.ml> <addr> [selection] [--shards N] [--chaos SEED] [--metrics ADDR]
+//! hps serve <file.ml> <addr> [selection] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
 //!                                             host the hidden component on TCP;
 //!                                             --shards spreads sessions over N
 //!                                             executor threads, --metrics serves
@@ -64,11 +64,11 @@ const HELP: &str = "\
 hps — slicing-based software splitting (CGO 2003 reproduction)
 
 USAGE:
-  hps run <file.ml> [--split] [--batch] [--metrics-json] [selection flags] [ints...]
+  hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection flags] [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
   hps audit <file.ml> [selection flags] [--json | --sarif]
-  hps serve <file.ml> <addr> [selection flags] [--shards N] [--chaos SEED] [--metrics ADDR]
+  hps serve <file.ml> <addr> [selection flags] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
   hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
@@ -86,6 +86,8 @@ stdout, with program output diverted to stderr. `serve --shards N` spreads
 sessions over N executor threads (session_id % N) for multi-core
 throughput; `serve --metrics ADDR` exposes the live server counters and
 the shard queue-depth histogram in Prometheus text format over HTTP.
+Hidden fragments execute on a compile-once bytecode VM by default;
+--no-vm (or HPS_FRAGMENT_VM=0) falls back to the tree-walk interpreter.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -179,12 +181,13 @@ fn do_split(program: &hps::ir::Program, flags: &[String]) -> Result<SplitResult,
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
-        "usage: hps run <file.ml> [--split] [--batch] [--metrics-json] [selection flags] [ints...]";
+        "usage: hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection flags] [ints...]";
     let path = args.first().ok_or(USAGE)?;
     let rest = &args[1..];
     let mut split_mode = false;
     let mut batch = false;
     let mut metrics_json = false;
+    let mut no_vm = false;
     let mut selection = Vec::new();
     let mut ints = Vec::new();
     let mut i = 0;
@@ -201,6 +204,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--metrics-json" => {
                 metrics_json = true;
                 split_mode = true;
+                i += 1;
+            }
+            "--no-vm" => {
+                no_vm = true;
                 i += 1;
             }
             flag @ ("--func" | "--var" | "--global" | "--class") => {
@@ -228,8 +235,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let program = load(path)?;
     let entry_args = int_args(&ints)?;
     if !split_mode {
-        if !selection.is_empty() || batch {
-            return Err("selection flags and --batch require --split".into());
+        if !selection.is_empty() || batch || no_vm {
+            return Err("selection flags, --batch and --no-vm require --split".into());
         }
         let out = hps::runtime::run_program(&program, &entry_args).map_err(|e| e.to_string())?;
         for line in &out.output {
@@ -243,11 +250,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let split = do_split(&program, &selection)?;
-    let report = Executor::new(&split.open, &split.hidden)
+    let mut executor = Executor::new(&split.open, &split.hidden)
         .batching(batch)
-        .recorder(MetricsRecorder::new())
-        .run(&entry_args)
-        .map_err(|e| e.to_string())?;
+        .recorder(MetricsRecorder::new());
+    if no_vm {
+        executor = executor.fragment_vm(false);
+    }
+    let report = executor.run(&entry_args).map_err(|e| e.to_string())?;
     if metrics_json {
         // The snapshot is the machine-readable product: keep stdout clean
         // for it and divert the program's own output to stderr.
@@ -363,13 +372,14 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
-        "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--chaos SEED] [--metrics ADDR]";
+        "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]";
     let path = args.first().ok_or(USAGE)?;
     let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
     let mut chaos = None;
     let mut metrics_addr = None;
     let mut shards = 1usize;
+    let mut no_vm = false;
     let mut flags = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -387,6 +397,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         } else if rest[i] == "--metrics" {
             metrics_addr = Some(rest.get(i + 1).ok_or("--metrics needs an address")?.clone());
             i += 2;
+        } else if rest[i] == "--no-vm" {
+            no_vm = true;
+            i += 1;
         } else if rest[i] == "--shards" {
             shards = rest
                 .get(i + 1)
@@ -407,6 +420,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut server = SessionServer::bind(addr.as_str(), split.hidden.clone())
         .map_err(|e| e.to_string())?
         .with_shards(shards);
+    if no_vm {
+        server = server.with_fragment_vm(false);
+    }
     if let Some(c) = chaos {
         eprintln!("[hps] chaos mode: killing ~10% of frames (seed {})", c.seed);
         server = server.with_chaos(c);
