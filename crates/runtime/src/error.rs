@@ -104,6 +104,16 @@ pub enum RuntimeError {
     /// errors, batch shape mismatches). Always terminal: retrying resends
     /// the same bytes and fails the same way.
     Channel(String),
+    /// The server's replay window rejected a sequence number: the client
+    /// skipped ahead, or rewound past the bounded cache. Terminal — the
+    /// exactly-once guarantee cannot be re-established for this session,
+    /// so retrying would only re-present the same out-of-window sequence.
+    SequenceGap {
+        /// The sequence number the client presented.
+        got: u64,
+        /// The sequence number the server's replay window expected.
+        expected: u64,
+    },
     /// I/O-level transport failure, classified retryable or terminal (see
     /// [`FaultClass`]). `op` names the failing operation (`connect`,
     /// `accept`, `read`, `write`…).
@@ -157,6 +167,13 @@ impl fmt::Display for RuntimeError {
                 write!(f, "fragment attempted an illegal operation: {what}")
             }
             RuntimeError::Channel(msg) => write!(f, "channel failure: {msg}"),
+            RuntimeError::SequenceGap { got, expected } => {
+                write!(
+                    f,
+                    "sequence gap: got {got}, expected {expected} \
+                     (terminal: the session's exactly-once window cannot resume)"
+                )
+            }
             RuntimeError::Transport { class, op, detail } => {
                 write!(f, "transport failure ({class}) during {op}: {detail}")
             }
@@ -193,6 +210,31 @@ impl RuntimeError {
                 ..
             }
         )
+    }
+
+    /// Classifies a remote execution-error message into a structured
+    /// error. The session server reports replay-window violations as
+    /// `sequence gap: got N, expected M` (the dedicated terminal
+    /// [`RuntimeError::SequenceGap`]) and unrecoverable fragment panics
+    /// as `session poisoned: …` (a [`FaultClass::Terminal`] transport
+    /// fault — retrying re-executes the same deterministic panic);
+    /// everything else stays a generic [`RuntimeError::Channel`].
+    pub fn from_remote(msg: &str) -> RuntimeError {
+        if let Some(rest) = msg.strip_prefix("sequence gap: got ") {
+            if let Some((got, expected)) = rest.split_once(", expected ") {
+                if let (Ok(got), Ok(expected)) = (got.trim().parse(), expected.trim().parse()) {
+                    return RuntimeError::SequenceGap { got, expected };
+                }
+            }
+        }
+        if msg.starts_with("session poisoned") {
+            return RuntimeError::Transport {
+                class: FaultClass::Terminal,
+                op: "panic",
+                detail: msg.to_string(),
+            };
+        }
+        RuntimeError::Channel(format!("remote: {msg}"))
     }
 
     /// Prefixes the detail of a transport/channel error with the peer that
@@ -242,6 +284,44 @@ mod tests {
         // Protocol errors are never retryable.
         assert!(!RuntimeError::Channel("bad tag".into()).is_retryable());
         assert!(!RuntimeError::DivisionByZero.is_retryable());
+    }
+
+    #[test]
+    fn sequence_gaps_are_dedicated_and_terminal() {
+        // The satellite contract: a replay-window violation is its own
+        // variant with a descriptive message, never a generic channel
+        // error, and it is never retryable.
+        let e = RuntimeError::from_remote("sequence gap: got 40, expected 2");
+        assert_eq!(
+            e,
+            RuntimeError::SequenceGap {
+                got: 40,
+                expected: 2
+            }
+        );
+        assert!(!e.is_retryable(), "a gap retransmits the same gap");
+        let msg = e.to_string();
+        assert!(msg.contains("got 40"));
+        assert!(msg.contains("expected 2"));
+        assert!(msg.contains("terminal"));
+        // Anything else from the remote stays a channel error.
+        let other = RuntimeError::from_remote("division by zero");
+        assert!(matches!(&other, RuntimeError::Channel(m) if m.contains("remote:")));
+        // A malformed gap message degrades gracefully too.
+        let odd = RuntimeError::from_remote("sequence gap: got lots, expected few");
+        assert!(matches!(odd, RuntimeError::Channel(_)));
+        // Poisoned sessions are terminal transport faults, never retried.
+        let p = RuntimeError::from_remote("session poisoned: fragment panicked: boom");
+        assert!(matches!(
+            &p,
+            RuntimeError::Transport {
+                class: FaultClass::Terminal,
+                op: "panic",
+                ..
+            }
+        ));
+        assert!(!p.is_retryable());
+        assert!(p.to_string().contains("boom"));
     }
 
     #[test]

@@ -45,6 +45,12 @@
 //! * [`fault::FaultyChannel`] wraps any channel with a seeded,
 //!   deterministic fault schedule (drops, delays, duplicates,
 //!   truncations) for in-process chaos testing.
+//! * Crash resilience (DESIGN.md §12): per-request `catch_unwind` panic
+//!   isolation, a shard supervisor that respawns dead executors, and a
+//!   deterministic per-session [`journal`] of committed hidden calls from
+//!   which hidden state is rebuilt by replay — optionally persisted with
+//!   `--journal-dir` so a restarted `hps serve` resumes sessions
+//!   transparently, and exercised by [`fault::CrashFault`] injection.
 //!
 //! Retries and replays are invisible to the adversary: interaction
 //! counts, server-side call counts and [`trace::TraceChannel`] events all
@@ -88,6 +94,7 @@ pub mod error;
 pub mod fault;
 pub mod fragment;
 pub mod interp;
+pub mod journal;
 mod ops;
 pub mod server;
 pub mod shard;
@@ -106,11 +113,12 @@ pub use bytecode::{compile_fragment, CompiledFragment, VmCache};
 pub use channel::{CallReply, Channel, InProcessChannel, PendingCall, TransportStats};
 pub use cost::CostModel;
 pub use error::{FaultClass, RuntimeError};
-pub use fault::{FaultKind, FaultPlan, FaultyChannel};
+pub use fault::{CrashConfig, CrashFault, FaultKind, FaultPlan, FaultyChannel};
 pub use interp::{
     run_function, run_program, run_split, run_split_batched, run_split_faulty, run_split_with_rtt,
     ExecConfig, ExecReport, Executor, Interp, Outcome, SplitMeta, SplitOutcome,
 };
+pub use journal::{JournalOp, SessionJournal};
 pub use server::{ReplayCache, SecureServer, SeqCheck};
 pub use shard::ShardStats;
 pub use tcp::{ChaosConfig, RetryPolicy, ServerStats, SessionServer, SessionServerHandle};

@@ -1,4 +1,5 @@
-//! The shard pool: multi-core execution of hidden session state.
+//! The shard pool: multi-core execution of hidden session state, under
+//! supervision.
 //!
 //! Hidden runtime values are built on `Rc<RefCell<…>>` ([`crate::value`])
 //! and are deliberately **not `Send`** — sharing them across threads would
@@ -20,6 +21,23 @@
 //! ([`ShardStats`]) record how the load spread, so a saturated shard is
 //! visible in telemetry rather than a mystery.
 //!
+//! ## Crash resilience (DESIGN.md §12)
+//!
+//! Executors are *supervised*: a dedicated supervisor thread detects a
+//! dead executor (a crash fault, a bug, or a deliberate
+//! `SessionServerHandle::kill_shard`) and respawns it behind the same
+//! routing slot — senders waiting on the dead shard simply re-enqueue on
+//! the replacement. Per-request fragment execution runs under
+//! `catch_unwind`: a panic is contained, counted
+//! (`hps_server_panics_caught_total`), and the offending session is
+//! rebuilt from its [`SessionJournal`] and retried once; a second panic —
+//! deterministic fragments fail deterministically — poisons only that
+//! session, never the shard. Because fragments are deterministic, a
+//! respawned executor rebuilds any session's hidden state by replaying
+//! the journal of committed units, and the replay windows come back at
+//! the same sequence numbers, so exactly-once semantics survive recovery
+//! and the adversary-visible trace is unchanged.
+//!
 //! Because a session's calls are executed in order by a single owner
 //! thread regardless of the shard count, the adversary-visible view —
 //! program output, reply bytes, trace events, interaction counts — is
@@ -28,15 +46,21 @@
 
 use crate::bytecode::VmCache;
 use crate::channel::{CallReply, PendingCall};
+use crate::fault::CrashConfig;
+use crate::journal::{journal_path, load_disk_journal, DiskJournal, JournalOp, SessionJournal};
 use crate::server::{ReplayCache, SecureServer, SeqCheck};
 use crate::wire::Response;
 use hps_ir::{ComponentId, HiddenProgram};
 use hps_telemetry::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default bound of each per-shard request queue.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
@@ -45,9 +69,13 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 /// retransmit can only be of the last completed sequence).
 pub const DEFAULT_REPLAY_CAPACITY: usize = 1;
 
+/// How long a connection thread waits for the supervisor to respawn a
+/// dead shard before giving up on an enqueue.
+const RESPAWN_WAIT: Duration = Duration::from_secs(5);
+
 /// Counters shared by every thread of a session server. Updated with
-/// relaxed atomics (the queue-depth histogram takes a short mutex at
-/// enqueue time only — never on the executor hot path).
+/// relaxed atomics (the histograms take a short mutex at enqueue /
+/// recovery time only — never on the executor hot path).
 #[derive(Default, Debug)]
 pub(crate) struct StatsInner {
     pub(crate) connections: AtomicU64,
@@ -56,17 +84,37 @@ pub(crate) struct StatsInner {
     pub(crate) replays: AtomicU64,
     pub(crate) replay_evictions: AtomicU64,
     pub(crate) chaos_kills: AtomicU64,
+    /// Fragment panics contained by `catch_unwind` (injected or genuine).
+    pub(crate) panics_caught: AtomicU64,
+    /// Dead executors respawned by the supervisor.
+    pub(crate) shard_restarts: AtomicU64,
+    /// Sessions rebuilt from a journal (respawn or process restart).
+    pub(crate) journal_replays: AtomicU64,
     /// VM counters from *legacy* (sessionless) connections, whose private
     /// servers die with the connection; shard caches are read live instead.
     pub(crate) legacy_vm_compiles: AtomicU64,
     pub(crate) legacy_vm_cache_hits: AtomicU64,
     pub(crate) queue_depth: Mutex<Histogram>,
+    /// Wall-clock microseconds per session rebuild. Live-scrape /
+    /// `BENCH_*.json` exposition only — never part of a deterministic
+    /// snapshot (see OBSERVABILITY.md).
+    pub(crate) recovery_latency: Mutex<Histogram>,
+    /// Shard indexes queued for a deliberate kill (`kill_shard`); the
+    /// supervisor services these on its next tick.
+    pub(crate) kill_requests: Mutex<Vec<usize>>,
     pub(crate) shards: Mutex<Vec<Arc<ShardCounters>>>,
 }
 
 impl StatsInner {
     pub(crate) fn queue_depth_histogram(&self) -> Histogram {
         self.queue_depth.lock().expect("queue depth lock").clone()
+    }
+
+    pub(crate) fn recovery_latency_histogram(&self) -> Histogram {
+        self.recovery_latency
+            .lock()
+            .expect("recovery latency lock")
+            .clone()
     }
 
     pub(crate) fn shard_stats(&self) -> Vec<ShardStats> {
@@ -86,6 +134,7 @@ impl StatsInner {
                 vm_cache_hits: c.vm.as_ref().map_or(0, |v| v.cache_hits()),
                 compile_nanos: c.vm.as_ref().map_or(0, |v| v.compile_nanos()),
                 exec_nanos: c.exec_nanos.load(Ordering::Relaxed),
+                restarts: c.restarts.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -102,8 +151,11 @@ pub(crate) struct ShardCounters {
     max_depth: AtomicU64,
     /// Wall-clock nanoseconds this shard spent executing sequenced units.
     exec_nanos: AtomicU64,
+    /// Executor respawns the supervisor performed for this shard.
+    restarts: AtomicU64,
     /// The shard's shared compile-once bytecode cache (`None` = tree-walk).
     /// Every session of the shard compiles into — and hits — this cache.
+    /// `Send + Sync` atomics only, so it survives executor respawns.
     vm: Option<Arc<VmCache>>,
 }
 
@@ -134,6 +186,9 @@ pub struct ShardStats {
     /// Wall-clock nanoseconds spent executing sequenced units (includes
     /// compile time of first-touch fragments).
     pub exec_nanos: u64,
+    /// Times this shard's executor died and was respawned (sums to
+    /// `hps_server_shard_restarts_total` across shards).
+    pub restarts: u64,
 }
 
 /// The shard a session is owned by. Pure function of the session id, so
@@ -146,15 +201,19 @@ pub(crate) fn shard_of(session: u64, shards: usize) -> usize {
 
 /// A request forwarded from a connection thread to a shard executor. Only
 /// `Send` data crosses: scalar call arguments in, encoded frames out.
+/// Calls are `Arc`-shared so a connection thread can cheaply re-enqueue
+/// the same unit after an executor died mid-stream.
 pub(crate) enum ExecMsg {
-    /// Ensure the session exists; reply with its next expected sequence.
+    /// Ensure the session exists (rebuilding it from a journal if this
+    /// shard — or process — is meeting it after a crash); reply with its
+    /// next expected sequence.
     Hello { session: u64, reply: Sender<u64> },
     /// Execute-or-replay one sequenced unit; reply with the encoded
     /// `Response` frame to send (or cache).
     Seq {
         session: u64,
         seq: u64,
-        calls: Vec<PendingCall>,
+        calls: Arc<Vec<PendingCall>>,
         batch: bool,
         reply: Sender<Vec<u8>>,
     },
@@ -164,23 +223,32 @@ pub(crate) enum ExecMsg {
         component: ComponentId,
         key: u64,
     },
+    /// Deliberate executor suicide (kill-switch faults, `kill_shard`).
+    /// The supervisor respawns the shard; sessions rebuild by replay.
+    Crash,
 }
 
 /// The cloneable handle connection threads use to reach the pool. Routes
 /// by session id and records queue-depth telemetry at every enqueue.
+///
+/// Senders live behind per-shard **slots**: when an executor dies the
+/// supervisor swaps a fresh sender into its slot, so an enqueue that hit
+/// the dead channel simply waits out the respawn and retries. A `None`
+/// slot means the pool is draining and the send fails for good.
 #[derive(Clone)]
 pub(crate) struct ShardSenders {
-    senders: Vec<SyncSender<ExecMsg>>,
+    slots: Arc<Vec<Mutex<Option<SyncSender<ExecMsg>>>>>,
     counters: Vec<Arc<ShardCounters>>,
     stats: Arc<StatsInner>,
 }
 
 impl ShardSenders {
     /// Enqueues `msg` on the owning shard's bounded queue, blocking for
-    /// back-pressure when the shard is `queue_capacity` deep. `Err` means
-    /// the executor exited — only possible outside a clean drain.
+    /// back-pressure when the shard is `queue_capacity` deep and waiting
+    /// out a supervisor respawn when the shard died. `Err` means the pool
+    /// drained (or the respawn wait expired).
     pub(crate) fn send(&self, session: u64, msg: ExecMsg) -> Result<(), ()> {
-        let shard = shard_of(session, self.senders.len());
+        let shard = shard_of(session, self.slots.len());
         let c = &self.counters[shard];
         let depth = c.depth.fetch_add(1, Ordering::Relaxed) + 1;
         c.max_depth.fetch_max(depth, Ordering::Relaxed);
@@ -189,68 +257,166 @@ impl ShardSenders {
             .lock()
             .expect("queue depth lock")
             .record(depth);
-        self.senders[shard].send(msg).map_err(|_| {
-            c.depth.fetch_sub(1, Ordering::Relaxed);
-        })
+        let deadline = Instant::now() + RESPAWN_WAIT;
+        let mut msg = msg;
+        loop {
+            // Clone the sender out of the slot so the bounded (blocking)
+            // send itself never holds the slot lock.
+            let sender = self.slots[shard].lock().expect("shard slot lock").clone();
+            let Some(sender) = sender else {
+                depth_sub(c);
+                return Err(());
+            };
+            match sender.send(msg) {
+                Ok(()) => return Ok(()),
+                Err(std::sync::mpsc::SendError(returned)) => {
+                    // The executor died with our message unreceived. Wait
+                    // for the supervisor to swap in its replacement.
+                    if Instant::now() >= deadline {
+                        depth_sub(c);
+                        return Err(());
+                    }
+                    msg = returned;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
     }
 }
 
-/// The pool: N shard executors plus the origin copy of their senders.
+/// Saturating queue-depth decrement: a respawn resets the counter to zero
+/// underneath in-flight accounting, so pairs can go missing — saturation
+/// keeps the count approximately right instead of wrapping.
+fn depth_sub(c: &ShardCounters) {
+    let _ = c
+        .depth
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
+}
+
+/// Spawn-time configuration of a shard pool.
+#[derive(Clone, Debug)]
+pub(crate) struct ShardConfig {
+    pub(crate) shards: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) replay_capacity: usize,
+    pub(crate) fragment_vm: bool,
+    /// Per-session cap on the in-memory journal ring.
+    pub(crate) journal_limit: usize,
+    /// Directory for checksummed on-disk journals (`--journal-dir`);
+    /// `None` keeps journaling in-memory only.
+    pub(crate) journal_dir: Option<PathBuf>,
+    /// Seeded crash-injection schedule (kill / panic rates).
+    pub(crate) crash: Option<CrashConfig>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            replay_capacity: DEFAULT_REPLAY_CAPACITY,
+            fragment_vm: true,
+            journal_limit: crate::journal::DEFAULT_JOURNAL_LIMIT,
+            journal_dir: None,
+            crash: None,
+        }
+    }
+}
+
+/// Everything one executor incarnation needs — and everything the
+/// supervisor needs to spawn the next incarnation of the same shard.
+/// The journal map and counters are shared across incarnations; the
+/// sessions' hidden state is not (it is rebuilt by replay).
+#[derive(Clone)]
+struct ShardContext {
+    shard: usize,
+    hidden: HiddenProgram,
+    stats: Arc<StatsInner>,
+    counters: Arc<ShardCounters>,
+    replay_capacity: usize,
+    journal_limit: usize,
+    journal_dir: Option<PathBuf>,
+    /// The shard's committed-op journals, one ring per session. Held
+    /// *outside* the executor thread so it survives executor death.
+    journal: Arc<Mutex<HashMap<u64, SessionJournal>>>,
+}
+
+/// The pool: N supervised shard executors plus the routing slots.
 ///
-/// Lifecycle: connection threads clone [`ShardSenders`]; an executor exits
-/// when *every* sender to it is gone. [`ShardPool::drain`] drops the
-/// pool's own senders and joins the threads, so in-flight requests from
-/// still-living connections are always answered first — the graceful half
-/// of `SessionServerHandle::stop`.
+/// Lifecycle: connection threads clone [`ShardSenders`] and enqueue
+/// through the slots; the supervisor respawns any executor that dies.
+/// [`ShardPool::drain`] stops the supervisor, which withdraws every
+/// slot's sender and joins the executors — each keeps serving until its
+/// queue is empty, so no accepted request is abandoned.
 pub(crate) struct ShardPool {
     senders: ShardSenders,
-    threads: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    supervisor: JoinHandle<()>,
 }
 
 impl ShardPool {
-    /// Spawns `shards` executor threads (min 1), each owning the sessions
-    /// hashed to it, fed by a bounded queue of `queue_capacity`. With
-    /// `fragment_vm` on, each shard gets one compile-once bytecode cache
-    /// shared by all its sessions (fragments lower at most once per shard).
+    /// Spawns `config.shards` executor threads (min 1), each owning the
+    /// sessions hashed to it, fed by a bounded queue, plus the supervisor
+    /// that keeps them alive. With `fragment_vm` on, each shard gets one
+    /// compile-once bytecode cache shared by all its sessions (and all
+    /// its incarnations — compiled code is `Send + Sync`).
     pub(crate) fn spawn(
-        shards: usize,
-        queue_capacity: usize,
-        replay_capacity: usize,
-        fragment_vm: bool,
+        config: ShardConfig,
         hidden: &HiddenProgram,
         stats: &Arc<StatsInner>,
     ) -> ShardPool {
-        let shards = shards.max(1);
-        let mut senders = Vec::with_capacity(shards);
+        let shards = config.shards.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+        let mut slot_vec = Vec::with_capacity(shards);
         let mut counters = Vec::with_capacity(shards);
+        let mut contexts = Vec::with_capacity(shards);
         let mut threads = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity.max(1));
             let c = Arc::new(ShardCounters {
-                vm: fragment_vm.then(|| Arc::new(VmCache::for_program(hidden))),
+                vm: config
+                    .fragment_vm
+                    .then(|| Arc::new(VmCache::for_program(hidden))),
                 ..ShardCounters::default()
             });
-            let thread = std::thread::Builder::new()
-                .name(format!("hps-shard-{shard}"))
-                .spawn({
-                    let hidden = hidden.clone();
-                    let stats = Arc::clone(stats);
-                    let c = Arc::clone(&c);
-                    move || run_shard_executor(rx, hidden, stats, c, replay_capacity)
-                })
-                .expect("spawn shard executor");
-            senders.push(tx);
+            let ctx = ShardContext {
+                shard,
+                hidden: hidden.clone(),
+                stats: Arc::clone(stats),
+                counters: Arc::clone(&c),
+                replay_capacity: config.replay_capacity,
+                journal_limit: config.journal_limit.max(1),
+                journal_dir: config.journal_dir.clone(),
+                journal: Arc::new(Mutex::new(HashMap::new())),
+            };
+            let (tx, thread) = spawn_executor(&ctx, queue_capacity, config.crash, 0);
+            slot_vec.push(Mutex::new(Some(tx)));
             counters.push(c);
+            contexts.push(ctx);
             threads.push(thread);
         }
         *stats.shards.lock().expect("shard table lock") = counters.clone();
+        let slots = Arc::new(slot_vec);
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = std::thread::Builder::new()
+            .name("hps-shard-supervisor".into())
+            .spawn({
+                let slots = Arc::clone(&slots);
+                let stats = Arc::clone(stats);
+                let stop = Arc::clone(&stop);
+                let crash = config.crash;
+                move || supervise(slots, contexts, threads, queue_capacity, crash, stats, stop)
+            })
+            .expect("spawn shard supervisor");
         ShardPool {
             senders: ShardSenders {
-                senders,
+                slots,
                 counters,
                 stats: Arc::clone(stats),
             },
-            threads,
+            stop,
+            supervisor,
         }
     }
 
@@ -259,49 +425,151 @@ impl ShardPool {
         self.senders.clone()
     }
 
-    /// Graceful drain: drops the pool's senders and joins every executor.
-    /// Each executor keeps serving until the last connection-held sender
-    /// drops, so no in-flight request is abandoned.
+    /// Graceful drain: stops the supervisor, which withdraws every slot's
+    /// sender and joins every executor after it finishes its queue.
     pub(crate) fn drain(self) {
-        let ShardPool { senders, threads } = self;
-        drop(senders);
-        for t in threads {
-            let _ = t.join();
-        }
+        self.stop.store(true, Ordering::Release);
+        let _ = self.supervisor.join();
     }
 }
 
-/// Per-session secure state: one [`SecureServer`] plus the replay window.
+fn spawn_executor(
+    ctx: &ShardContext,
+    queue_capacity: usize,
+    crash: Option<CrashConfig>,
+    incarnation: u64,
+) -> (SyncSender<ExecMsg>, JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(queue_capacity);
+    let thread = std::thread::Builder::new()
+        .name(format!("hps-shard-{}", ctx.shard))
+        .spawn({
+            let ctx = ctx.clone();
+            move || run_shard_executor(rx, ctx, crash, incarnation)
+        })
+        .expect("spawn shard executor");
+    (tx, thread)
+}
+
+/// The supervisor loop: services deliberate kill requests, respawns dead
+/// executors behind their routing slots, and performs the graceful drain
+/// when the pool stops.
+fn supervise(
+    slots: Arc<Vec<Mutex<Option<SyncSender<ExecMsg>>>>>,
+    contexts: Vec<ShardContext>,
+    mut threads: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+    crash: Option<CrashConfig>,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut incarnations: Vec<u64> = vec![0; threads.len()];
+    while !stop.load(Ordering::Acquire) {
+        // Deliberate kills (tests, `loadgen --crash`).
+        let kills: Vec<usize> =
+            std::mem::take(&mut *stats.kill_requests.lock().expect("kill requests lock"));
+        for shard in kills {
+            if shard >= threads.len() {
+                continue;
+            }
+            let sender = slots[shard].lock().expect("shard slot lock").clone();
+            if let Some(tx) = sender {
+                if let Err(TrySendError::Full(_)) = tx.try_send(ExecMsg::Crash) {
+                    // Queue saturated; retry on the next tick.
+                    stats
+                        .kill_requests
+                        .lock()
+                        .expect("kill requests lock")
+                        .push(shard);
+                }
+            }
+        }
+        // Respawn any executor that died — killed, panicked, whatever.
+        for shard in 0..threads.len() {
+            if !threads[shard].is_finished() {
+                continue;
+            }
+            let ctx = &contexts[shard];
+            incarnations[shard] += 1;
+            let (tx, thread) = spawn_executor(ctx, queue_capacity, crash, incarnations[shard]);
+            let old = std::mem::replace(&mut threads[shard], thread);
+            let _ = old.join();
+            // Messages queued-but-unreceived died with the old channel;
+            // their depth contributions are wiped with this reset.
+            ctx.counters.depth.store(0, Ordering::Relaxed);
+            *slots[shard].lock().expect("shard slot lock") = Some(tx);
+            ctx.counters.restarts.fetch_add(1, Ordering::Relaxed);
+            stats.shard_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Drain: withdraw every sender so executors exit after finishing
+    // their queues, then join them.
+    for slot in slots.iter() {
+        *slot.lock().expect("shard slot lock") = None;
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+/// One session's slot on its owner shard: live state, or a poisoned
+/// tombstone after an unrecoverable panic. Poisoning is per-session by
+/// design — the blast radius of a bad fragment is one session, never the
+/// shard or its other sessions.
+enum SessionSlot {
+    Live(Box<SessionState>),
+    Poisoned { reason: String, next_seq: u64 },
+}
+
+/// Per-session secure state: one [`SecureServer`], the replay window,
+/// and the optional on-disk journal append handle.
 struct SessionState {
     server: SecureServer,
     replay: ReplayCache<Vec<u8>>,
+    disk: Option<DiskJournal>,
 }
 
 /// One shard's executor loop: owns the hidden state of every session
-/// hashed here, applies the replay cache, and hands encoded response
-/// frames back to the connection threads. Exits when the last sender
-/// (pool + connections) drops.
+/// hashed here, applies the replay cache, journals committed units, and
+/// hands encoded response frames back to the connection threads. Exits
+/// when the last sender drops (drain), on [`ExecMsg::Crash`], or on an
+/// injected kill — the supervisor respawns the latter two.
 fn run_shard_executor(
     rx: Receiver<ExecMsg>,
-    hidden: HiddenProgram,
-    stats: Arc<StatsInner>,
-    counters: Arc<ShardCounters>,
-    replay_capacity: usize,
+    ctx: ShardContext,
+    crash: Option<CrashConfig>,
+    incarnation: u64,
 ) {
-    let mut sessions: HashMap<u64, SessionState> = HashMap::new();
+    let mut chaos = crash.map(|c| {
+        if c.panic_per_mille > 0 {
+            silence_injected_panics();
+        }
+        // Deterministic per (seed, shard, incarnation, event index).
+        let seed = c.seed ^ ((ctx.shard as u64) << 32) ^ incarnation;
+        (StdRng::seed_from_u64(seed), c)
+    });
+    let mut sessions: HashMap<u64, SessionSlot> = HashMap::new();
     while let Ok(msg) = rx.recv() {
-        counters.depth.fetch_sub(1, Ordering::Relaxed);
+        depth_sub(&ctx.counters);
+        if let Some((rng, c)) = &mut chaos {
+            if c.shard_kill_per_mille > 0
+                && !matches!(msg, ExecMsg::Crash)
+                && rng.gen_range(0u32..1000) < c.shard_kill_per_mille
+            {
+                // The executor dies mid-stream, dropping its queue and
+                // every pending reply sender; the supervisor respawns it
+                // and sessions rebuild from their journals on demand.
+                return;
+            }
+        }
         match msg {
+            ExecMsg::Crash => return,
             ExecMsg::Hello { session, reply } => {
-                let state = open_session(
-                    &mut sessions,
-                    session,
-                    &hidden,
-                    &stats,
-                    &counters,
-                    replay_capacity,
-                );
-                let _ = reply.send(state.replay.next_seq());
+                let next = match open_session(&mut sessions, session, &ctx) {
+                    SessionSlot::Live(state) => state.replay.next_seq(),
+                    SessionSlot::Poisoned { next_seq, .. } => *next_seq,
+                };
+                let _ = reply.send(next);
             }
             ExecMsg::Seq {
                 session,
@@ -310,44 +578,13 @@ fn run_shard_executor(
                 batch,
                 reply,
             } => {
-                let state = open_session(
-                    &mut sessions,
-                    session,
-                    &hidden,
-                    &stats,
-                    &counters,
-                    replay_capacity,
-                );
-                let bytes = match state.replay.check(seq) {
-                    SeqCheck::Fresh => {
-                        let t0 = std::time::Instant::now();
-                        let (resp, served, cost) = execute(&mut state.server, &calls, batch);
-                        counters
-                            .exec_nanos
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        stats.calls.fetch_add(served, Ordering::Relaxed);
-                        counters.calls.fetch_add(served, Ordering::Relaxed);
-                        counters.fragments.fetch_add(served, Ordering::Relaxed);
-                        counters.cost.fetch_add(cost, Ordering::Relaxed);
-                        let mut buf = Vec::new();
-                        resp.encode_into(&mut buf);
-                        let evicted = state.replay.store(seq, buf.clone());
-                        stats.replay_evictions.fetch_add(evicted, Ordering::Relaxed);
-                        buf
+                let inject = match &mut chaos {
+                    Some((rng, c)) if c.panic_per_mille > 0 => {
+                        rng.gen_range(0u32..1000) < c.panic_per_mille
                     }
-                    SeqCheck::Replay(cached) => {
-                        stats.replays.fetch_add(1, Ordering::Relaxed);
-                        cached.clone()
-                    }
-                    SeqCheck::Gap { expected } => {
-                        let resp = Response::Error(format!(
-                            "sequence gap: got {seq}, expected {expected}"
-                        ));
-                        let mut buf = Vec::new();
-                        resp.encode_into(&mut buf);
-                        buf
-                    }
+                    _ => false,
                 };
+                let bytes = serve_seq(&mut sessions, session, seq, &calls, batch, inject, &ctx);
                 let _ = reply.send(bytes);
             }
             ExecMsg::Release {
@@ -355,38 +592,299 @@ fn run_shard_executor(
                 component,
                 key,
             } => {
-                if let Some(state) = sessions.get_mut(&session) {
+                if let Some(SessionSlot::Live(state)) = sessions.get_mut(&session) {
                     state.server.release(component, key);
+                    // Journaled so replay frees exactly what the live
+                    // session freed.
+                    commit_op(&ctx, session, state, JournalOp::Release { component, key });
                 }
             }
         }
     }
 }
 
-fn open_session<'a>(
-    sessions: &'a mut HashMap<u64, SessionState>,
+/// Serves one sequenced unit: replay-cache fast paths first, then fresh
+/// execution under panic isolation with a single rebuild-and-retry.
+fn serve_seq(
+    sessions: &mut HashMap<u64, SessionSlot>,
     session: u64,
-    hidden: &HiddenProgram,
-    stats: &StatsInner,
-    counters: &ShardCounters,
-    replay_capacity: usize,
-) -> &'a mut SessionState {
-    sessions.entry(session).or_insert_with(|| {
-        stats.sessions.fetch_add(1, Ordering::Relaxed);
-        counters.sessions.fetch_add(1, Ordering::Relaxed);
-        // Sessions share the shard's compile-once cache: the shard thread
-        // exclusively owns its sessions, but compiled code is plain
-        // `Send + Sync` data, so sharing it is safe and each fragment
-        // lowers at most once per shard.
-        let server = match &counters.vm {
-            Some(cache) => SecureServer::new(hidden.clone()).with_vm_cache(Arc::clone(cache)),
-            None => SecureServer::new(hidden.clone()).with_fragment_vm(false),
+    seq: u64,
+    calls: &Arc<Vec<PendingCall>>,
+    batch: bool,
+    inject_panic: bool,
+    ctx: &ShardContext,
+) -> Vec<u8> {
+    match open_session(sessions, session, ctx) {
+        SessionSlot::Poisoned { reason, .. } => {
+            return encode_error(format!("session poisoned: {reason}"));
+        }
+        SessionSlot::Live(state) => match state.replay.check(seq) {
+            SeqCheck::Fresh => {}
+            SeqCheck::Replay(cached) => {
+                ctx.stats.replays.fetch_add(1, Ordering::Relaxed);
+                return cached.clone();
+            }
+            SeqCheck::Gap { expected } => {
+                return encode_error(format!("sequence gap: got {seq}, expected {expected}"));
+            }
+        },
+    }
+    // Fresh: execute under `catch_unwind`. A first panic (injected or
+    // genuine) leaves torn hidden state behind, so the session is rebuilt
+    // from its journal and the unit retried once; a second panic —
+    // deterministic fragments fail deterministically — poisons the
+    // session. Only this session is affected either way.
+    let mut attempt = 0u32;
+    loop {
+        let Some(SessionSlot::Live(state)) = sessions.get_mut(&session) else {
+            unreachable!("session opened live above");
         };
-        SessionState {
-            server,
-            replay: ReplayCache::with_capacity(replay_capacity),
+        let inject = inject_panic && attempt == 0;
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_unit(&mut state.server, calls, batch, inject)
+        }));
+        ctx.counters
+            .exec_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match outcome {
+            Ok((resp, served, cost)) => {
+                ctx.stats.calls.fetch_add(served, Ordering::Relaxed);
+                ctx.counters.calls.fetch_add(served, Ordering::Relaxed);
+                ctx.counters.fragments.fetch_add(served, Ordering::Relaxed);
+                ctx.counters.cost.fetch_add(cost, Ordering::Relaxed);
+                let mut buf = Vec::new();
+                resp.encode_into(&mut buf);
+                let evicted = state.replay.store(seq, buf.clone());
+                ctx.stats
+                    .replay_evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+                // The commit point: the journal sees the unit before the
+                // reply leaves the shard (DESIGN.md §12), so recovery is
+                // always at or one behind what the client observed.
+                commit_op(
+                    ctx,
+                    session,
+                    state,
+                    JournalOp::Seq {
+                        seq,
+                        calls: Arc::clone(calls),
+                        batch,
+                    },
+                );
+                return buf;
+            }
+            Err(payload) => {
+                ctx.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let reason = panic_reason(payload.as_ref());
+                if attempt == 0 {
+                    if let Some(rebuilt) = rebuild_session(session, ctx) {
+                        sessions.insert(session, SessionSlot::Live(Box::new(rebuilt)));
+                        attempt = 1;
+                        continue;
+                    }
+                }
+                let next_seq = ctx
+                    .journal
+                    .lock()
+                    .expect("journal lock")
+                    .get(&session)
+                    .map_or(seq, |j| j.last_seq() + 1);
+                let reason = format!("fragment panicked: {reason}");
+                let msg = format!("session poisoned: {reason}");
+                sessions.insert(session, SessionSlot::Poisoned { reason, next_seq });
+                return encode_error(msg);
+            }
+        }
+    }
+}
+
+/// Keeps the *scheduled* panics out of stderr: with a panic-injection
+/// rate configured, every injected unwind would otherwise print a full
+/// default-hook report. The filter is payload-exact, so genuine panics —
+/// the ones `catch_unwind` exists for — still report normally.
+fn silence_injected_panics() {
+    static SILENCE: std::sync::Once = std::sync::Once::new();
+    SILENCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected mid-fragment panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs one unit, optionally dying half-way through it first (the
+/// injected mid-fragment panic fault): a prefix of the unit executes and
+/// mutates hidden state, then the thread panics — recovery must rebuild,
+/// not resume.
+fn run_unit(
+    server: &mut SecureServer,
+    calls: &[PendingCall],
+    batch: bool,
+    inject_panic: bool,
+) -> (Response, u64, u64) {
+    if inject_panic {
+        let torn = calls.len().div_ceil(2).max(1);
+        for c in &calls[..torn] {
+            let _ = server.call(c.component, c.key, c.label, &c.args);
+        }
+        panic!("injected mid-fragment panic (crash schedule)");
+    }
+    execute(server, calls, batch)
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn encode_error(msg: String) -> Vec<u8> {
+    let mut buf = Vec::new();
+    Response::Error(msg).encode_into(&mut buf);
+    buf
+}
+
+/// Appends a committed op to the session's in-memory ring and (best
+/// effort) its disk journal. Called at the commit point, before replying.
+fn commit_op(ctx: &ShardContext, session: u64, state: &mut SessionState, op: JournalOp) {
+    ctx.journal
+        .lock()
+        .expect("journal lock")
+        .entry(session)
+        .or_insert_with(|| SessionJournal::new(ctx.journal_limit))
+        .append(op.clone());
+    if let Some(disk) = &mut state.disk {
+        // Best-effort: a failing disk leaves the in-memory ring as the
+        // recovery source; the next restart simply recovers less.
+        let _ = disk.append(&op);
+    }
+}
+
+/// Looks a session up, creating it on first contact. A session this
+/// executor has never seen but whose journal exists — in the shared ring
+/// map (executor respawn) or on disk (process restart) — is rebuilt by
+/// replay instead; an incomplete journal poisons it.
+fn open_session<'a>(
+    sessions: &'a mut HashMap<u64, SessionSlot>,
+    session: u64,
+    ctx: &ShardContext,
+) -> &'a mut SessionSlot {
+    sessions.entry(session).or_insert_with(|| {
+        let known = ctx
+            .journal
+            .lock()
+            .expect("journal lock")
+            .contains_key(&session)
+            || ctx
+                .journal_dir
+                .as_deref()
+                .is_some_and(|d| journal_path(d, session).exists());
+        if known {
+            match rebuild_session(session, ctx) {
+                Some(state) => SessionSlot::Live(Box::new(state)),
+                None => {
+                    let next_seq = ctx
+                        .journal
+                        .lock()
+                        .expect("journal lock")
+                        .get(&session)
+                        .map_or(1, |j| j.last_seq() + 1);
+                    SessionSlot::Poisoned {
+                        reason: "journal incomplete: ring overflowed before recovery".into(),
+                        next_seq,
+                    }
+                }
+            }
+        } else {
+            ctx.stats.sessions.fetch_add(1, Ordering::Relaxed);
+            ctx.counters.sessions.fetch_add(1, Ordering::Relaxed);
+            ctx.journal
+                .lock()
+                .expect("journal lock")
+                .insert(session, SessionJournal::new(ctx.journal_limit));
+            SessionSlot::Live(Box::new(fresh_state(session, ctx)))
         }
     })
+}
+
+/// A brand-new (or about-to-be-replayed-into) session state. Sessions
+/// share the shard's compile-once cache: the shard thread exclusively
+/// owns its sessions, but compiled code is plain `Send + Sync` data, so
+/// sharing it is safe and each fragment lowers at most once per shard.
+fn fresh_state(session: u64, ctx: &ShardContext) -> SessionState {
+    let server = match &ctx.counters.vm {
+        Some(cache) => SecureServer::new(ctx.hidden.clone()).with_vm_cache(Arc::clone(cache)),
+        None => SecureServer::new(ctx.hidden.clone()).with_fragment_vm(false),
+    };
+    let disk = ctx
+        .journal_dir
+        .as_deref()
+        .and_then(|d| DiskJournal::open(d, session).ok());
+    SessionState {
+        server,
+        replay: ReplayCache::with_capacity(ctx.replay_capacity),
+        disk,
+    }
+}
+
+/// Rebuilds a session's hidden state by replaying its journal of
+/// committed units — the fragments are deterministic, so the result is
+/// bit-identical to the lost state. Returns `None` when no journal can
+/// be found or the ring is no longer a complete history (the caller then
+/// poisons the session rather than rebuild wrong state).
+fn rebuild_session(session: u64, ctx: &ShardContext) -> Option<SessionState> {
+    let t0 = Instant::now();
+    let journal = {
+        let mut map = ctx.journal.lock().expect("journal lock");
+        match map.get(&session) {
+            Some(j) => j.clone(),
+            None => {
+                let loaded = ctx
+                    .journal_dir
+                    .as_deref()
+                    .and_then(|d| load_disk_journal(d, session, ctx.journal_limit))?;
+                map.insert(session, loaded.clone());
+                loaded
+            }
+        }
+    };
+    if !journal.is_complete() {
+        return None;
+    }
+    let mut state = fresh_state(session, ctx);
+    for op in journal.ops() {
+        match op {
+            JournalOp::Seq { seq, calls, batch } => {
+                // Replay is not new logical work: committed units were
+                // counted when first served, so only hidden state and the
+                // replay window are rebuilt here.
+                let (resp, _served, _cost) = execute(&mut state.server, calls, *batch);
+                let mut buf = Vec::new();
+                resp.encode_into(&mut buf);
+                let _ = state.replay.store(*seq, buf);
+            }
+            JournalOp::Release { component, key } => state.server.release(*component, *key),
+        }
+    }
+    ctx.stats.journal_replays.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .recovery_latency
+        .lock()
+        .expect("recovery latency lock")
+        .record(t0.elapsed().as_micros() as u64);
+    Some(state)
 }
 
 /// Executes one sequenced unit against a session's secure server,

@@ -36,8 +36,9 @@
 
 use crate::channel::{CallReply, Channel, PendingCall, TransportStats};
 use crate::error::{FaultClass, RuntimeError};
+use crate::fault::CrashConfig;
 use crate::server::SecureServer;
-use crate::shard::{ExecMsg, ShardPool, ShardSenders, StatsInner};
+use crate::shard::{ExecMsg, ShardConfig, ShardPool, ShardSenders, StatsInner};
 use crate::wire::{read_frame, write_frame, Request, Response, WIRE_VERSION};
 use hps_ir::{ComponentId, FragLabel, HiddenProgram, Value};
 use hps_telemetry::{metrics::names, Event, Histogram, MetricsSnapshot, RecorderHandle};
@@ -45,9 +46,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side retry configuration for [`TcpChannel::connect_reliable`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,17 +61,30 @@ pub struct RetryPolicy {
     pub base_backoff: Duration,
     /// Read/write/connect timeout per attempt.
     pub timeout: Duration,
+    /// Optional wall-clock deadline per *logical call* (`hps client
+    /// --timeout MS`). Where `timeout` bounds one attempt, this bounds the
+    /// whole retry loop: a hung or unreachable server fails fast with a
+    /// terminal `deadline` fault instead of exhausting the backoff budget.
+    pub call_deadline: Option<Duration>,
+    /// How many committed sequenced frames the client retains for the
+    /// session-resume path: if a recovered server comes back missing a
+    /// tail of committed units (lost journal frames), the handshake
+    /// re-drives up to this many frames byte-identically.
+    pub resume_window: usize,
     /// Seed for the deterministic jitter stream (and session-id salt).
     pub jitter_seed: u64,
 }
 
 impl RetryPolicy {
-    /// Defaults: 6 attempts, 10 ms base backoff, 5 s timeout.
+    /// Defaults: 6 attempts, 10 ms base backoff, 5 s timeout, no per-call
+    /// deadline, 64-frame resume window.
     pub fn new() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 6,
             base_backoff: Duration::from_millis(10),
             timeout: Duration::from_secs(5),
+            call_deadline: None,
+            resume_window: 64,
             jitter_seed: 0x5eed_cafe,
         }
     }
@@ -97,6 +112,29 @@ impl RetryPolicy {
         self.jitter_seed = seed;
         self
     }
+
+    /// Sets the per-logical-call deadline (builder style). `None` (the
+    /// default) keeps only the per-attempt timeout.
+    pub fn with_call_deadline(mut self, deadline: Option<Duration>) -> RetryPolicy {
+        self.call_deadline = deadline;
+        self
+    }
+
+    /// Overrides the session-resume window (builder style; min 1).
+    pub fn with_resume_window(mut self, frames: usize) -> RetryPolicy {
+        self.resume_window = frames.max(1);
+        self
+    }
+
+    /// The socket timeout per attempt: the per-attempt timeout, capped by
+    /// the per-call deadline when one is set — a hung server must not eat
+    /// the whole deadline in a single blocked read.
+    fn socket_timeout(&self) -> Duration {
+        match self.call_deadline {
+            Some(d) => self.timeout.min(d.max(Duration::from_millis(1))),
+            None => self.timeout,
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -113,6 +151,12 @@ struct Reliable {
     policy: RetryPolicy,
     session: u64,
     next_seq: u64,
+    /// The last `policy.resume_window` committed sequenced frames,
+    /// byte-identical as sent, keyed by sequence number. A recovered
+    /// server that lost a committed tail (dead executor, torn disk
+    /// journal) is caught up from here during the handshake — see
+    /// [`TcpChannel::resume_session`].
+    history: std::collections::VecDeque<(u64, Vec<u8>)>,
     rng: StdRng,
 }
 
@@ -236,7 +280,7 @@ impl TcpChannel {
             .map_err(|e| RuntimeError::transport("resolve", &e))?
             .collect();
         let rng = StdRng::seed_from_u64(policy.jitter_seed);
-        let stream = connect_stream(&addrs, policy.timeout)?;
+        let stream = connect_stream(&addrs, policy.socket_timeout())?;
         let (reader, writer) = split_stream(stream)?;
         let mut chan = TcpChannel {
             reader,
@@ -250,6 +294,7 @@ impl TcpChannel {
                 policy,
                 session,
                 next_seq: 1,
+                history: std::collections::VecDeque::new(),
                 rng,
             }),
             stats: TransportStats::default(),
@@ -336,6 +381,12 @@ impl TcpChannel {
                         r.next_seq
                     )));
                 }
+                // The server may also come back *behind*: a recovered
+                // server whose journal lost a committed tail. Re-drive
+                // the missing frames from the resume window.
+                if next_seq < r.next_seq {
+                    return self.resume_session(next_seq);
+                }
                 Ok(())
             }
             Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
@@ -345,11 +396,56 @@ impl TcpChannel {
         }
     }
 
+    /// Re-drives committed-but-lost sequenced frames after the server came
+    /// back behind the client (an executor died before journaling its
+    /// tail, or a torn disk journal frame was dropped on restart). The
+    /// retransmits are the byte-identical original frames, so on the wire
+    /// this is indistinguishable from the lost-response retransmits the
+    /// protocol always had — the adversary's view is unchanged, and no
+    /// interaction or transport counter moves. Responses are discarded:
+    /// the client already delivered these calls' results.
+    fn resume_session(&mut self, server_next: u64) -> Result<(), RuntimeError> {
+        let (frames, client_next, window) = {
+            let r = self.reliable.as_ref().expect("reliable mode");
+            let frames: Vec<Vec<u8>> = r
+                .history
+                .iter()
+                .filter(|(seq, _)| *seq >= server_next)
+                .map(|(_, frame)| frame.clone())
+                .collect();
+            (frames, r.next_seq, r.policy.resume_window)
+        };
+        let missing = client_next - server_next;
+        if frames.len() as u64 != missing {
+            return Err(RuntimeError::Transport {
+                class: FaultClass::Terminal,
+                op: "resume",
+                detail: format!(
+                    "server lost {missing} committed units but the resume \
+                     window holds {} (cap {window})",
+                    frames.len()
+                ),
+            });
+        }
+        for frame in frames {
+            write_frame(&mut self.writer, &frame)?;
+            let payload = read_frame(&mut self.reader)?.ok_or_else(|| RuntimeError::Transport {
+                class: FaultClass::Retryable,
+                op: "resume",
+                detail: "server closed during session resume".into(),
+            })?;
+            // Any decodable response completes the re-drive: the server's
+            // sequence advances on success and execution errors alike.
+            let _ = Response::decode(&payload)?;
+        }
+        Ok(())
+    }
+
     /// Re-establishes the connection and re-opens the session.
     fn reconnect(&mut self) -> Result<(), RuntimeError> {
         let (addrs, timeout) = {
             let r = self.reliable.as_ref().expect("reliable mode");
-            (r.addrs.clone(), r.policy.timeout)
+            (r.addrs.clone(), r.policy.socket_timeout())
         };
         let stream = connect_stream(&addrs, timeout)?;
         let (reader, writer) = split_stream(stream)?;
@@ -388,10 +484,21 @@ impl TcpChannel {
         let Some(policy) = self.reliable.as_ref().map(|r| r.policy) else {
             return self.try_round_trip();
         };
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             match self.try_round_trip() {
                 Ok(resp) => return Ok(resp),
+                Err(_e) if policy.call_deadline.is_some_and(|d| started.elapsed() >= d) => {
+                    return Err(RuntimeError::Transport {
+                        class: FaultClass::Terminal,
+                        op: "deadline",
+                        detail: format!(
+                            "call exceeded its {}ms deadline after {attempt} retries",
+                            policy.call_deadline.expect("checked").as_millis()
+                        ),
+                    });
+                }
                 Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
                     self.stats.faults += 1;
                     self.stats.retries += 1;
@@ -449,6 +556,15 @@ impl TcpChannel {
         };
         let resp = self.round_trip(&req)?;
         if let Some(r) = self.reliable.as_mut() {
+            // Keep the committed frame so a recovered server that lost its
+            // journal tail can be re-driven (resume_session); the window is
+            // bounded by `RetryPolicy::resume_window`.
+            if matches!(req, Request::SeqCall { .. } | Request::SeqBatch { .. }) {
+                r.history.push_back((r.next_seq, self.scratch.clone()));
+                while r.history.len() > r.policy.resume_window {
+                    r.history.pop_front();
+                }
+            }
             r.next_seq += 1;
         }
         Ok(resp)
@@ -482,7 +598,7 @@ impl Channel for TcpChannel {
                 });
                 Ok(CallReply { value, server_cost })
             }
-            Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
+            Response::Error(msg) => Err(RuntimeError::from_remote(&msg)),
             other => Err(RuntimeError::Channel(format!(
                 "unexpected reply to call: {other:?}"
             ))),
@@ -521,7 +637,7 @@ impl Channel for TcpChannel {
                 calls.len(),
                 replies.len()
             ))),
-            Response::Error(msg) => Err(RuntimeError::Channel(format!("remote: {msg}"))),
+            Response::Error(msg) => Err(RuntimeError::from_remote(&msg)),
             other => Err(RuntimeError::Channel(format!(
                 "unexpected reply to batch: {other:?}"
             ))),
@@ -701,6 +817,13 @@ pub struct ServerStats {
     pub vm_compiles: u64,
     /// Fragment executions served from already-compiled bytecode.
     pub vm_cache_hits: u64,
+    /// Fragment panics caught by per-request `catch_unwind` (injected and
+    /// genuine alike); each poisons at most one session, never a shard.
+    pub panics_caught: u64,
+    /// Dead shard executors respawned by the supervisor.
+    pub shard_restarts: u64,
+    /// Sessions rebuilt by replaying their committed-call journal.
+    pub journal_replays: u64,
 }
 
 impl ServerStats {
@@ -716,6 +839,9 @@ impl ServerStats {
         m.add(names::SERVER_CHAOS_KILLS, self.chaos_kills);
         m.add(names::SERVER_VM_COMPILES, self.vm_compiles);
         m.add(names::SERVER_VM_CACHE_HITS, self.vm_cache_hits);
+        m.add(names::SERVER_PANICS_CAUGHT, self.panics_caught);
+        m.add(names::SERVER_SHARD_RESTARTS, self.shard_restarts);
+        m.add(names::SERVER_JOURNAL_REPLAYS, self.journal_replays);
         m
     }
 }
@@ -748,7 +874,22 @@ impl SessionServerHandle {
                 + shards.iter().map(|s| s.vm_compiles).sum::<u64>(),
             vm_cache_hits: self.stats.legacy_vm_cache_hits.load(Ordering::Relaxed)
                 + shards.iter().map(|s| s.vm_cache_hits).sum::<u64>(),
+            panics_caught: self.stats.panics_caught.load(Ordering::Relaxed),
+            shard_restarts: self.stats.shard_restarts.load(Ordering::Relaxed),
+            journal_replays: self.stats.journal_replays.load(Ordering::Relaxed),
         }
+    }
+
+    /// Asks the supervisor to kill one shard executor (crash drill): the
+    /// executor thread exits at its next message, the supervisor respawns
+    /// it, and its sessions are rebuilt from their journals on demand.
+    /// Out-of-range shard indices are ignored.
+    pub fn kill_shard(&self, shard: usize) {
+        self.stats
+            .kill_requests
+            .lock()
+            .expect("kill-request lock")
+            .push(shard);
     }
 
     /// Per-shard call/session/queue-depth counters, one entry per shard.
@@ -769,6 +910,13 @@ impl SessionServerHandle {
         let cost: u64 = self.shard_stats().iter().map(|s| s.cost_units).sum();
         m.add(names::SERVER_COST_UNITS, cost);
         m.merge_histogram(names::SERVER_SHARD_QUEUE_DEPTH, &self.queue_depth());
+        // Recovery latency is wall-clock (like the ShardStats nanos
+        // fields): live-scrape only, never part of deterministic
+        // snapshots — see OBSERVABILITY.md.
+        m.merge_histogram(
+            names::SERVER_RECOVERY_LATENCY,
+            &self.stats.recovery_latency_histogram(),
+        );
         m
     }
 
@@ -793,6 +941,9 @@ pub struct SessionServer {
     queue_capacity: usize,
     replay_capacity: usize,
     fragment_vm: bool,
+    journal_limit: usize,
+    journal_dir: Option<PathBuf>,
+    crash: Option<CrashConfig>,
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
 }
@@ -819,9 +970,37 @@ impl SessionServer {
             queue_capacity: crate::shard::DEFAULT_QUEUE_CAPACITY,
             replay_capacity: crate::shard::DEFAULT_REPLAY_CAPACITY,
             fragment_vm: crate::bytecode::vm_enabled_by_default(),
+            journal_limit: crate::journal::DEFAULT_JOURNAL_LIMIT,
+            journal_dir: None,
+            crash: None,
             stats: Arc::new(StatsInner::default()),
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Persists every session's committed-call journal under `dir`
+    /// (builder style; one checksummed append-only file per session). A
+    /// server re-bound with the same directory rebuilds hidden state by
+    /// replay, so sessions survive a full process restart.
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> SessionServer {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Caps the in-memory journal ring per session (builder style; min 1).
+    /// A session whose ring overflowed can no longer be rebuilt after an
+    /// executor crash and is poisoned instead of silently diverging.
+    pub fn with_journal_limit(mut self, ops: usize) -> SessionServer {
+        self.journal_limit = ops.max(1);
+        self
+    }
+
+    /// Enables executor-side crash injection (builder style): seeded
+    /// schedules of shard kills and mid-fragment panics, for drills and
+    /// the chaos-recovery CI matrix.
+    pub fn with_crash(mut self, crash: CrashConfig) -> SessionServer {
+        self.crash = Some(crash);
+        self
     }
 
     /// Enables or disables the fragment bytecode VM (builder style;
@@ -911,10 +1090,15 @@ impl SessionServer {
     ) -> Result<(), RuntimeError> {
         let on_event = Arc::new(on_event);
         let pool = ShardPool::spawn(
-            self.shards,
-            self.queue_capacity,
-            self.replay_capacity,
-            self.fragment_vm,
+            ShardConfig {
+                shards: self.shards,
+                queue_capacity: self.queue_capacity,
+                replay_capacity: self.replay_capacity,
+                fragment_vm: self.fragment_vm,
+                journal_limit: self.journal_limit,
+                journal_dir: self.journal_dir.clone(),
+                crash: self.crash,
+            },
             &self.hidden,
             &self.stats,
         );
@@ -1030,30 +1214,71 @@ fn chaos_draw(chaos: &mut Option<(ChaosConfig, StdRng)>) -> ChaosAction {
     }
 }
 
+/// How long a connection thread keeps re-driving a request whose executor
+/// died mid-flight before giving up on the supervisor.
+const EXEC_RETRY_WAIT: Duration = Duration::from_secs(10);
+
 /// Forwards one sequenced unit to the owning shard and waits for the
-/// encoded response frame.
+/// encoded response frame. If the executor dies mid-flight (the reply
+/// sender is dropped without an answer), the unit is re-sent to the
+/// supervisor's replacement executor: the respawned shard rebuilds the
+/// session from its journal, so the re-drive either executes the unit
+/// fresh or answers it from the rebuilt replay cache — exactly-once either
+/// way, and invisible to the client.
 fn exec_round_trip(
     exec: &ShardSenders,
     session: u64,
     seq: u64,
-    calls: Vec<PendingCall>,
+    calls: Arc<Vec<PendingCall>>,
     batch: bool,
 ) -> Result<Vec<u8>, RuntimeError> {
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    exec.send(
-        session,
-        ExecMsg::Seq {
+    let deadline = Instant::now() + EXEC_RETRY_WAIT;
+    loop {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        exec.send(
             session,
-            seq,
-            calls,
-            batch,
-            reply: reply_tx,
-        },
-    )
-    .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
-    reply_rx
-        .recv()
-        .map_err(|_| RuntimeError::Channel("executor dropped a request".into()))
+            ExecMsg::Seq {
+                session,
+                seq,
+                calls: Arc::clone(&calls),
+                batch,
+                reply: reply_tx,
+            },
+        )
+        .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
+        match reply_rx.recv() {
+            Ok(bytes) => return Ok(bytes),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return Err(RuntimeError::Channel("executor dropped a request".into())),
+        }
+    }
+}
+
+/// Forwards a `Hello` to the owning shard, re-driving across executor
+/// respawns like [`exec_round_trip`]. Returns the session's next expected
+/// sequence number.
+fn exec_hello(exec: &ShardSenders, session: u64) -> Result<u64, RuntimeError> {
+    let deadline = Instant::now() + EXEC_RETRY_WAIT;
+    loop {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        exec.send(
+            session,
+            ExecMsg::Hello {
+                session,
+                reply: reply_tx,
+            },
+        )
+        .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
+        match reply_rx.recv() {
+            Ok(next_seq) => return Ok(next_seq),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return Err(RuntimeError::Channel("executor dropped a request".into())),
+        }
+    }
 }
 
 /// Serves one connection of a [`SessionServer`]: handshake, then sequenced
@@ -1093,18 +1318,7 @@ fn serve_session_connection(
                     "client version {version} != {WIRE_VERSION}"
                 )));
             }
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            exec.send(
-                session,
-                ExecMsg::Hello {
-                    session,
-                    reply: reply_tx,
-                },
-            )
-            .map_err(|_| RuntimeError::Channel("executor is gone".into()))?;
-            let next_seq = reply_rx
-                .recv()
-                .map_err(|_| RuntimeError::Channel("executor dropped a request".into()))?;
+            let next_seq = exec_hello(exec, session)?;
             Response::HelloAck {
                 version: WIRE_VERSION,
                 session,
@@ -1170,7 +1384,7 @@ fn serve_session_connection(
         let kill_after = matches!(action, ChaosAction::KillAfterExec);
         match req {
             Request::SeqCall { seq, call } => {
-                let bytes = exec_round_trip(exec, session, seq, vec![call], false)?;
+                let bytes = exec_round_trip(exec, session, seq, Arc::new(vec![call]), false)?;
                 served += 1;
                 if kill_after {
                     // Executed and cached, but the response never leaves:
@@ -1182,7 +1396,7 @@ fn serve_session_connection(
             }
             Request::SeqBatch { seq, calls } => {
                 let n = calls.len() as u64;
-                let bytes = exec_round_trip(exec, session, seq, calls, true)?;
+                let bytes = exec_round_trip(exec, session, seq, Arc::new(calls), true)?;
                 served += n;
                 if kill_after {
                     stats.chaos_kills.fetch_add(1, Ordering::Relaxed);
@@ -1602,7 +1816,7 @@ mod tests {
             .call(ComponentId::new(0), 1, FragLabel::new(0), &[Value::Int(1)])
             .expect_err("gap must be rejected");
         assert!(
-            matches!(&err, RuntimeError::Channel(msg) if msg.contains("sequence gap")),
+            matches!(&err, RuntimeError::SequenceGap { got: 40, .. }),
             "got {err:?}"
         );
         assert!(!err.is_retryable());

@@ -64,12 +64,18 @@ pub mod names {
     pub const SERVER_CONNECTIONS: &str = "hps_server_connections_total";
     /// Virtual cost units spent executing fragments on the secure device.
     pub const SERVER_COST_UNITS: &str = "hps_server_cost_units_total";
+    /// Sessions rebuilt by replaying their committed-call journal.
+    pub const SERVER_JOURNAL_REPLAYS: &str = "hps_server_journal_replays_total";
+    /// Fragment panics caught by per-request `catch_unwind` isolation.
+    pub const SERVER_PANICS_CAUGHT: &str = "hps_server_panics_caught_total";
     /// Entries evicted from session replay caches by the capacity bound.
     pub const SERVER_REPLAY_EVICTIONS: &str = "hps_server_replay_evictions_total";
     /// Retransmits answered from a session server's replay cache.
     pub const SERVER_REPLAYS: &str = "hps_server_replays_total";
     /// Distinct sessions created on a session server.
     pub const SERVER_SESSIONS: &str = "hps_server_sessions_total";
+    /// Dead shard executors respawned by the supervisor.
+    pub const SERVER_SHARD_RESTARTS: &str = "hps_server_shard_restarts_total";
     /// Fragment executions served from already-compiled bytecode.
     pub const SERVER_VM_CACHE_HITS: &str = "hps_server_vm_cache_hits_total";
     /// Fragments lowered to bytecode by the VM's compile-once cache.
@@ -85,6 +91,10 @@ pub mod names {
     pub const FLUSH_PENDING: &str = "hps_flush_pending";
     /// Histogram: virtual cost units per fragment execution.
     pub const FRAGMENT_COST_UNITS: &str = "hps_fragment_cost_units";
+    /// Histogram: wall-clock microseconds per journal-replay session
+    /// rebuild. **Wall-clock, not virtual**: live scrapes and crash-drill
+    /// reports only — never part of deterministic snapshots.
+    pub const SERVER_RECOVERY_LATENCY: &str = "hps_server_recovery_latency_micros";
     /// Histogram: shard queue depth observed at each enqueue.
     pub const SERVER_SHARD_QUEUE_DEPTH: &str = "hps_server_shard_queue_depth";
 }
@@ -115,9 +125,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     names::SERVER_CHAOS_KILLS,
     names::SERVER_CONNECTIONS,
     names::SERVER_COST_UNITS,
+    names::SERVER_JOURNAL_REPLAYS,
+    names::SERVER_PANICS_CAUGHT,
     names::SERVER_REPLAY_EVICTIONS,
     names::SERVER_REPLAYS,
     names::SERVER_SESSIONS,
+    names::SERVER_SHARD_RESTARTS,
     names::SERVER_VM_CACHE_HITS,
     names::SERVER_VM_COMPILES,
     names::TRACE_EVENTS,
@@ -129,6 +142,7 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     names::CALL_ARGS,
     names::FLUSH_PENDING,
     names::FRAGMENT_COST_UNITS,
+    names::SERVER_RECOVERY_LATENCY,
     names::SERVER_SHARD_QUEUE_DEPTH,
 ];
 

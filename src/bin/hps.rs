@@ -11,11 +11,14 @@
 //! hps audit <file.ml> [selection] [--json|--sarif]
 //!                                             split-soundness audit (non-zero exit on deny)
 //! hps serve <file.ml> <addr> [selection] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
+//!                            [--journal-dir DIR]
 //!                                             host the hidden component on TCP;
 //!                                             --shards spreads sessions over N
 //!                                             executor threads, --metrics serves
-//!                                             Prometheus text format
-//! hps client <file.ml> <addr> [selection] [--batch] [--retry] [ints...]
+//!                                             Prometheus text format, --journal-dir
+//!                                             persists session journals so hidden
+//!                                             state survives a server restart
+//! hps client <file.ml> <addr> [selection] [--batch] [--retry] [--timeout MS] [ints...]
 //!                                             run the open component against a server
 //! hps tables [--quick]                        shortcut to the experiment harness
 //! ```
@@ -69,7 +72,8 @@ USAGE:
   hps analyze <file.ml> [selection flags]
   hps audit <file.ml> [selection flags] [--json | --sarif]
   hps serve <file.ml> <addr> [selection flags] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
-  hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--args ints...]
+                             [--journal-dir DIR]
+  hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--timeout MS] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
 complexity-guided, cost-restricted seed choice (the paper's pipeline).
@@ -78,8 +82,13 @@ component passes a declared ILP, lints for weak leaks and exits non-zero
 on any deny-level finding; --json / --sarif select machine-readable output.
 --batch coalesces deferrable hidden calls into batched round trips.
 --retry opens a fault-tolerant session (timeouts, reconnect with backoff,
-exactly-once replay); --chaos SEED makes the server deterministically kill
-connections mid-call to exercise it.
+exactly-once replay); --timeout MS (implies --retry) puts a hard per-call
+deadline on every hidden round trip; --chaos SEED makes the server
+deterministically kill connections mid-call to exercise it.
+`serve --journal-dir DIR` journals every committed hidden call to
+checksummed per-session files so sessions rebuild their hidden state
+after a shard crash or a full server restart (`hps_server_*` recovery
+counters record the replays).
 `run --split` executes the open/hidden pair in-process; `--metrics-json`
 (implies --split) prints the deterministic hps-telemetry/v1 snapshot to
 stdout, with program output diverted to stderr. `serve --shards N` spreads
@@ -371,13 +380,14 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]";
+    const USAGE: &str = "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--no-vm] \
+                         [--chaos SEED] [--metrics ADDR] [--journal-dir DIR]";
     let path = args.first().ok_or(USAGE)?;
     let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
     let mut chaos = None;
     let mut metrics_addr = None;
+    let mut journal_dir = None;
     let mut shards = 1usize;
     let mut no_vm = false;
     let mut flags = Vec::new();
@@ -396,6 +406,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             i += 2;
         } else if rest[i] == "--metrics" {
             metrics_addr = Some(rest.get(i + 1).ok_or("--metrics needs an address")?.clone());
+            i += 2;
+        } else if rest[i] == "--journal-dir" {
+            journal_dir = Some(
+                rest.get(i + 1)
+                    .ok_or("--journal-dir needs a directory")?
+                    .clone(),
+            );
             i += 2;
         } else if rest[i] == "--no-vm" {
             no_vm = true;
@@ -422,6 +439,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .with_shards(shards);
     if no_vm {
         server = server.with_fragment_vm(false);
+    }
+    if let Some(dir) = journal_dir {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create journal dir {dir}: {e}"))?;
+        eprintln!("[hps] journaling sessions to {dir} (survives restart)");
+        server = server.with_journal_dir(dir);
     }
     if let Some(c) = chaos {
         eprintln!("[hps] chaos mode: killing ~10% of frames (seed {})", c.seed);
@@ -473,30 +496,47 @@ fn spawn_metrics_endpoint(addr: &str, handle: SessionServerHandle) -> Result<Soc
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
-    let path = args
-        .first()
-        .ok_or("usage: hps client <file.ml> <addr> [flags] [--args ints]")?;
-    let addr = args
-        .get(1)
-        .ok_or("usage: hps client <file.ml> <addr> [flags] [--args ints]")?;
+    const USAGE: &str =
+        "usage: hps client <file.ml> <addr> [flags] [--batch] [--retry] [--timeout MS] [--args ints]";
+    let path = args.first().ok_or(USAGE)?;
+    let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
     let (flags, entry): (&[String], &[String]) = match rest.iter().position(|a| a == "--args") {
         Some(i) => (&rest[..i], &rest[i + 1..]),
         None => (rest, &[]),
     };
     let batch = flags.iter().any(|a| a == "--batch");
-    let retry = flags.iter().any(|a| a == "--retry");
-    let flags: Vec<String> = flags
-        .iter()
-        .filter(|a| *a != "--batch" && *a != "--retry")
-        .cloned()
-        .collect();
+    let mut retry = flags.iter().any(|a| a == "--retry");
+    let mut timeout_ms = None;
+    let mut selection = Vec::new();
+    let mut i = 0;
+    while i < flags.len() {
+        if flags[i] == "--timeout" {
+            let ms = flags
+                .get(i + 1)
+                .ok_or("--timeout needs a millisecond count")?
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .ok_or("--timeout must be a positive integer (milliseconds)")?;
+            timeout_ms = Some(ms);
+            // The per-call deadline lives in the reliable transport.
+            retry = true;
+            i += 2;
+        } else {
+            if flags[i] != "--batch" && flags[i] != "--retry" {
+                selection.push(flags[i].clone());
+            }
+            i += 1;
+        }
+    }
     let program = load(path)?;
-    let split = do_split(&program, &flags)?;
+    let split = do_split(&program, &selection)?;
     let entry_args = int_args(entry)?;
     let mut channel = if retry {
-        TcpChannel::connect_reliable(addr.as_str(), RetryPolicy::new())
-            .map_err(|e| e.to_string())?
+        let policy =
+            RetryPolicy::new().with_call_deadline(timeout_ms.map(std::time::Duration::from_millis));
+        TcpChannel::connect_reliable(addr.as_str(), policy).map_err(|e| e.to_string())?
     } else {
         TcpChannel::connect(addr.as_str()).map_err(|e| e.to_string())?
     };
