@@ -17,6 +17,9 @@
 //! * [`callgraph`] — call graph with recursion detection, called-in-loop
 //!   flags and a max-flow vertex cut used by function selection.
 //! * [`modref`] — interprocedural global mod/ref summaries.
+//! * [`mod@effects`] — interprocedural effect/purity summaries on a small
+//!   lattice (`Pure ⊑ ReadsHidden ⊑ WritesHidden ⊑ MayTrap`), plus the
+//!   per-fragment purity facts driving the runtime's memo table.
 //! * [`mod@taint`] — flow-sensitive taint/information-flow propagation with
 //!   implicit (control-dependence) flows, parameterized by a [`TaintModel`].
 //!
@@ -46,6 +49,7 @@ pub mod callgraph;
 pub mod cfg;
 pub mod control_dep;
 pub mod domtree;
+pub mod effects;
 pub mod loops;
 pub mod modref;
 pub mod reaching;
@@ -58,6 +62,7 @@ pub use callgraph::CallGraph;
 pub use cfg::{Cfg, CfgNode, NodeId};
 pub use control_dep::ControlDeps;
 pub use domtree::DomTree;
+pub use effects::{fragment_effect, Effect, EffectAnalysis, FragmentEffects};
 pub use loops::{LoopInfo, TripCount};
 pub use modref::ModRef;
 pub use reaching::{DataDeps, DefId, DefSite, DefUse, ReachingDefs};

@@ -78,14 +78,16 @@ impl ModRef {
         ModRef { mods, refs }
     }
 
-    /// Globals the function may (transitively) write.
-    pub fn mods(&self, func: FuncId) -> Vec<GlobalId> {
-        self.mods[func.index()].iter().copied().collect()
+    /// Globals the function may (transitively) write. Borrowed: callers
+    /// like the effects fixpoint query this in a hot loop.
+    pub fn mods(&self, func: FuncId) -> &BTreeSet<GlobalId> {
+        &self.mods[func.index()]
     }
 
-    /// Globals the function may (transitively) read.
-    pub fn refs(&self, func: FuncId) -> Vec<GlobalId> {
-        self.refs[func.index()].iter().copied().collect()
+    /// Globals the function may (transitively) read. Borrowed, like
+    /// [`ModRef::mods`].
+    pub fn refs(&self, func: FuncId) -> &BTreeSet<GlobalId> {
+        &self.refs[func.index()]
     }
 }
 
@@ -114,11 +116,11 @@ mod tests {
         let outer = p.func_by_name("outer").unwrap();
         let a = p.global_by_name("a").unwrap();
         let b = p.global_by_name("b").unwrap();
-        assert_eq!(mr.mods(setter), vec![a]);
+        assert_eq!(*mr.mods(setter), BTreeSet::from([a]));
         assert!(mr.refs(setter).is_empty());
-        assert_eq!(mr.refs(reader), vec![b]);
-        assert_eq!(mr.mods(outer), vec![a]);
-        assert_eq!(mr.refs(outer), vec![b]);
+        assert_eq!(*mr.refs(reader), BTreeSet::from([b]));
+        assert_eq!(*mr.mods(outer), BTreeSet::from([a]));
+        assert_eq!(*mr.refs(outer), BTreeSet::from([b]));
     }
 
     #[test]
@@ -132,8 +134,8 @@ mod tests {
         let mr = ModRef::compute(&p);
         let even = p.func_by_name("even").unwrap();
         let g = p.global_by_name("g").unwrap();
-        assert_eq!(mr.mods(even), vec![g]);
-        assert_eq!(mr.refs(even), vec![g]);
+        assert_eq!(*mr.mods(even), BTreeSet::from([g]));
+        assert_eq!(*mr.refs(even), BTreeSet::from([g]));
     }
 
     #[test]

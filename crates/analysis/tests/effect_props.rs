@@ -1,0 +1,182 @@
+//! Property tests for the effect lattice and the interprocedural effect
+//! fixpoint:
+//!
+//! * the join (`max` on the `Pure ⊑ ReadsHidden ⊑ WritesHidden ⊑ MayTrap`
+//!   chain) is commutative, associative, idempotent, monotone and has
+//!   `Pure` as bottom identity — the laws the fixpoint argument rests on;
+//! * fixpoint iteration terminates on randomly generated call graphs
+//!   (including self- and mutual recursion) within the lattice-height ×
+//!   graph-size bound, and the solution really is a post-fixpoint: one
+//!   more full pass changes nothing;
+//! * the solution is sound for the generated programs: a function that
+//!   syntactically writes the hidden global is at least `WritesHidden`,
+//!   and every function dominates both its own local effect and every
+//!   callee's transitive effect.
+
+use hps_analysis::{CallGraph, Effect, EffectAnalysis, ModRef};
+use hps_ir::FuncId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+fn effect_strategy() -> BoxedStrategy<Effect> {
+    prop_oneof![
+        Just(Effect::Pure),
+        Just(Effect::ReadsHidden),
+        Just(Effect::WritesHidden),
+        Just(Effect::MayTrap),
+    ]
+    .boxed()
+}
+
+/// What one generated function does locally, before its calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Body {
+    /// `return 1;` — pure.
+    Pure,
+    /// Reads the hidden global.
+    ReadsG,
+    /// Writes the hidden global.
+    WritesG,
+    /// Contains a division — a trap source.
+    Divides,
+}
+
+fn body_strategy() -> BoxedStrategy<Body> {
+    prop_oneof![
+        Just(Body::Pure),
+        Just(Body::ReadsG),
+        Just(Body::WritesG),
+        Just(Body::Divides),
+    ]
+    .boxed()
+}
+
+/// A random program over one hidden global: `n` functions, each with a
+/// random local body and a random callee list drawn from *all* functions —
+/// self-calls and arbitrary cycles included, so the fixpoint runs on
+/// genuinely recursive call graphs. `main` calls `f0` to keep everything
+/// reachable in spirit (the analysis itself covers all functions).
+fn build(bodies: &[Body], callees: &[Vec<usize>]) -> hps_ir::Program {
+    let n = bodies.len();
+    let mut src = String::from("global g: int = 1;\n");
+    for (i, body) in bodies.iter().enumerate() {
+        let _ = writeln!(src, "fn f{i}(x: int) -> int {{");
+        let _ = writeln!(src, "    var acc: int = x;");
+        match body {
+            Body::Pure => {}
+            Body::ReadsG => {
+                let _ = writeln!(src, "    acc = acc + g;");
+            }
+            Body::WritesG => {
+                let _ = writeln!(src, "    g = g + 1;");
+            }
+            Body::Divides => {
+                let _ = writeln!(src, "    acc = acc / 2;");
+            }
+        }
+        for (k, &j) in callees[i].iter().enumerate() {
+            let _ = writeln!(src, "    var c{k}: int = f{}(acc);", j % n);
+        }
+        let _ = writeln!(src, "    return acc;");
+        let _ = writeln!(src, "}}");
+    }
+    src.push_str("fn main() { print(f0(1)); }\n");
+    hps_lang::parse(&src).expect("generated program parses")
+}
+
+fn analyze(program: &hps_ir::Program) -> (CallGraph, EffectAnalysis) {
+    let cg = CallGraph::build(program);
+    let modref = ModRef::compute(program);
+    let hidden: BTreeSet<_> = program.global_by_name("g").into_iter().collect();
+    let ea = EffectAnalysis::compute(program, &cg, &modref, &hidden);
+    (cg, ea)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_is_commutative(a in effect_strategy(), b in effect_strategy()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    #[test]
+    fn join_is_associative(
+        a in effect_strategy(),
+        b in effect_strategy(),
+        c in effect_strategy()
+    ) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    #[test]
+    fn join_is_idempotent_with_pure_identity(a in effect_strategy()) {
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(Effect::Pure), a);
+        prop_assert_eq!(Effect::Pure.join(a), a);
+    }
+
+    #[test]
+    fn join_is_monotone(
+        a in effect_strategy(),
+        b in effect_strategy(),
+        c in effect_strategy()
+    ) {
+        // a ⊑ a ⊔ b, and joining a common element preserves order.
+        let ab = a.join(b);
+        prop_assert!(a <= ab);
+        prop_assert!(b <= ab);
+        if a <= b {
+            prop_assert!(a.join(c) <= b.join(c));
+        }
+    }
+
+    #[test]
+    fn only_pure_is_memoizable(a in effect_strategy()) {
+        prop_assert_eq!(a.is_memoizable(), a == Effect::Pure);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_random_call_graphs(
+        bodies in prop::collection::vec(body_strategy(), 1..7),
+        callee_lists in prop::collection::vec(
+            prop::collection::vec(0usize..16, 0..4), 7),
+    ) {
+        let program = build(&bodies, &callee_lists[..bodies.len()]);
+        let (cg, ea) = analyze(&program);
+        // Lattice height (4) × function count bounds the sweeps; reaching
+        // this assertion at all is the termination property on recursive
+        // graphs.
+        prop_assert!(ea.iterations() <= 4 * program.functions.len() + 2);
+        // The result is a genuine post-fixpoint: one more pass is a no-op.
+        prop_assert!(ea.is_fixpoint(&cg));
+    }
+
+    #[test]
+    fn solution_is_sound_and_monotone(
+        bodies in prop::collection::vec(body_strategy(), 1..7),
+        callee_lists in prop::collection::vec(
+            prop::collection::vec(0usize..16, 0..4), 7),
+    ) {
+        let n = bodies.len();
+        let program = build(&bodies, &callee_lists[..n]);
+        let (cg, ea) = analyze(&program);
+        for (i, body) in bodies.iter().enumerate() {
+            let fid = FuncId::new(i);
+            // Direct hidden accesses and trap sources are lower bounds.
+            let floor = match body {
+                Body::Pure => Effect::Pure,
+                Body::ReadsG => Effect::ReadsHidden,
+                Body::WritesG => Effect::WritesHidden,
+                Body::Divides => Effect::MayTrap,
+            };
+            prop_assert!(ea.effect(fid) >= floor, "f{i} below its local floor");
+            // Transitive dominates local, and every callee's summary.
+            prop_assert!(ea.effect(fid) >= ea.local_effect(fid));
+            for g in cg.callees(fid) {
+                prop_assert!(ea.effect(fid) >= ea.effect(g));
+            }
+        }
+    }
+}

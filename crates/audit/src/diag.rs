@@ -139,6 +139,24 @@ pub const UNUSED_LEAK: Lint = Lint {
     summary: "the open component never reads this hidden call's returned value",
 };
 
+/// A fragment the effect analysis proves pure: the runtime may answer
+/// repeated calls from its content-addressed memo table.
+pub const MEMOIZABLE_FRAGMENT: Lint = Lint {
+    id: "memoizable_fragment",
+    severity: Severity::Note,
+    summary: "the fragment is provably pure; the runtime may memoize repeated calls",
+};
+
+/// A fragment carrying trap or nondeterminism sources (division, loops
+/// bounded only by the step limit, out-of-range slots): its outcome can
+/// depend on runtime limits, so it can never be memoized and is harder
+/// to audit for equivalence.
+pub const NONDETERMINISTIC_HIDDEN_FRAGMENT: Lint = Lint {
+    id: "nondeterministic_hidden_fragment",
+    severity: Severity::Warn,
+    summary: "the fragment may trap or exhaust the step limit; its outcome is not a pure function of its arguments",
+};
+
 /// Every lint the auditor can emit, in catalog order (stable across runs —
 /// the JSON/SARIF rule table is generated from this).
 pub const ALL_LINTS: &[&Lint] = &[
@@ -153,6 +171,8 @@ pub const ALL_LINTS: &[&Lint] = &[
     &UNREACHABLE_FRAGMENT,
     &TRANSFERABLE_FRAGMENT,
     &UNUSED_LEAK,
+    &MEMOIZABLE_FRAGMENT,
+    &NONDETERMINISTIC_HIDDEN_FRAGMENT,
 ];
 
 /// Looks up a lint by id.

@@ -135,12 +135,14 @@ impl TaintModel for OpenModel<'_> {
         (
             self.modref
                 .mods(callee)
-                .into_iter()
+                .iter()
+                .copied()
                 .map(VarId::Global)
                 .collect(),
             self.modref
                 .refs(callee)
-                .into_iter()
+                .iter()
+                .copied()
                 .map(VarId::Global)
                 .collect(),
         )

@@ -13,7 +13,9 @@
 use crate::diag::{self, Diagnostic};
 use crate::flow::OpenFlow;
 use crate::fragment::FragmentFacts;
-use hps_analysis::{vars::stmt_effect, CallGraph, Cfg, DefUse, ReachingDefs, StructInfo, VarId};
+use hps_analysis::{
+    vars::stmt_effect, CallGraph, Cfg, DefUse, Effect, ReachingDefs, StructInfo, VarId,
+};
 use hps_core::SplitResult;
 use hps_ir::{ComponentId, FragLabel, FuncId, Function, Program, Stmt, StmtKind};
 use hps_security::{AcType, CcTriple, SecurityReport};
@@ -42,6 +44,7 @@ pub fn run_all(input: &LintInput<'_>) -> (Vec<Diagnostic>, usize) {
     check_weak_ilps(input, &mut sink);
     check_dead_promotions(input, &mut sink);
     check_fragment_usage(input, &mut sink);
+    check_fragment_effects(input, &mut sink);
     check_unused_leaks(input, &mut sink);
     (sink.found, sink.suppressed)
 }
@@ -364,6 +367,57 @@ fn check_fragment_usage(input: &LintInput<'_>, sink: &mut Sink) {
                         None,
                     );
                 }
+            }
+        }
+    }
+}
+
+/// `memoizable_fragment` + `nondeterministic_hidden_fragment`: surface the
+/// effect summaries stamped onto the split. `Pure` fragments are eligible
+/// for the runtime's content-addressed memo table; `MayTrap` fragments
+/// carry trap/nondeterminism sources, so their outcome is not a pure
+/// function of their arguments.
+fn check_fragment_effects(input: &LintInput<'_>, sink: &mut Sink) {
+    for (ci, component) in input.split.hidden.components.iter().enumerate() {
+        for (pos, fragment) in component.fragments.iter().enumerate() {
+            let Some(effect) = input.split.effects.effect(ci, pos) else {
+                continue;
+            };
+            match effect {
+                Effect::Pure => sink.emit(
+                    Diagnostic::new(
+                        &diag::MEMOIZABLE_FRAGMENT,
+                        format!(
+                            "fragment {} of {} ({}) is provably pure: repeated calls \
+                             with the same arguments may be served from the memo table",
+                            fragment.label,
+                            component.id,
+                            component.entity_name()
+                        ),
+                    )
+                    .suggest("no action needed; disable with --no-memo if undesired"),
+                    None,
+                    None,
+                ),
+                Effect::MayTrap => sink.emit(
+                    Diagnostic::new(
+                        &diag::NONDETERMINISTIC_HIDDEN_FRAGMENT,
+                        format!(
+                            "fragment {} of {} ({}) may trap or exhaust the step limit; \
+                             its outcome depends on runtime limits, not just its arguments",
+                            fragment.label,
+                            component.id,
+                            component.entity_name()
+                        ),
+                    )
+                    .suggest(
+                        "bound loops explicitly and guard divisions to make the \
+                         fragment's behaviour a total function",
+                    ),
+                    None,
+                    None,
+                ),
+                Effect::ReadsHidden | Effect::WritesHidden => {}
             }
         }
     }

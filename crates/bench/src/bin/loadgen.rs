@@ -7,7 +7,8 @@
 //! unsplit reference), and emits `BENCH_loadgen.json` (`hps-loadgen/v1`):
 //! per-(benchmark, shard-count) wall-clock throughput, p50/p99 round-trip
 //! latency from the telemetry HDR histograms, the server's metrics
-//! snapshot, and per-shard counters. The schema and field order are
+//! snapshot, per-shard counters, and the fragment-memo hit/miss/eviction
+//! counts with their derived hit rate. The schema and field order are
 //! deterministic; only the measured wall-clock numbers vary between runs.
 //!
 //! Clients pin their session ids (`worker + 1`), so sessions spread over
@@ -31,7 +32,8 @@
 //! `--crash` replaces the throughput sweep with an availability drill
 //! (`hps-loadgen-crash/v1`): each benchmark is served at the sweep's
 //! highest shard count while a killer thread cycles deliberate
-//! [`SessionServerHandle::kill_shard`] requests round-robin and the
+//! [`kill_shard`](hps_runtime::tcp::SessionServerHandle::kill_shard)
+//! requests round-robin and the
 //! executors carry a trickle of injected mid-fragment panics. Every
 //! client program run either completes byte-identical to the unsplit
 //! reference (output divergence aborts — that is a correctness bug, not
@@ -301,6 +303,9 @@ struct Cell {
     vm_cache_hits: u64,
     shard_compile_nanos: Vec<u64>,
     shard_exec_nanos: Vec<u64>,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_evictions: u64,
 }
 
 impl Cell {
@@ -358,6 +363,24 @@ impl Cell {
                             .into_iter()
                             .map(Json::Uint)
                             .collect::<Vec<_>>(),
+                    ),
+            )
+            // Pure-fragment memoization: how many fragment calls were
+            // answered from the content-addressed cache. The hit rate is
+            // workload-dependent (zero when the split has no pure
+            // fragments) and hits + misses reconciles against the server's
+            // hps_fragments_total counter.
+            .field(
+                "memo",
+                Json::object()
+                    .field("hits", self.memo_hits)
+                    .field("misses", self.memo_misses)
+                    .field("evictions", self.memo_evictions)
+                    .field(
+                        "hit_rate_millis",
+                        (self.memo_hits * 1000)
+                            .checked_div(self.memo_hits + self.memo_misses)
+                            .unwrap_or(0),
                     ),
             )
             .field("server", self.server)
@@ -423,6 +446,9 @@ fn run_cell(
         vm_cache_hits: stats.vm_cache_hits,
         shard_compile_nanos: shard_stats.iter().map(|s| s.compile_nanos).collect(),
         shard_exec_nanos: shard_stats.iter().map(|s| s.exec_nanos).collect(),
+        memo_hits: stats.memo_hits,
+        memo_misses: stats.memo_misses,
+        memo_evictions: stats.memo_evictions,
     }
 }
 

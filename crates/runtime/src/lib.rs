@@ -95,6 +95,7 @@ pub mod fault;
 pub mod fragment;
 pub mod interp;
 pub mod journal;
+pub mod memo;
 mod ops;
 pub mod server;
 pub mod shard;
@@ -119,6 +120,7 @@ pub use interp::{
     ExecConfig, ExecReport, Executor, Interp, Outcome, SplitMeta, SplitOutcome,
 };
 pub use journal::{JournalOp, SessionJournal};
+pub use memo::MemoTable;
 pub use server::{ReplayCache, SecureServer, SeqCheck};
 pub use shard::ShardStats;
 pub use tcp::{ChaosConfig, RetryPolicy, ServerStats, SessionServer, SessionServerHandle};

@@ -48,6 +48,7 @@ use crate::bytecode::VmCache;
 use crate::channel::{CallReply, PendingCall};
 use crate::fault::CrashConfig;
 use crate::journal::{journal_path, load_disk_journal, DiskJournal, JournalOp, SessionJournal};
+use crate::memo::MemoTable;
 use crate::server::{ReplayCache, SecureServer, SeqCheck};
 use crate::wire::Response;
 use hps_ir::{ComponentId, HiddenProgram};
@@ -94,6 +95,11 @@ pub(crate) struct StatsInner {
     /// servers die with the connection; shard caches are read live instead.
     pub(crate) legacy_vm_compiles: AtomicU64,
     pub(crate) legacy_vm_cache_hits: AtomicU64,
+    /// Memo counters from legacy connections (same lifecycle as the legacy
+    /// VM counters above); shard memo tables are read live instead.
+    pub(crate) legacy_memo_hits: AtomicU64,
+    pub(crate) legacy_memo_misses: AtomicU64,
+    pub(crate) legacy_memo_evictions: AtomicU64,
     pub(crate) queue_depth: Mutex<Histogram>,
     /// Wall-clock microseconds per session rebuild. Live-scrape /
     /// `BENCH_*.json` exposition only — never part of a deterministic
@@ -132,6 +138,9 @@ impl StatsInner {
                 max_queue_depth: c.max_depth.load(Ordering::Relaxed),
                 vm_compiles: c.vm.as_ref().map_or(0, |v| v.compiles()),
                 vm_cache_hits: c.vm.as_ref().map_or(0, |v| v.cache_hits()),
+                memo_hits: c.memo.as_ref().map_or(0, |m| m.hits()),
+                memo_misses: c.memo.as_ref().map_or(0, |m| m.misses()),
+                memo_evictions: c.memo.as_ref().map_or(0, |m| m.evictions()),
                 compile_nanos: c.vm.as_ref().map_or(0, |v| v.compile_nanos()),
                 exec_nanos: c.exec_nanos.load(Ordering::Relaxed),
                 restarts: c.restarts.load(Ordering::Relaxed),
@@ -157,6 +166,11 @@ pub(crate) struct ShardCounters {
     /// Every session of the shard compiles into — and hits — this cache.
     /// `Send + Sync` atomics only, so it survives executor respawns.
     vm: Option<Arc<VmCache>>,
+    /// The shard's shared pure-fragment memo table (`None` = memoization
+    /// off). Shared by every session of the shard — memoizable fragments
+    /// read no hidden state, so a cached result is valid across sessions —
+    /// and, like the VM cache, it survives executor respawns.
+    memo: Option<Arc<MemoTable>>,
 }
 
 /// Snapshot of one shard executor's counters.
@@ -179,6 +193,14 @@ pub struct ShardStats {
     pub vm_compiles: u64,
     /// Fragment executions this shard served from compiled bytecode.
     pub vm_cache_hits: u64,
+    /// Pure-fragment calls this shard answered from its memo table
+    /// (0 when memoization is disabled).
+    pub memo_hits: u64,
+    /// Fragment executions that ran in full and were considered for the
+    /// memo table (memoizable or not).
+    pub memo_misses: u64,
+    /// Memo entries evicted by the table's FIFO capacity bound.
+    pub memo_evictions: u64,
     /// Wall-clock nanoseconds spent compiling fragments on this shard.
     /// Wall-clock fields feed load attribution (`BENCH_*.json`) only —
     /// they never enter deterministic metrics snapshots.
@@ -302,6 +324,8 @@ pub(crate) struct ShardConfig {
     pub(crate) queue_capacity: usize,
     pub(crate) replay_capacity: usize,
     pub(crate) fragment_vm: bool,
+    /// Memoize provably-pure fragments in a per-shard [`MemoTable`].
+    pub(crate) fragment_memo: bool,
     /// Per-session cap on the in-memory journal ring.
     pub(crate) journal_limit: usize,
     /// Directory for checksummed on-disk journals (`--journal-dir`);
@@ -318,6 +342,7 @@ impl Default for ShardConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             replay_capacity: DEFAULT_REPLAY_CAPACITY,
             fragment_vm: true,
+            fragment_memo: true,
             journal_limit: crate::journal::DEFAULT_JOURNAL_LIMIT,
             journal_dir: None,
             crash: None,
@@ -378,6 +403,9 @@ impl ShardPool {
                 vm: config
                     .fragment_vm
                     .then(|| Arc::new(VmCache::for_program(hidden))),
+                memo: config
+                    .fragment_memo
+                    .then(|| Arc::new(MemoTable::for_program(hidden))),
                 ..ShardCounters::default()
             });
             let ctx = ShardContext {
@@ -827,6 +855,10 @@ fn fresh_state(session: u64, ctx: &ShardContext) -> SessionState {
     let server = match &ctx.counters.vm {
         Some(cache) => SecureServer::new(ctx.hidden.clone()).with_vm_cache(Arc::clone(cache)),
         None => SecureServer::new(ctx.hidden.clone()).with_fragment_vm(false),
+    };
+    let server = match &ctx.counters.memo {
+        Some(memo) => server.with_memo_table(Arc::clone(memo)),
+        None => server.with_fragment_memo(false),
     };
     let disk = ctx
         .journal_dir

@@ -1,0 +1,86 @@
+//! Golden effect reports for the five benchmark programs.
+//!
+//! Every benchmark is split with the full paper pipeline; the
+//! `hps-audit-effects/v1` JSON (`hps audit --effects`) must match the
+//! checked-in golden byte-for-byte. This pins the effect lattice verdicts
+//! the runtime memoizer is driven by: a change to the analysis shows up as
+//! a golden diff to review.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! HPS_UPDATE_GOLDEN=1 cargo test -p hps-suite --test effects_golden
+//! ```
+
+use hps_analysis::Effect;
+use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_security::choose_seeds_all;
+use std::path::PathBuf;
+
+fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
+    let selected = select_functions(program);
+    let seeds = choose_seeds_all(program, &selected);
+    SplitPlan {
+        targets: seeds
+            .into_iter()
+            .map(|(func, seed)| SplitTarget::Function { func, seed })
+            .collect(),
+        promote_control: true,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens/effects")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn effect_reports_match_goldens() {
+    let update = std::env::var_os("HPS_UPDATE_GOLDEN").is_some();
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        let rendered = hps_audit::render::effects_to_json(&program, &split, b.name).pretty();
+
+        let path = golden_path(b.name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden {} ({e}); regenerate with HPS_UPDATE_GOLDEN=1",
+                b.name,
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            golden,
+            "{}: effects report drifted from {}; regenerate with HPS_UPDATE_GOLDEN=1 \
+             if the change is intentional",
+            b.name,
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn stamped_effects_agree_with_a_fresh_analysis() {
+    // The summaries stamped onto the split at split time must be exactly
+    // what a from-scratch run of the fragment analysis computes.
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        let fresh = hps_analysis::FragmentEffects::compute(&split.hidden);
+        assert_eq!(split.effects, fresh, "{}: stamped effects drifted", b.name);
+        assert_eq!(
+            split.memoizable_fragments(),
+            fresh.count(Effect::Pure),
+            "{}",
+            b.name
+        );
+    }
+}

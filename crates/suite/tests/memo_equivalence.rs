@@ -1,0 +1,142 @@
+//! Pure-fragment memoization must be adversary-invisible: across the whole
+//! benchmark suite, runs with the memo table on and off are byte-identical
+//! in everything the program, the paper's measurements and the adversary
+//! can see — output, virtual cost, step counts, interaction counts,
+//! transport stats and the wiretap trace. The memo table only changes
+//! *wall-clock* work and its own `hps_server_memo_*` counters, which must
+//! reconcile exactly against `hps_fragments_total`.
+
+use std::rc::Rc;
+
+use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_runtime::telemetry::metrics::names;
+use hps_runtime::{
+    Channel, ExecConfig, Executor, InProcessChannel, Interp, MetricsRecorder, RecorderHandle,
+    SecureServer, SplitMeta, Trace, TraceChannel,
+};
+
+fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
+    let selected = select_functions(program);
+    let seeds = hps_security::choose_seeds_all(program, &selected);
+    SplitPlan {
+        targets: seeds
+            .into_iter()
+            .map(|(func, seed)| SplitTarget::Function { func, seed })
+            .collect(),
+        promote_control: true,
+    }
+}
+
+#[test]
+fn executor_reports_identical_with_memo_on_and_off() {
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let split = split_program(&program, &paper_plan(&program)).expect("splits");
+        for &batching in &[false, true] {
+            let off = Executor::new(&split.open, &split.hidden)
+                .batching(batching)
+                .rtt(10)
+                .fragment_memo(false)
+                .recorder(MetricsRecorder::new())
+                .run(&[b.workload(600, 77)])
+                .expect("memo-off run");
+            let on = Executor::new(&split.open, &split.hidden)
+                .batching(batching)
+                .rtt(10)
+                .fragment_memo(true)
+                .recorder(MetricsRecorder::new())
+                .run(&[b.workload(600, 77)])
+                .expect("memo-on run");
+            let cell = format!("{} batching={batching}", b.name);
+            assert_eq!(off.outcome, on.outcome, "{cell}: outcome diverged");
+            assert_eq!(
+                off.interactions, on.interactions,
+                "{cell}: interactions diverged"
+            );
+            assert_eq!(off.server_cost, on.server_cost, "{cell}: cost diverged");
+            assert_eq!(
+                off.transport, on.transport,
+                "{cell}: transport stats diverged"
+            );
+
+            // Every adversary-relevant counter matches; the memo counters
+            // themselves reconcile exactly: every fragment call is either
+            // a hit or a (post-execution) miss.
+            let m_off = &off.telemetry;
+            let m_on = &on.telemetry;
+            let fragments = m_on.counter(names::FRAGMENTS);
+            assert_eq!(
+                m_off.counter(names::FRAGMENTS),
+                fragments,
+                "{cell}: fragment count diverged"
+            );
+            assert_eq!(
+                m_off.counter(names::SERVER_CALLS),
+                m_on.counter(names::SERVER_CALLS),
+                "{cell}: server calls diverged"
+            );
+            assert_eq!(
+                m_off.counter(names::SERVER_COST_UNITS),
+                m_on.counter(names::SERVER_COST_UNITS),
+                "{cell}: server cost units diverged"
+            );
+            assert_eq!(
+                m_on.counter(names::SERVER_MEMO_HITS) + m_on.counter(names::SERVER_MEMO_MISSES),
+                fragments,
+                "{cell}: memo hits+misses must equal fragments served"
+            );
+            assert_eq!(
+                m_off.counter(names::SERVER_MEMO_HITS)
+                    + m_off.counter(names::SERVER_MEMO_MISSES)
+                    + m_off.counter(names::SERVER_MEMO_EVICTIONS),
+                0,
+                "{cell}: memo-off run recorded memo activity"
+            );
+        }
+    }
+}
+
+/// One wiretapped run with memoization forced on or off.
+fn traced_run(
+    split: &hps_core::SplitResult,
+    input: hps_runtime::RtValue,
+    memo: bool,
+) -> (Vec<String>, Trace, u64) {
+    let recorder = Rc::new(MetricsRecorder::new());
+    let handle = RecorderHandle::new(Rc::clone(&recorder) as Rc<dyn hps_runtime::Recorder>);
+    let meta = SplitMeta::derive(&split.open, &split.hidden);
+    let server = SecureServer::new(split.hidden.clone())
+        .with_fragment_memo(memo)
+        .with_recorder(handle.clone());
+    let mut chan = InProcessChannel::new(server).with_recorder(handle.clone());
+    let mut trace = TraceChannel::new(&mut chan).with_recorder(handle.clone());
+    let outcome = {
+        let mut interp = Interp::new(&split.open, ExecConfig::new())
+            .with_channel(&mut trace, &meta)
+            .with_recorder(handle);
+        interp.run("main", &[input]).expect("split run")
+    };
+    let trace = trace.into_trace();
+    (outcome.output, trace, chan.interactions())
+}
+
+#[test]
+fn adversary_trace_is_identical_with_memo_on() {
+    // The wiretap (what the attacker sees) must not notice memoization:
+    // a memo hit produces the same reply bytes, the same trace event and
+    // the same metering as a real execution.
+    for b in hps_suite::benchmarks() {
+        let program = b.program().expect("parses");
+        let plan = paper_plan(&program);
+        if plan.targets.is_empty() {
+            continue;
+        }
+        let split = split_program(&program, &plan).expect("splits");
+        let (off_out, off_trace, off_inter) = traced_run(&split, b.workload(600, 77), false);
+        let (on_out, on_trace, on_inter) = traced_run(&split, b.workload(600, 77), true);
+
+        assert_eq!(off_out, on_out, "{}: output diverged", b.name);
+        assert_eq!(off_trace, on_trace, "{}: wiretap diverged", b.name);
+        assert_eq!(on_inter, off_inter, "{}: interactions diverged", b.name);
+    }
+}

@@ -1,17 +1,18 @@
 //! `hps` — command-line front end for slice-based software splitting.
 //!
 //! ```text
-//! hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection] [ints...]
+//! hps run <file.ml> [--split] [--batch] [--no-vm] [--no-memo] [--metrics-json] [selection] [ints...]
 //!                                             run a MiniLang program; --split runs
 //!                                             the open/hidden pair, --metrics-json
 //!                                             emits the hps-telemetry/v1 snapshot
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
 //!                                             print Of, Hf and the split report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
-//! hps audit <file.ml> [selection] [--json|--sarif]
-//!                                             split-soundness audit (non-zero exit on deny)
-//! hps serve <file.ml> <addr> [selection] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
-//!                            [--journal-dir DIR]
+//! hps audit <file.ml> [selection] [--json|--sarif|--effects]
+//!                                             split-soundness audit (non-zero exit on deny);
+//!                                             --effects prints the fragment purity report
+//! hps serve <file.ml> <addr> [selection] [--shards N] [--no-vm] [--no-memo] [--chaos SEED]
+//!                            [--metrics ADDR] [--journal-dir DIR]
 //!                                             host the hidden component on TCP;
 //!                                             --shards spreads sessions over N
 //!                                             executor threads, --metrics serves
@@ -67,12 +68,12 @@ const HELP: &str = "\
 hps — slicing-based software splitting (CGO 2003 reproduction)
 
 USAGE:
-  hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection flags] [ints...]
+  hps run <file.ml> [--split] [--batch] [--no-vm] [--no-memo] [--metrics-json] [selection flags] [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
   hps analyze <file.ml> [selection flags]
-  hps audit <file.ml> [selection flags] [--json | --sarif]
-  hps serve <file.ml> <addr> [selection flags] [--shards N] [--no-vm] [--chaos SEED] [--metrics ADDR]
-                             [--journal-dir DIR]
+  hps audit <file.ml> [selection flags] [--json | --sarif | --effects]
+  hps serve <file.ml> <addr> [selection flags] [--shards N] [--no-vm] [--no-memo] [--chaos SEED]
+                             [--metrics ADDR] [--journal-dir DIR]
   hps client <file.ml> <addr> [selection flags] [--batch] [--retry] [--timeout MS] [--args ints...]
 
 Selection flags default to --auto: call-graph-cut function selection with
@@ -97,6 +98,10 @@ throughput; `serve --metrics ADDR` exposes the live server counters and
 the shard queue-depth histogram in Prometheus text format over HTTP.
 Hidden fragments execute on a compile-once bytecode VM by default;
 --no-vm (or HPS_FRAGMENT_VM=0) falls back to the tree-walk interpreter.
+Provably-pure fragments are memoized by argument bytes with identical
+metering; --no-memo (or HPS_FRAGMENT_MEMO=0) disables the memo table.
+`audit --effects` prints the per-fragment effect/purity report
+(hps-audit-effects/v1 JSON) the memoizer is driven by.
 ";
 
 fn load(path: &str) -> Result<hps::ir::Program, String> {
@@ -190,13 +195,14 @@ fn do_split(program: &hps::ir::Program, flags: &[String]) -> Result<SplitResult,
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
-        "usage: hps run <file.ml> [--split] [--batch] [--no-vm] [--metrics-json] [selection flags] [ints...]";
+        "usage: hps run <file.ml> [--split] [--batch] [--no-vm] [--no-memo] [--metrics-json] [selection flags] [ints...]";
     let path = args.first().ok_or(USAGE)?;
     let rest = &args[1..];
     let mut split_mode = false;
     let mut batch = false;
     let mut metrics_json = false;
     let mut no_vm = false;
+    let mut no_memo = false;
     let mut selection = Vec::new();
     let mut ints = Vec::new();
     let mut i = 0;
@@ -217,6 +223,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--no-vm" => {
                 no_vm = true;
+                i += 1;
+            }
+            "--no-memo" => {
+                no_memo = true;
                 i += 1;
             }
             flag @ ("--func" | "--var" | "--global" | "--class") => {
@@ -244,8 +254,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let program = load(path)?;
     let entry_args = int_args(&ints)?;
     if !split_mode {
-        if !selection.is_empty() || batch || no_vm {
-            return Err("selection flags, --batch and --no-vm require --split".into());
+        if !selection.is_empty() || batch || no_vm || no_memo {
+            return Err("selection flags, --batch, --no-vm and --no-memo require --split".into());
         }
         let out = hps::runtime::run_program(&program, &entry_args).map_err(|e| e.to_string())?;
         for line in &out.output {
@@ -264,6 +274,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .recorder(MetricsRecorder::new());
     if no_vm {
         executor = executor.fragment_vm(false);
+    }
+    if no_memo {
+        executor = executor.fragment_memo(false);
     }
     let report = executor.run(&entry_args).map_err(|e| e.to_string())?;
     if metrics_json {
@@ -351,17 +364,25 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
-        .ok_or("usage: hps audit <file.ml> [flags] [--json | --sarif]")?;
+        .ok_or("usage: hps audit <file.ml> [flags] [--json | --sarif | --effects]")?;
     let rest = &args[1..];
     let json = rest.iter().any(|a| a == "--json");
     let sarif = rest.iter().any(|a| a == "--sarif");
+    let effects = rest.iter().any(|a| a == "--effects");
     let flags: Vec<String> = rest
         .iter()
-        .filter(|a| *a != "--json" && *a != "--sarif")
+        .filter(|a| *a != "--json" && *a != "--sarif" && *a != "--effects")
         .cloned()
         .collect();
     let program = load(path)?;
     let split = do_split(&program, &flags)?;
+    if effects {
+        print!(
+            "{}",
+            hps::audit::render::effects_to_json(&program, &split, path).pretty()
+        );
+        return Ok(());
+    }
     let report = hps::audit::audit_split(&program, &split);
     if sarif {
         print!("{}", hps::audit::render::to_sarif(&report, path).pretty());
@@ -381,7 +402,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: hps serve <file.ml> <addr> [flags] [--shards N] [--no-vm] \
-                         [--chaos SEED] [--metrics ADDR] [--journal-dir DIR]";
+                         [--no-memo] [--chaos SEED] [--metrics ADDR] [--journal-dir DIR]";
     let path = args.first().ok_or(USAGE)?;
     let addr = args.get(1).ok_or(USAGE)?;
     let rest = &args[2..];
@@ -390,6 +411,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut journal_dir = None;
     let mut shards = 1usize;
     let mut no_vm = false;
+    let mut no_memo = false;
     let mut flags = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -417,6 +439,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         } else if rest[i] == "--no-vm" {
             no_vm = true;
             i += 1;
+        } else if rest[i] == "--no-memo" {
+            no_memo = true;
+            i += 1;
         } else if rest[i] == "--shards" {
             shards = rest
                 .get(i + 1)
@@ -439,6 +464,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .with_shards(shards);
     if no_vm {
         server = server.with_fragment_vm(false);
+    }
+    if no_memo {
+        server = server.with_fragment_memo(false);
     }
     if let Some(dir) = journal_dir {
         std::fs::create_dir_all(&dir)
