@@ -48,12 +48,14 @@ pub mod flow;
 pub mod fragment;
 pub mod json;
 pub mod lints;
+pub mod planner;
 pub mod render;
 
 pub use diag::{Diagnostic, Lint, Severity, ALL_LINTS};
 pub use flow::{LeakLabel, OpenFlow};
 pub use fragment::FragmentFacts;
 pub use json::Json;
+pub use planner::{plan_to_json, render_plan, Measurer, PlanError, PlanReport, Planner};
 
 use hps_core::SplitResult;
 use hps_ir::Program;
@@ -98,7 +100,7 @@ pub struct FlowSummary {
 }
 
 /// The result of auditing one split.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct AuditReport {
     /// All findings, most severe first (stable order).
     pub diagnostics: Vec<Diagnostic>,

@@ -1,0 +1,151 @@
+//! `plan_gate` — the CI contract for budget-aware planning.
+//!
+//! Plans every suite benchmark the canonical way
+//! ([`hps_suite::plan_benchmark`], i.e. exactly what
+//! `hps split <bench> --budget B --harden` does), writes each
+//! `hps-plan/v1` report to `OUT/PLAN_<bench>.json`, and prints a one-line
+//! summary per benchmark.
+//!
+//! ```text
+//! plan_gate [--budget PCT] [--no-harden] [--out DIR] [--gate] [--slack POINTS]
+//! ```
+//!
+//! `--gate` makes the process fail (exit 1) when any benchmark:
+//!
+//! * still carries a `weak_ilp_constant` / `weak_ilp_linear` lint after
+//!   hardening (the auto-hardening contract), or
+//! * measures an overhead more than `--slack` points (default 2.0) above
+//!   the budget — the planner's own verdict targets the budget exactly;
+//!   the slack only absorbs cost-model drift, not missing downgrades.
+//!
+//! The measurement is in deterministic virtual cost units (see
+//! `hps_suite::planning`), so gate results are reproducible; the measurer
+//! also byte-checks the hardened split's output against the original, so
+//! a passing gate is an equivalence check too.
+
+use hps_audit::{plan_to_json, PlanReport};
+use hps_suite::{benchmarks, plan_benchmark};
+use std::path::PathBuf;
+
+struct Config {
+    budget: f64,
+    harden: bool,
+    out: PathBuf,
+    gate: bool,
+    slack: f64,
+}
+
+impl Config {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut cfg = Config {
+            budget: 15.0,
+            harden: true,
+            out: PathBuf::from("target"),
+            gate: false,
+            slack: 2.0,
+        };
+        while let Some(arg) = args.next() {
+            let mut value = |what: &str| {
+                args.next()
+                    .ok_or_else(|| format!("plan_gate: {what} needs a value"))
+            };
+            match arg.as_str() {
+                "--budget" => {
+                    let v = value("--budget")?;
+                    cfg.budget = v
+                        .trim_end_matches('%')
+                        .parse()
+                        .map_err(|_| format!("plan_gate: bad --budget {v:?}"))?;
+                }
+                "--slack" => {
+                    let v = value("--slack")?;
+                    cfg.slack = v
+                        .parse()
+                        .map_err(|_| format!("plan_gate: bad --slack {v:?}"))?;
+                }
+                "--out" => cfg.out = PathBuf::from(value("--out")?),
+                "--no-harden" => cfg.harden = false,
+                "--gate" => cfg.gate = true,
+                other => return Err(format!("plan_gate: unknown argument {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Gate violations for one benchmark's report, empty when it passes.
+fn violations(cfg: &Config, name: &str, report: &PlanReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if cfg.harden && report.weak_lints() > 0 {
+        out.push(format!(
+            "{name}: {} weak_ilp_* lint(s) survive hardening",
+            report.weak_lints()
+        ));
+    }
+    if cfg.harden && report.weak_after > 0 {
+        out.push(format!(
+            "{name}: {} weak ILP group(s) survive hardening",
+            report.weak_after
+        ));
+    }
+    let overhead = report.overhead_percent();
+    if overhead > cfg.budget + cfg.slack {
+        out.push(format!(
+            "{name}: measured overhead {overhead:.2}% exceeds budget {:.2}% by more than {:.1} points",
+            cfg.budget, cfg.slack
+        ));
+    }
+    out
+}
+
+fn main() {
+    let cfg = match Config::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&cfg.out) {
+        eprintln!("plan_gate: cannot create {}: {e}", cfg.out.display());
+        std::process::exit(2);
+    }
+
+    let mut failures = Vec::new();
+    for b in benchmarks() {
+        let report = match plan_benchmark(&b, Some(cfg.budget), cfg.harden) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[plan] {:8} FAILED to plan: {e}", b.name);
+                failures.push(format!("{}: planning failed: {e}", b.name));
+                continue;
+            }
+        };
+        let path = cfg.out.join(format!("PLAN_{}.json", b.name));
+        std::fs::write(&path, plan_to_json(&report).pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[plan] {:8} targets={} downgrades={} weak {}->{} overhead {:.2}% (budget {:.0}%) -> {}",
+            b.name,
+            report.plan.targets.len(),
+            report.downgrades,
+            report.weak_before,
+            report.weak_after,
+            report.overhead_percent(),
+            cfg.budget,
+            path.display()
+        );
+        failures.extend(violations(&cfg, b.name, &report));
+    }
+
+    if failures.is_empty() {
+        eprintln!("[plan] all benchmarks within budget, no weak ILP lints");
+        return;
+    }
+    for f in &failures {
+        eprintln!("[plan] GATE: {f}");
+    }
+    if cfg.gate {
+        std::process::exit(1);
+    }
+}

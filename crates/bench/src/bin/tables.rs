@@ -248,13 +248,12 @@ fn ablation_selection(scale: usize) {
         // "Split everything eligible": every function with a usable seed.
         let all_funcs: Vec<hps_ir::FuncId> = program.iter_funcs().map(|(id, _)| id).collect();
         let all_seeds = hps_security::choose_seeds_all(&program, &all_funcs);
-        let all_plan = SplitPlan {
-            targets: all_seeds
+        let all_plan = SplitPlan::from_targets(
+            all_seeds
                 .into_iter()
                 .map(|(func, seed)| hps_core::SplitTarget::Function { func, seed })
                 .collect(),
-            promote_control: true,
-        };
+        );
         let size = (b.workloads()[0].1 / scale.max(1)).clamp(30, 2000);
         let split_cut = split_program(&program, &cut_plan).expect("splits");
         let split_all = split_program(&program, &all_plan).expect("splits");

@@ -16,33 +16,27 @@
 //!
 //! The `tables` binary prints them: `cargo run -p hps-bench --bin tables`.
 
-use hps_core::{select_functions, split_program, SplitPlan, SplitResult, SplitTarget};
+use hps_core::{split_program, SplitPlan, SplitResult};
 use hps_ir::Program;
 use hps_runtime::telemetry::metrics::names;
 use hps_runtime::{
     run_function, run_program, Channel, ExecConfig, Executor, InProcessChannel, Interp,
     MetricsRecorder, RtValue, SecureServer, SplitMeta, Trace, TraceChannel,
 };
-use hps_security::{analyze_split, choose_seeds_all, SecurityReport};
+use hps_security::{analyze_split, SecurityReport};
 use hps_suite::{benchmarks, Benchmark};
 
 /// The full paper pipeline on one program: call-graph-cut selection and
-/// complexity-guided seed choice.
+/// complexity-guided seed choice. Thin wrapper over
+/// [`hps_security::default_targets`] (the `Planner`'s level-0 plan).
 ///
 /// # Panics
 ///
 /// Panics if nothing can be selected (does not happen on the suite).
 pub fn paper_plan(program: &Program) -> SplitPlan {
-    let selected = select_functions(program);
-    let seeds = choose_seeds_all(program, &selected);
-    assert!(!seeds.is_empty(), "nothing selectable");
-    SplitPlan {
-        targets: seeds
-            .into_iter()
-            .map(|(func, seed)| SplitTarget::Function { func, seed })
-            .collect(),
-        promote_control: true,
-    }
+    let plan = hps_security::default_targets(program, hps_security::SeedRule::CostRestricted);
+    assert!(!plan.targets.is_empty(), "nothing selectable");
+    plan
 }
 
 /// Splits a benchmark with the paper pipeline.

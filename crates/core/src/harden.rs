@@ -1,0 +1,411 @@
+//! Auto-hardening of weak information leak points.
+//!
+//! The security analysis (`hps-security`) grades every ILP on the
+//! arithmetic-complexity lattice; the auditor (`hps-audit`) flags the
+//! trivially invertible ones (`weak_ilp_constant`, `weak_ilp_linear`,
+//! `weak_ilp_const_inputs`, `weak_ilp_open_control`). This pass *rewrites*
+//! the flagged fragments instead of merely reporting them, in the spirit of
+//! guarantee-controlled partitioning: the value crossing the wire is
+//! wrapped in a **decoy computation** containing a **hidden relational
+//! predicate**, and the open side undoes the wrap immediately after the
+//! call, so program output is byte-identical while the adversary-visible
+//! value jumps to `Arbitrary` arithmetic complexity with at least one
+//! observable input.
+//!
+//! Concretely, for a caller-chosen decoy argument `d` (always an `int`,
+//! derived from a parameter of the enclosing open function):
+//!
+//! * **int** leaks return `v + (d*d + int(d <= d))`; the open side
+//!   subtracts the same mask. Interpreter integer arithmetic wraps, so the
+//!   add/subtract pair is exact for every `i64`.
+//! * **float** leaks return `v * (float(int(d <= d)) * 8.0)`; the open
+//!   side divides by the same mask. Scaling by a power of two only shifts
+//!   the exponent, so the pair is exact for all finite `|v| ≤ f64::MAX/8`
+//!   (far beyond anything the suite computes).
+//!
+//! The transform mutates fragments *in place* — every call site of a
+//! value-returning fragment is an ILP site, so all of them are rewritten
+//! together and no orphan fragments are left behind. Boolean leaks and
+//! fragments reachable from a function with no usable decoy source are
+//! skipped (reported in the [`HardenReport`]); callers re-audit to verify
+//! the lints are actually gone.
+//!
+//! After the rewrite the pass re-runs the post-split pipeline: statement
+//! renumbering, the deferrable-call analysis (a decoded call's result is
+//! read immediately, so such calls lose their deferred mark) and the
+//! fragment effect analysis.
+
+use crate::result::{HardenKind, SplitResult};
+use hps_ir::{Block, Builtin, ComponentId, Expr, FragLabel, Place, Stmt, StmtKind, Ty};
+
+/// One fragment the pass successfully hardened.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HardenAction {
+    /// The component owning the fragment.
+    pub component: ComponentId,
+    /// The fragment label.
+    pub label: FragLabel,
+    /// Which transform was applied (by leak type).
+    pub kind: HardenKind,
+    /// Open call sites rewritten (decoy argument + decode statement).
+    pub call_sites: usize,
+    /// ILP declarations updated to the decoy-wrapped leaked expression.
+    pub ilps: usize,
+}
+
+/// One fragment the pass had to leave alone, and why.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HardenSkip {
+    /// The component owning the fragment.
+    pub component: ComponentId,
+    /// The fragment label.
+    pub label: FragLabel,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// What [`harden_split`] did.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct HardenReport {
+    /// Fragments rewritten.
+    pub applied: Vec<HardenAction>,
+    /// Fragments skipped.
+    pub skipped: Vec<HardenSkip>,
+}
+
+impl HardenReport {
+    /// Total open call sites rewritten.
+    pub fn total_sites(&self) -> usize {
+        self.applied.iter().map(|a| a.call_sites).sum()
+    }
+}
+
+/// Hardens the fragments behind the given weak `(component, label)` pairs,
+/// mutating `split` in place. Duplicates are coalesced; pairs naming
+/// unknown or value-free fragments are skipped. See the module docs for
+/// the transform; determinism: groups are processed in sorted
+/// `(component, label)` order and every rewrite is purely structural.
+pub fn harden_split(split: &mut SplitResult, weak: &[(ComponentId, FragLabel)]) -> HardenReport {
+    let mut groups: Vec<(ComponentId, FragLabel)> = weak.to_vec();
+    groups.sort();
+    groups.dedup();
+
+    let mut report = HardenReport::default();
+    let mut mutated = false;
+    for (component, label) in groups {
+        match harden_group(split, component, label) {
+            Ok(action) => {
+                mutated = true;
+                report.applied.push(action);
+            }
+            Err(reason) => report.skipped.push(HardenSkip {
+                component,
+                label,
+                reason,
+            }),
+        }
+    }
+
+    if mutated {
+        // Re-run the post-split pipeline: fresh statement ids, a fresh
+        // deferrable-call analysis (decode statements demand results
+        // immediately, invalidating earlier marks) and fresh effects.
+        reset_deferred(&mut split.open);
+        split.open.renumber_all();
+        split.defer = crate::defer::mark_deferrable(&mut split.open);
+        split.effects = hps_analysis::FragmentEffects::compute(&split.hidden);
+    }
+    report
+}
+
+/// Hardens one fragment and all its call sites, or explains why not.
+fn harden_group(
+    split: &mut SplitResult,
+    component: ComponentId,
+    label: FragLabel,
+) -> Result<HardenAction, String> {
+    let comp = split
+        .hidden
+        .components
+        .get(component.index())
+        .ok_or_else(|| format!("no component #{}", component.index()))?;
+    let frag = comp
+        .fragment(label)
+        .ok_or_else(|| format!("no fragment L{}", label.index()))?;
+    if frag.ret.is_none() {
+        return Err("fragment returns no value".into());
+    }
+    if frag.params.iter().any(|(name, _)| name == DECOY_PARAM) {
+        return Err("already hardened".into());
+    }
+
+    // Collect and validate every call site before touching anything: the
+    // fragment is shared, so either all sites can decode or none may.
+    let mut sites: Vec<(usize, Expr)> = Vec::new(); // (func index, decoy expr)
+    let mut n_sites = 0usize;
+    let mut leak_ty: Option<Ty> = None;
+    for (fi, func) in split.open.functions.iter().enumerate() {
+        let mut found = 0usize;
+        let mut bad: Option<String> = None;
+        hps_ir::visit::for_each_stmt(&func.body, &mut |stmt| {
+            if let StmtKind::HiddenCall {
+                component: c,
+                label: l,
+                result,
+                ..
+            } = &stmt.kind
+            {
+                if (*c, *l) != (component, label) {
+                    return;
+                }
+                found += 1;
+                match result {
+                    None => bad = Some("call site discards the result".into()),
+                    Some(place) => {
+                        if place_has_call(place) {
+                            bad = Some("result place contains a call".into());
+                        } else {
+                            let ty = crate::infer::place_ty(&split.open, func, place);
+                            if !matches!(ty, Ty::Int | Ty::Float) {
+                                bad = Some(format!("unsupported leak type {ty}"));
+                            } else if *leak_ty.get_or_insert(ty.clone()) != ty {
+                                bad = Some("call sites disagree on leak type".into());
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        if found == 0 {
+            continue;
+        }
+        if let Some(reason) = bad {
+            return Err(reason);
+        }
+        let decoy = decoy_expr(func)
+            .ok_or_else(|| format!("function `{}` has no usable decoy parameter", func.name))?;
+        n_sites += found;
+        sites.push((fi, decoy));
+    }
+    if n_sites == 0 {
+        return Err("fragment has no call sites".into());
+    }
+    let leak_ty = leak_ty.expect("sites imply a leak type");
+    let kind = match leak_ty {
+        Ty::Int => HardenKind::IntDecoy,
+        Ty::Float => HardenKind::FloatMask,
+        _ => unreachable!("validated above"),
+    };
+
+    // 1. Wrap the fragment's return value. Inside the fragment, slots
+    //    `0..vars` are hidden variables and `vars..` are parameters, so the
+    //    appended decoy parameter lives at `vars + old params`.
+    let comp = &mut split.hidden.components[component.index()];
+    let frag = comp
+        .fragments
+        .iter_mut()
+        .find(|f| f.label == label)
+        .expect("fragment checked above");
+    let decoy_slot = Expr::local(hps_ir::LocalId::new(comp.vars.len() + frag.params.len()));
+    frag.params.push((DECOY_PARAM.to_string(), Ty::Int));
+    let ret = frag.ret.take().expect("checked above");
+    frag.ret = Some(match kind {
+        HardenKind::IntDecoy => Expr::binary(hps_ir::BinOp::Add, ret, int_mask(decoy_slot)),
+        HardenKind::FloatMask => Expr::binary(hps_ir::BinOp::Mul, ret, float_mask(decoy_slot)),
+    });
+
+    // 2. Rewrite every call site: append the decoy argument and decode the
+    //    result right after the call.
+    for &(fi, ref decoy) in &sites {
+        let body = std::mem::take(&mut split.open.functions[fi].body);
+        split.open.functions[fi].body = rewrite_block(body, component, label, decoy, kind);
+    }
+
+    // 3. Update the ILP declarations: the wire value is now the wrapped
+    //    expression (over the original function's parameters — the decoy
+    //    only reads parameters, which keep their ids across the split).
+    let mut n_ilps = 0usize;
+    for r in &mut split.reports {
+        let Some((_, decoy)) = sites.iter().find(|&&(fi, _)| fi == r.func.index()) else {
+            continue;
+        };
+        for ilp in &mut r.ilps {
+            if (ilp.component, ilp.label) != (component, label) {
+                continue;
+            }
+            ilp.leaked_expr = match kind {
+                HardenKind::IntDecoy => Expr::binary(
+                    hps_ir::BinOp::Add,
+                    ilp.leaked_expr.clone(),
+                    int_mask(decoy.clone()),
+                ),
+                HardenKind::FloatMask => Expr::binary(
+                    hps_ir::BinOp::Mul,
+                    ilp.leaked_expr.clone(),
+                    float_mask(decoy.clone()),
+                ),
+            };
+            ilp.hardening = Some(kind);
+            n_ilps += 1;
+        }
+    }
+
+    Ok(HardenAction {
+        component,
+        label,
+        kind,
+        call_sites: n_sites,
+        ilps: n_ilps,
+    })
+}
+
+/// Name of the appended decoy parameter (also the "already hardened"
+/// marker).
+const DECOY_PARAM: &str = "__decoy";
+
+/// `d*d + int(d <= d)` — the integer decoy mask. `Arbitrary` on the
+/// complexity lattice (relational operator) with the decoy as an
+/// observable input; exactly invertible under wrapping arithmetic.
+fn int_mask(d: Expr) -> Expr {
+    Expr::binary(
+        hps_ir::BinOp::Add,
+        Expr::binary(hps_ir::BinOp::Mul, d.clone(), d.clone()),
+        Expr::builtin(
+            Builtin::IntCast,
+            vec![Expr::binary(hps_ir::BinOp::Le, d.clone(), d)],
+        ),
+    )
+}
+
+/// `float(int(d <= d)) * 8.0` — the float decoy mask: a power of two, so
+/// multiply/divide only shifts the exponent.
+fn float_mask(d: Expr) -> Expr {
+    Expr::binary(
+        hps_ir::BinOp::Mul,
+        Expr::builtin(
+            Builtin::FloatCast,
+            vec![Expr::builtin(
+                Builtin::IntCast,
+                vec![Expr::binary(hps_ir::BinOp::Le, d.clone(), d)],
+            )],
+        ),
+        Expr::float(8.0),
+    )
+}
+
+/// An `int`-typed, side-effect-free decoy expression over `func`'s
+/// parameters: the first parameter usable as an entropy source. `None`
+/// for parameterless functions.
+fn decoy_expr(func: &hps_ir::Function) -> Option<Expr> {
+    for p in func.param_ids() {
+        let e = Expr::local(p);
+        match &func.local(p).ty {
+            Ty::Int => return Some(e),
+            Ty::Float | Ty::Bool => return Some(Expr::builtin(Builtin::IntCast, vec![e])),
+            Ty::Array(_) => return Some(Expr::builtin(Builtin::Len, vec![e])),
+            Ty::Object(_) | Ty::Void => continue,
+        }
+    }
+    None
+}
+
+/// Rewrites one block: matching hidden calls gain the decoy argument and a
+/// decode statement immediately after.
+fn rewrite_block(
+    block: Block,
+    component: ComponentId,
+    label: FragLabel,
+    decoy: &Expr,
+    kind: HardenKind,
+) -> Block {
+    let mut out = Vec::with_capacity(block.stmts.len());
+    for mut stmt in block.stmts {
+        match &mut stmt.kind {
+            StmtKind::HiddenCall {
+                component: c,
+                label: l,
+                args,
+                result,
+                deferred,
+            } if (*c, *l) == (component, label) => {
+                args.push(decoy.clone());
+                *deferred = false;
+                let place = result.clone().expect("validated call site");
+                out.push(stmt);
+                out.push(Stmt::new(StmtKind::Assign {
+                    place: place.clone(),
+                    value: decode_expr(place_to_expr(&place), decoy.clone(), kind),
+                }));
+            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                *then_blk = rewrite_block(std::mem::take(then_blk), component, label, decoy, kind);
+                *else_blk = rewrite_block(std::mem::take(else_blk), component, label, decoy, kind);
+                out.push(stmt);
+            }
+            StmtKind::While { body, .. } => {
+                *body = rewrite_block(std::mem::take(body), component, label, decoy, kind);
+                out.push(stmt);
+            }
+            _ => out.push(stmt),
+        }
+    }
+    Block::of(out)
+}
+
+/// The open-side inverse of the fragment's wrap.
+fn decode_expr(wrapped: Expr, decoy: Expr, kind: HardenKind) -> Expr {
+    match kind {
+        HardenKind::IntDecoy => Expr::binary(hps_ir::BinOp::Sub, wrapped, int_mask(decoy)),
+        HardenKind::FloatMask => Expr::binary(hps_ir::BinOp::Div, wrapped, float_mask(decoy)),
+    }
+}
+
+/// Reads a place back as an expression (places are side-effect-free by
+/// the call-site validation, so double evaluation is safe).
+fn place_to_expr(place: &Place) -> Expr {
+    match place {
+        Place::Local(l) => Expr::local(*l),
+        Place::Global(g) => Expr::global(*g),
+        Place::Index { base, index } => Expr::index(place_to_expr(base), index.clone()),
+        Place::Field { obj, class, field } => Expr::FieldGet {
+            obj: Box::new(obj.clone()),
+            class: *class,
+            field: *field,
+        },
+    }
+}
+
+/// Whether evaluating the place (as an lvalue or rvalue) could call user
+/// code.
+fn place_has_call(place: &Place) -> bool {
+    match place {
+        Place::Local(_) | Place::Global(_) => false,
+        Place::Index { base, index } => place_has_call(base) || index.contains_call(),
+        Place::Field { obj, .. } => obj.contains_call(),
+    }
+}
+
+/// Clears every deferred mark so the deferrable-call analysis re-decides
+/// from scratch after the rewrite.
+fn reset_deferred(program: &mut hps_ir::Program) {
+    fn walk(block: &mut Block) {
+        for stmt in &mut block.stmts {
+            match &mut stmt.kind {
+                StmtKind::HiddenCall { deferred, .. } => *deferred = false,
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    walk(then_blk);
+                    walk(else_blk);
+                }
+                StmtKind::While { body, .. } => walk(body),
+                _ => {}
+            }
+        }
+    }
+    for func in &mut program.functions {
+        walk(&mut func.body);
+    }
+}

@@ -50,6 +50,7 @@
 pub mod defer;
 pub mod deploy;
 pub mod error;
+pub mod harden;
 pub mod infer;
 pub mod plan;
 pub mod result;
@@ -60,8 +61,9 @@ pub mod splitter;
 pub use defer::{mark_deferrable, DeferStats};
 pub use deploy::{check_deployment, DeploymentCheck, DeviceProfile};
 pub use error::SplitError;
+pub use harden::{harden_split, HardenAction, HardenReport, HardenSkip};
 pub use plan::{SplitPlan, SplitTarget};
-pub use result::{IlpInfo, IlpKind, SplitReport, SplitResult};
+pub use result::{HardenKind, IlpInfo, IlpKind, SplitReport, SplitResult};
 pub use selection::{select_functions, FunctionEligibility};
 pub use self_contained::{self_contained_report, SelfContainedReport};
 pub use splitter::split_program;

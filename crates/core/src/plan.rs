@@ -31,7 +31,14 @@ pub enum SplitTarget {
 }
 
 /// A complete splitting plan.
+///
+/// The struct is `#[non_exhaustive]` so future optimizer knobs (see
+/// `hps-security`'s `optimize` module) can be added without breaking
+/// downstream crates: construct plans with [`SplitPlan::new`] /
+/// [`SplitPlan::from_targets`] and the builder setters, not with a struct
+/// literal. The existing fields stay `pub` and freely readable.
 #[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub struct SplitPlan {
     /// The targets, each becoming one hidden component.
     pub targets: Vec<SplitTarget>,
@@ -40,13 +47,39 @@ pub struct SplitPlan {
 }
 
 impl SplitPlan {
-    /// An empty plan (builder style: push targets onto
-    /// [`SplitPlan::targets`]).
+    /// An empty plan (builder style: chain [`SplitPlan::with_target`]).
     pub fn new() -> SplitPlan {
         SplitPlan {
             targets: Vec::new(),
             promote_control: true,
         }
+    }
+
+    /// A plan over the given targets with control promotion on.
+    pub fn from_targets(targets: Vec<SplitTarget>) -> SplitPlan {
+        SplitPlan {
+            targets,
+            promote_control: true,
+        }
+    }
+
+    /// Appends one target (builder setter).
+    pub fn with_target(mut self, target: SplitTarget) -> SplitPlan {
+        self.targets.push(target);
+        self
+    }
+
+    /// Replaces the target list (builder setter).
+    pub fn with_targets(mut self, targets: Vec<SplitTarget>) -> SplitPlan {
+        self.targets = targets;
+        self
+    }
+
+    /// Sets control-flow promotion (builder setter;
+    /// [`SplitPlan::without_promotion`] is the common shorthand).
+    pub fn with_promotion(mut self, promote: bool) -> SplitPlan {
+        self.promote_control = promote;
+        self
     }
 
     /// Plan splitting a single function seeded at a named local variable.

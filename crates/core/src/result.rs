@@ -17,6 +17,32 @@ pub enum IlpKind {
     Fetch(VarId),
 }
 
+/// Which hardening transform was applied to an ILP's fragment (see
+/// [`crate::harden`]). Both transforms wrap the returned value with a
+/// decoy computation containing a hidden relational predicate, so the
+/// on-the-wire value is no longer the leaked expression itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HardenKind {
+    /// Integer leak: the fragment returns `v + (d*d + int(d <= d))` for a
+    /// caller-supplied decoy `d`; the open side subtracts the same mask
+    /// right after the call. Exact under wrapping arithmetic.
+    IntDecoy,
+    /// Float leak: the fragment returns `v * (float(int(d <= d)) * 8.0)`;
+    /// the open side divides by the same power-of-two mask. Exact for all
+    /// finite values with `|v| <= f64::MAX / 8`.
+    FloatMask,
+}
+
+impl HardenKind {
+    /// Stable snake_case name used in plan reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HardenKind::IntDecoy => "int_decoy",
+            HardenKind::FloatMask => "float_mask",
+        }
+    }
+}
+
 /// One *information leak point*: "a point in the open component at which
 /// part of the state of the hidden component is revealed" (§3).
 #[derive(Clone, PartialEq, Debug)]
@@ -30,8 +56,12 @@ pub struct IlpInfo {
     /// What kind of leak this is.
     pub kind: IlpKind,
     /// The leaked value as an expression over the *original* function's
-    /// variables (input to the security analysis).
+    /// variables (input to the security analysis). Hardening rewrites this
+    /// to the decoy-wrapped expression actually shipped on the wire.
     pub leaked_expr: Expr,
+    /// Set when [`crate::harden`] rewrote this ILP's fragment; the
+    /// security analysis credits the embedded hidden predicate.
+    pub hardening: Option<HardenKind>,
 }
 
 /// Report for one split target.
@@ -56,7 +86,7 @@ pub struct SplitReport {
 }
 
 /// The full result of splitting a program.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SplitResult {
     /// The transformed open program (install on the unsecure machine).
     pub open: Program,

@@ -568,6 +568,7 @@ impl FuncRewriter<'_> {
             label,
             kind: IlpKind::Fetch(v),
             leaked_expr: var_expr(v),
+            hardening: None,
         });
         tmp
     }
@@ -850,6 +851,7 @@ impl FuncRewriter<'_> {
             label,
             kind: IlpKind::HiddenCompute,
             leaked_expr: expr.clone(),
+            hardening: None,
         });
         Ok(Stmt::new(StmtKind::HiddenCall {
             component: self.comp.id,

@@ -172,10 +172,7 @@ fn splitting_twice_is_rejected() {
             .find(|&l| f.local(l).ty.is_scalar())
             .expect("some scalar local exists")
     };
-    let again = SplitPlan {
-        targets: vec![hps_core::SplitTarget::Function { func: fid, seed }],
-        promote_control: true,
-    };
+    let again = SplitPlan::from_targets(vec![hps_core::SplitTarget::Function { func: fid, seed }]);
     match split_program(&split.open, &again) {
         Err(SplitError::Unrealizable(msg)) => {
             assert!(msg.contains("already-split"), "{msg}");

@@ -102,10 +102,7 @@ pub fn ranked_seeds_with(program: &Program, func: FuncId, rule: SeedRule) -> Vec
         if f.is_param(seed) || !local.ty.is_scalar() {
             continue;
         }
-        let plan = SplitPlan {
-            targets: vec![SplitTarget::Function { func, seed }],
-            promote_control: true,
-        };
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func, seed }]);
         let split = match split_program(program, &plan) {
             Ok(s) => s,
             Err(_) => continue,
@@ -140,6 +137,11 @@ pub fn ranked_seeds_with(program: &Program, func: FuncId, rule: SeedRule) -> Vec
 
 /// Picks the best seed variable for splitting `func` under `rule`.
 ///
+/// This is a thin convenience over [`ranked_seeds_with`]; whole-program
+/// planning (seed choice for every selected function, budget search and
+/// hardening) lives behind the `hps-audit` `Planner` facade, which calls
+/// into [`mod@crate::optimize`].
+///
 /// Scoring follows the paper: the seed whose split yields the ILP with the
 /// highest maximum arithmetic complexity (ties broken toward more ILPs,
 /// then declaration order — see [`ranked_seeds_with`] for the full
@@ -159,6 +161,10 @@ pub fn choose_seed(program: &Program, func: FuncId) -> Option<LocalId> {
 
 /// Chooses a seed for each of the given functions under `rule`, skipping
 /// functions with no usable seed. Returns `(func, seed)` pairs.
+///
+/// Thin wrapper kept for callers that want raw pairs; prefer
+/// [`crate::optimize::default_targets`] (which returns a ready
+/// [`SplitPlan`]) or the `hps-audit` `Planner` for the full pipeline.
 pub fn choose_seeds_all_with(
     program: &Program,
     funcs: &[FuncId],
@@ -254,10 +260,7 @@ mod tests {
         let p = hps_lang::parse(src).unwrap();
         let func = p.func_by_name("g").unwrap();
         let seed = p.func(func).local_by_name("acc").unwrap();
-        let plan = SplitPlan {
-            targets: vec![SplitTarget::Function { func, seed }],
-            promote_control: true,
-        };
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func, seed }]);
         let split = split_program(&p, &plan).unwrap();
         assert!(in_loop_hidden_calls(&split, func) > 0);
     }

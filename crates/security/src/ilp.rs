@@ -119,6 +119,10 @@ pub fn analyze_report(original: &Program, report: &SplitReport) -> Vec<IlpComple
 /// Analyzes a whole split. `original` must be the program the split was
 /// produced from (ILP statement ids refer to it).
 ///
+/// The `hps-audit` `Planner` runs this for you (before and after
+/// hardening) and folds the result into its `PlanReport`; call it directly
+/// only when you already hold a [`SplitResult`] of your own making.
+///
 /// # Examples
 ///
 /// ```
@@ -209,7 +213,10 @@ fn compute_cc(
 
     // Predicates hidden: a hidden construct's condition, or relational /
     // boolean operators evaluated inside hidden fragments feeding the leak.
-    let mut predicates_hidden = predicate_in_hidden;
+    // A hardened ILP embeds a relational predicate in the decoy mask the
+    // fragment evaluates (the `d <= d` of `hps_core::harden`), which lives
+    // in the wire expression rather than any feeding statement.
+    let mut predicates_hidden = predicate_in_hidden || ilp.hardening.is_some();
     for &s in &feeding {
         if let Some(stmt) = func.stmt(s) {
             hps_ir::visit::for_each_expr_in_stmt(stmt, &mut |e| match e {

@@ -38,6 +38,7 @@ pub mod choose;
 pub mod estimate;
 pub mod ilp;
 pub mod lattice;
+pub mod optimize;
 
 pub use cc::{CcTriple, PathCount};
 pub use choose::{
@@ -47,3 +48,7 @@ pub use choose::{
 pub use estimate::Estimator;
 pub use ilp::{analyze_report, analyze_split, IlpComplexity, SecurityReport};
 pub use lattice::{Ac, AcType, Inputs};
+pub use optimize::{
+    default_targets, estimate_base_units, optimize, predict, MeasuredCost, OptimizeOutcome,
+    PlanCostModel, PredictedCost, SeedChoice,
+};

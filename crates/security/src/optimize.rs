@@ -1,0 +1,489 @@
+//! Budget-aware split planning: the cost model and the deterministic
+//! search over the hide-set space.
+//!
+//! The paper's pipeline picks seeds heuristically and stops; this module
+//! closes the loop (ROADMAP item 1, after PrettyCat's guarantee-controlled
+//! partitioning): given an overhead **budget**, search the space of seed
+//! choices — per-function candidate rankings from [`ranked_seeds_with`] —
+//! for the most secure combination whose predicted (and, when a measurer
+//! is attached, measured) overhead fits the budget.
+//!
+//! The search is fully deterministic:
+//!
+//! 1. Functions come from [`select_functions`] in declaration order; each
+//!    gets its candidate ranking from [`ranked_seeds_with`] (score
+//!    descending, declaration-order tie-break). If the cost-restricted
+//!    rule yields nothing anywhere, the search falls back to
+//!    [`SeedRule::MaxComplexity`] (recorded in the outcome).
+//! 2. Level 0 takes every function's best candidate — exactly the paper
+//!    pipeline ([`default_targets`]).
+//! 3. Each downgrade **level** applies one more move: the function with
+//!    the highest predicted overhead contribution (ties: lowest function
+//!    id) steps down to its next-ranked seed, or is dropped from the plan
+//!    once its candidates are exhausted. Levels are monotone, so a caller
+//!    (the `hps-audit` `Planner`) can walk level 0, 1, 2, … until the
+//!    *measured* overhead fits the budget.
+//!
+//! Prediction charges transport only — the hidden side executes the same
+//! statements the original would — using [`PlanCostModel`]: one round
+//! trip per non-deferred hidden call (deferred calls coalesce
+//! `batch_factor`-to-one, per the `hps-core` defer analysis), per-call
+//! overhead, and a `loop_trip` multiplier per enclosing non-constant-trip
+//! loop. [`PlanCostModel::calibrated`] replaces the round-trip weight with
+//! the telemetry-measured cost breakdown of a real run.
+
+use crate::choose::{ranked_seeds_with, SeedCandidate, SeedRule};
+use crate::lattice::Ac;
+use hps_core::{select_functions, split_program, SplitPlan, SplitResult, SplitTarget};
+use hps_ir::{FuncId, LocalId, Program, StmtKind};
+use std::collections::HashMap;
+
+/// Per-operation weights for the static overhead prediction, in the same
+/// abstract units as the runtime's deterministic cost model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanCostModel {
+    /// Units per open↔hidden round trip (default: the runtime cost
+    /// model's LAN round trip, 3000 units).
+    pub rtt_units: u64,
+    /// Per-call fixed overhead (frame + marshalling), both sides.
+    pub call_units: u64,
+    /// Assumed iterations of a loop whose trip count is not a
+    /// compile-time constant.
+    pub loop_trip: u64,
+    /// Deferred calls coalesced into one round trip by a batching
+    /// runtime.
+    pub batch_factor: u64,
+    /// Units charged per statement when statically estimating the
+    /// original program's run cost (no measurement attached).
+    pub stmt_units: u64,
+}
+
+impl Default for PlanCostModel {
+    fn default() -> PlanCostModel {
+        PlanCostModel {
+            rtt_units: 3000,
+            call_units: 25,
+            loop_trip: 16,
+            batch_factor: 4,
+            stmt_units: 3,
+        }
+    }
+}
+
+impl PlanCostModel {
+    /// Calibrates the round-trip weight from a measured telemetry cost
+    /// breakdown: the observed round-trip units per interaction replace
+    /// the LAN default, so later predictions speak the measured run's
+    /// language.
+    pub fn calibrated(measured: &MeasuredCost) -> PlanCostModel {
+        let mut m = PlanCostModel::default();
+        if measured.interactions > 0 && measured.rtt_units > 0 {
+            m.rtt_units = measured.rtt_units / measured.interactions;
+        }
+        m
+    }
+}
+
+/// A measured cost breakdown of one split run against its original, in
+/// the runtime's deterministic virtual cost units (the telemetry counters
+/// `hps_run_cost_units_total` / `hps_rtt_cost_units_total` /
+/// `hps_server_cost_units_total`). Produced by whatever measurer the
+/// caller attaches — the `hps-audit` `Planner` takes a closure so this
+/// crate stays independent of the runtime.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MeasuredCost {
+    /// Critical-path cost of the original program.
+    pub base_units: u64,
+    /// Critical-path cost of the split program (batched transport).
+    pub split_units: u64,
+    /// Round-trip share of the split run.
+    pub rtt_units: u64,
+    /// Secure-device share of the split run.
+    pub server_units: u64,
+    /// Open↔hidden round trips.
+    pub interactions: u64,
+}
+
+impl MeasuredCost {
+    /// Measured overhead percentage, the paper's Table 5 column.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.base_units == 0 {
+            return 0.0;
+        }
+        (self.split_units as f64 - self.base_units as f64) / self.base_units as f64 * 100.0
+    }
+
+    /// Open-side share of the split run's critical path.
+    pub fn open_units(&self) -> u64 {
+        self.split_units
+            .saturating_sub(self.rtt_units)
+            .saturating_sub(self.server_units)
+    }
+}
+
+/// The statically predicted cost of a split.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PredictedCost {
+    /// Hidden-call sites in the open program.
+    pub call_sites: usize,
+    /// Sites inside non-constant-trip open loops.
+    pub in_loop_sites: usize,
+    /// Estimated dynamic round trips (loop-weighted, deferred calls
+    /// coalesced).
+    pub interactions: u64,
+    /// Estimated extra units versus the original (transport + call
+    /// overhead; hidden execution replaces open execution).
+    pub extra_units: u64,
+    /// The baseline the percentage is taken against: measured when a
+    /// measurer calibrated the model, otherwise a static estimate.
+    pub base_units: u64,
+}
+
+impl PredictedCost {
+    /// Predicted overhead percentage.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.base_units == 0 {
+            return 0.0;
+        }
+        self.extra_units as f64 / self.base_units as f64 * 100.0
+    }
+}
+
+/// Statement-weight walk shared by the base estimate and the per-site
+/// weights: every statement counts `loop_trip^depth` (depth capped at 3)
+/// for its enclosing non-constant-trip loops.
+fn loop_weight(model: &PlanCostModel, depth: usize) -> u64 {
+    model.loop_trip.saturating_pow(depth.min(3) as u32)
+}
+
+/// Statically estimates the original program's run cost in model units
+/// (used as the prediction baseline when no measurement is attached).
+pub fn estimate_base_units(program: &Program, model: &PlanCostModel) -> u64 {
+    let mut total = 0u64;
+    for func in &program.functions {
+        let structure = hps_analysis::StructInfo::compute(func);
+        let loops = hps_analysis::LoopInfo::compute(func, &structure);
+        hps_ir::visit::for_each_stmt(&func.body, &mut |stmt| {
+            let depth = structure
+                .enclosing_loops(stmt.id)
+                .iter()
+                .filter(|&&l| !constant_trip(&loops, l))
+                .count();
+            total = total.saturating_add(model.stmt_units * loop_weight(model, depth));
+        });
+    }
+    total.max(1)
+}
+
+fn constant_trip(loops: &hps_analysis::LoopInfo, l: hps_ir::StmtId) -> bool {
+    matches!(
+        loops.loop_at(l).map(|m| &m.trip),
+        Some(hps_analysis::TripCount::Counted { init, bound, .. })
+            if bound.as_const().is_some()
+                && init.as_ref().is_some_and(|e| e.as_const().is_some())
+    )
+}
+
+/// Predicts the overhead of a split. `base_units` is the baseline for the
+/// percentage: pass a measured original-run cost when available, `None`
+/// for the static estimate.
+pub fn predict(
+    program: &Program,
+    split: &SplitResult,
+    model: &PlanCostModel,
+    base_units: Option<u64>,
+) -> PredictedCost {
+    let mut call_sites = 0usize;
+    let mut in_loop_sites = 0usize;
+    let mut demand_weight = 0u64;
+    let mut deferred_weight = 0u64;
+    for func in &split.open.functions {
+        let structure = hps_analysis::StructInfo::compute(func);
+        let loops = hps_analysis::LoopInfo::compute(func, &structure);
+        hps_ir::visit::for_each_stmt(&func.body, &mut |stmt| {
+            if let StmtKind::HiddenCall { deferred, .. } = &stmt.kind {
+                let depth = structure
+                    .enclosing_loops(stmt.id)
+                    .iter()
+                    .filter(|&&l| !constant_trip(&loops, l))
+                    .count();
+                call_sites += 1;
+                if depth > 0 {
+                    in_loop_sites += 1;
+                }
+                let w = loop_weight(model, depth);
+                if *deferred {
+                    deferred_weight = deferred_weight.saturating_add(w);
+                } else {
+                    demand_weight = demand_weight.saturating_add(w);
+                }
+            }
+        });
+    }
+    let batch = model.batch_factor.max(1);
+    let interactions = demand_weight + deferred_weight.div_ceil(batch);
+    let extra_units = interactions.saturating_mul(model.rtt_units)
+        + (demand_weight + deferred_weight).saturating_mul(model.call_units);
+    PredictedCost {
+        call_sites,
+        in_loop_sites,
+        interactions,
+        extra_units,
+        base_units: base_units.unwrap_or_else(|| estimate_base_units(program, model)),
+    }
+}
+
+/// One function's chosen seed in an optimized plan.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SeedChoice {
+    /// The split function.
+    pub func: FuncId,
+    /// Its name (for reports).
+    pub func_name: String,
+    /// The chosen seed variable.
+    pub seed: LocalId,
+    /// Its name (for reports).
+    pub seed_name: String,
+    /// Position in the function's candidate ranking (0 = most secure).
+    pub rank: usize,
+    /// Number of viable candidates the function had.
+    pub n_candidates: usize,
+    /// The candidate's maximum ILP arithmetic complexity.
+    pub max_ac: Ac,
+    /// How many ILPs the candidate's split creates.
+    pub n_ilps: usize,
+}
+
+/// The result of one [`optimize`] run at a given downgrade level.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OptimizeOutcome {
+    /// The plan to split with.
+    pub plan: SplitPlan,
+    /// Chosen seed per function, in plan order.
+    pub choices: Vec<SeedChoice>,
+    /// Functions dropped from the plan by downgrade moves (names).
+    pub dropped: Vec<String>,
+    /// The seed rule actually used.
+    pub rule: SeedRule,
+    /// Whether the cost-restricted rule found nothing and the search fell
+    /// back to the unrestricted §4 rule.
+    pub rule_fallback: bool,
+    /// Predicted cost of the planned split.
+    pub predicted: PredictedCost,
+    /// Whether a further downgrade level would change the plan.
+    pub more_moves: bool,
+    /// The downgrade level this outcome realizes.
+    pub level: usize,
+}
+
+/// The paper pipeline's plan — call-graph-cut function selection plus the
+/// best-ranked seed per function — as a [`SplitPlan`]. This is exactly
+/// [`optimize`] at level 0 and the plan behind every pre-existing golden.
+pub fn default_targets(program: &Program, rule: SeedRule) -> SplitPlan {
+    let selected = select_functions(program);
+    let seeds = crate::choose::choose_seeds_all_with(program, &selected, rule);
+    SplitPlan::from_targets(
+        seeds
+            .into_iter()
+            .map(|(func, seed)| SplitTarget::Function { func, seed })
+            .collect(),
+    )
+}
+
+/// Searches the hide-set space for the plan at downgrade `level` (see the
+/// module docs for the search order). Level 0 is the maximum-security
+/// combination; each further level trades the most expensive function
+/// down one notch. `base_units` is threaded into the prediction.
+pub fn optimize(
+    program: &Program,
+    rule: SeedRule,
+    model: &PlanCostModel,
+    level: usize,
+    base_units: Option<u64>,
+) -> OptimizeOutcome {
+    let selected = select_functions(program);
+    let mut used_rule = rule;
+    let mut rule_fallback = false;
+    let mut ranked: Vec<(FuncId, Vec<SeedCandidate>)> = selected
+        .iter()
+        .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
+        .collect();
+    if ranked.iter().all(|(_, c)| c.is_empty()) && used_rule == SeedRule::CostRestricted {
+        used_rule = SeedRule::MaxComplexity;
+        rule_fallback = true;
+        ranked = selected
+            .iter()
+            .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
+            .collect();
+    }
+    ranked.retain(|(_, c)| !c.is_empty());
+
+    // Current position per function: Some(candidate index) or None
+    // (dropped). Contributions are the predicted extra units of the
+    // function's single-target split, memoized per (func, rank).
+    let mut pos: Vec<Option<usize>> = vec![Some(0); ranked.len()];
+    let mut contrib_memo: HashMap<(usize, usize), u64> = HashMap::new();
+    let contribution = |program: &Program,
+                        ranked: &[(FuncId, Vec<SeedCandidate>)],
+                        memo: &mut HashMap<(usize, usize), u64>,
+                        i: usize,
+                        rank: usize|
+     -> u64 {
+        if let Some(&c) = memo.get(&(i, rank)) {
+            return c;
+        }
+        let (func, cands) = &ranked[i];
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function {
+            func: *func,
+            seed: cands[rank].seed,
+        }]);
+        let extra = match split_program(program, &plan) {
+            Ok(split) => predict(program, &split, model, Some(1)).extra_units,
+            Err(_) => u64::MAX,
+        };
+        memo.insert((i, rank), extra);
+        extra
+    };
+
+    let mut dropped: Vec<String> = Vec::new();
+    for _ in 0..level {
+        // The most expensive still-planned function downgrades one notch.
+        let mut worst: Option<(u64, usize)> = None;
+        for (i, p) in pos.iter().enumerate() {
+            let Some(rank) = *p else { continue };
+            let c = contribution(program, &ranked, &mut contrib_memo, i, rank);
+            if worst.map(|(w, _)| c > w).unwrap_or(true) {
+                worst = Some((c, i));
+            }
+        }
+        let Some((_, i)) = worst else { break };
+        let rank = pos[i].expect("picked a planned function");
+        if rank + 1 < ranked[i].1.len() {
+            pos[i] = Some(rank + 1);
+        } else {
+            pos[i] = None;
+            dropped.push(program.func(ranked[i].0).name.clone());
+        }
+    }
+    let more_moves = pos.iter().any(|p| p.is_some());
+
+    let mut targets = Vec::new();
+    let mut choices = Vec::new();
+    for (i, p) in pos.iter().enumerate() {
+        let Some(rank) = *p else { continue };
+        let (func, cands) = &ranked[i];
+        let c = &cands[rank];
+        targets.push(SplitTarget::Function {
+            func: *func,
+            seed: c.seed,
+        });
+        choices.push(SeedChoice {
+            func: *func,
+            func_name: program.func(*func).name.clone(),
+            seed: c.seed,
+            seed_name: program.func(*func).local(c.seed).name.clone(),
+            rank,
+            n_candidates: cands.len(),
+            max_ac: c.max_ac.clone(),
+            n_ilps: c.n_ilps,
+        });
+    }
+    let plan = SplitPlan::from_targets(targets);
+    let predicted = match split_program(program, &plan) {
+        Ok(split) => predict(program, &split, model, base_units),
+        Err(_) => PredictedCost::default(),
+    };
+    OptimizeOutcome {
+        plan,
+        choices,
+        dropped,
+        rule: used_rule,
+        rule_fallback,
+        predicted,
+        more_moves,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        fn f(x: int, y: int) -> int {
+            var a: int = 3 * x + y;
+            var b: int = a * a;
+            return b;
+        }
+        fn g(n: int) -> int {
+            var t: int = n * 7;
+            return t;
+        }
+        fn main() { print(f(1, 2) + g(3)); }";
+
+    #[test]
+    fn level_zero_matches_paper_pipeline() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let model = PlanCostModel::default();
+        let out = optimize(&p, SeedRule::CostRestricted, &model, 0, None);
+        assert_eq!(out.plan, default_targets(&p, SeedRule::CostRestricted));
+        assert!(!out.choices.is_empty());
+        assert!(out.choices.iter().all(|c| c.rank == 0));
+        assert_eq!(out.level, 0);
+    }
+
+    #[test]
+    fn optimize_is_deterministic() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let model = PlanCostModel::default();
+        for level in 0..4 {
+            let a = optimize(&p, SeedRule::CostRestricted, &model, level, None);
+            let b = optimize(&p, SeedRule::CostRestricted, &model, level, None);
+            assert_eq!(a, b, "level {level}");
+        }
+    }
+
+    #[test]
+    fn levels_eventually_exhaust_moves() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let model = PlanCostModel::default();
+        let mut level = 0;
+        loop {
+            let out = optimize(&p, SeedRule::CostRestricted, &model, level, None);
+            if !out.more_moves {
+                assert!(out.plan.targets.is_empty());
+                break;
+            }
+            level += 1;
+            assert!(level < 64, "downgrade ladder must terminate");
+        }
+    }
+
+    #[test]
+    fn prediction_charges_transport() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let model = PlanCostModel::default();
+        let out = optimize(&p, SeedRule::CostRestricted, &model, 0, None);
+        let split = split_program(&p, &out.plan).unwrap();
+        let pred = predict(&p, &split, &model, None);
+        assert!(pred.call_sites > 0);
+        assert!(pred.interactions > 0);
+        assert!(pred.extra_units >= pred.interactions * model.rtt_units);
+        assert!(pred.base_units > 0);
+    }
+
+    #[test]
+    fn calibration_uses_measured_rtt_share() {
+        let m = MeasuredCost {
+            base_units: 1000,
+            split_units: 1500,
+            rtt_units: 400,
+            server_units: 100,
+            interactions: 8,
+        };
+        let model = PlanCostModel::calibrated(&m);
+        assert_eq!(model.rtt_units, 50);
+        assert!((m.overhead_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(m.open_units(), 1000);
+    }
+}

@@ -27,10 +27,7 @@ fn main() {
                 continue;
             }
         };
-        let plan = SplitPlan {
-            targets: vec![SplitTarget::Function { func, seed }],
-            promote_control: true,
-        };
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func, seed }]);
         let split = split_program(&program, &plan).unwrap();
         let replay = Executor::new(&split.open, &split.hidden)
             .run(&[input.deep_clone()])

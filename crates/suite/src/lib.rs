@@ -33,9 +33,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod planning;
 pub mod programs;
 pub mod workload;
 
+pub use planning::{measure_split, plan_benchmark, plan_workload, PLAN_FLOOR, PLAN_SCALE};
 pub use workload::Workload;
 
 use hps_ir::Program;

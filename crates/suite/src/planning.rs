@@ -1,0 +1,92 @@
+//! The canonical plan-measurement harness.
+//!
+//! One definition of "measure a split's overhead" shared by everything
+//! that verifies budgets — the suite's plan goldens, the bench crate's
+//! `plan_gate` binary and the CI `plan` job — so their numbers agree
+//! byte for byte:
+//!
+//! * the workload is the benchmark's **first** listed size scaled down to
+//!   [`PLAN_SCALE`]th (floor [`PLAN_FLOOR`]), workload seed 1 — the same
+//!   shape as the Table 5 smoke runs;
+//! * transport is **batched** at the LAN round trip of the deterministic
+//!   cost model, with a telemetry recorder attached;
+//! * the original and split outputs are compared and divergence is an
+//!   error, so a measured plan is also an equivalence check.
+
+use crate::Benchmark;
+use hps_audit::{PlanError, PlanReport, Planner};
+use hps_core::SplitResult;
+use hps_ir::Program;
+use hps_runtime::telemetry::metrics::names;
+use hps_runtime::{run_program, ExecConfig, Executor, MetricsRecorder, RtValue};
+use hps_security::MeasuredCost;
+
+/// Divisor applied to the benchmark's first workload size for plan
+/// measurement.
+pub const PLAN_SCALE: usize = 10;
+
+/// Smallest workload size plan measurement will use.
+pub const PLAN_FLOOR: usize = 30;
+
+/// The canonical measurement workload for a benchmark.
+pub fn plan_workload(b: &Benchmark) -> RtValue {
+    let (_, size) = b.workloads()[0];
+    b.workload((size / PLAN_SCALE).max(PLAN_FLOOR), 1)
+}
+
+/// Measures one split against its original on `input`: original run,
+/// then batched split run at LAN rtt with telemetry, returning the
+/// virtual-cost breakdown. Output divergence is an `Err`.
+pub fn measure_split(
+    program: &Program,
+    split: &SplitResult,
+    input: &RtValue,
+) -> Result<MeasuredCost, String> {
+    // Arrays and objects are shared-mutable references; each run gets its
+    // own deep copy so the original run's writes can't leak into the
+    // split run's input.
+    let before = run_program(program, &[input.deep_clone()])
+        .map_err(|e| format!("original run failed: {e}"))?;
+    let rtt = ExecConfig::new().cost_model.lan_round_trip();
+    let after = Executor::new(&split.open, &split.hidden)
+        .batching(true)
+        .rtt(rtt)
+        .recorder(MetricsRecorder::new())
+        .run(&[input.deep_clone()])
+        .map_err(|e| format!("split run failed: {e}"))?;
+    if before.output != after.outcome.output {
+        return Err(format!(
+            "outputs diverged: original {:?} vs split {:?}",
+            before.output, after.outcome.output
+        ));
+    }
+    Ok(MeasuredCost {
+        base_units: before.cost,
+        split_units: after.outcome.cost,
+        rtt_units: after.telemetry.counter(names::RTT_COST_UNITS),
+        server_units: after.telemetry.counter(names::SERVER_COST_UNITS),
+        interactions: after.interactions,
+    })
+}
+
+/// Plans one benchmark the canonical way: automatic targets under the
+/// default seed rule, measured on [`plan_workload`], with the given
+/// budget and hardening switches. This is exactly what
+/// `hps split <bench> --budget B --harden` and the CI plan gate run.
+pub fn plan_benchmark(
+    b: &Benchmark,
+    budget_percent: Option<f64>,
+    harden: bool,
+) -> Result<PlanReport, PlanError> {
+    let program = b
+        .program()
+        .map_err(|e| PlanError::Measure(format!("benchmark parse failed: {e}")))?;
+    let input = plan_workload(b);
+    let mut planner = Planner::new(&program)
+        .harden(harden)
+        .measure_with(move |prog, split| measure_split(prog, split, &input));
+    if let Some(budget) = budget_percent {
+        planner = planner.budget(budget);
+    }
+    planner.plan()
+}

@@ -11,20 +11,11 @@
 //! HPS_UPDATE_GOLDEN=1 cargo test -p hps-suite --test audit_golden
 //! ```
 
-use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
-use hps_security::choose_seeds_all;
+use hps_core::{split_program, SplitPlan};
 use std::path::PathBuf;
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
-    let selected = select_functions(program);
-    let seeds = choose_seeds_all(program, &selected);
-    SplitPlan {
-        targets: seeds
-            .into_iter()
-            .map(|(func, seed)| SplitTarget::Function { func, seed })
-            .collect(),
-        promote_control: true,
-    }
+    hps_security::default_targets(program, hps_security::SeedRule::CostRestricted)
 }
 
 fn golden_path(name: &str) -> PathBuf {

@@ -9,7 +9,7 @@
 //! `HPS_CHAOS_FAULT` and uploads the chaos logs written to
 //! `target/chaos-logs/` when a cell fails.
 
-use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_core::{split_program, SplitPlan};
 use hps_runtime::fault::{CrashFault, FaultKind, FaultPlan, FaultyChannel};
 use hps_runtime::journal::truncate_tail;
 use hps_runtime::tcp::TcpChannel;
@@ -24,15 +24,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
-    let selected = select_functions(program);
-    let seeds = hps_security::choose_seeds_all(program, &selected);
-    SplitPlan {
-        targets: seeds
-            .into_iter()
-            .map(|(func, seed)| SplitTarget::Function { func, seed })
-            .collect(),
-        promote_control: true,
-    }
+    hps_security::default_targets(program, hps_security::SeedRule::CostRestricted)
 }
 
 fn matrix() -> Vec<(u64, FaultKind)> {

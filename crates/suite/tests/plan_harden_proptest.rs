@@ -1,0 +1,61 @@
+//! Property test of the hardening invariant: a hardened split is
+//! output-equivalent to the original program on *random* workloads, not
+//! just the canonical measurement input. Each suite benchmark is planned
+//! once with hardening on (no budget, so every auto-selected target and
+//! every hardening rewrite stays in), then replayed against randomly
+//! sized and seeded workloads.
+
+use hps_audit::PlanReport;
+use hps_runtime::{run_program, Executor};
+use hps_suite::{plan_benchmark, Benchmark};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn hardened_plans() -> &'static [(Benchmark, PlanReport)] {
+    static PLANS: OnceLock<Vec<(Benchmark, PlanReport)>> = OnceLock::new();
+    PLANS.get_or_init(|| {
+        hps_suite::benchmarks()
+            .into_iter()
+            .map(|b| {
+                let report = plan_benchmark(&b, None, true).expect("plans");
+                assert!(
+                    !report.plan.targets.is_empty(),
+                    "{}: nothing selectable",
+                    b.name
+                );
+                (b, report)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 50,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hardened_splits_match_original_on_random_workloads(
+        bench in 0usize..5,
+        size in 30usize..160,
+        seed in 0u64..1_000,
+    ) {
+        let (b, report) = &hardened_plans()[bench];
+        let program = b.program().expect("parses");
+        let original = run_program(&program, &[b.workload(size, seed)])
+            .expect("original runs");
+        let replay = Executor::new(&report.split.open, &report.split.hidden)
+            .run(&[b.workload(size, seed)])
+            .expect("hardened split runs");
+        prop_assert_eq!(
+            &original.output,
+            &replay.outcome.output,
+            "{}: hardened split diverged at size={} seed={}",
+            b.name,
+            size,
+            seed
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Hardened plans survive sharding. For every suite benchmark, the
+//! budgeted `--harden` plan produces a split whose hidden half can be
+//! served by a real TCP [`SessionServer`] at any shard count without
+//! changing program output — and the plan report itself is byte-identical
+//! no matter how many shards later serve it, because sharding is a
+//! deployment knob, never a planning input.
+
+use hps_audit::plan_to_json;
+use hps_runtime::tcp::TcpChannel;
+use hps_runtime::{run_program, ExecConfig, Interp, RetryPolicy, SessionServer, SplitMeta};
+use hps_suite::{plan_benchmark, plan_workload};
+use std::time::Duration;
+
+const BUDGET: f64 = 15.0;
+
+/// One client run of the hardened split against a TCP server with the
+/// given shard count; returns the program output.
+fn run_sharded(
+    split: &hps_core::SplitResult,
+    meta: &SplitMeta,
+    input: hps_runtime::RtValue,
+    shards: usize,
+) -> Vec<String> {
+    let server = SessionServer::bind("127.0.0.1:0", split.hidden.clone())
+        .expect("bind")
+        .with_shards(shards);
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr();
+    let serve = std::thread::spawn(move || server.serve(|_, _| {}));
+
+    let policy = RetryPolicy::new().with_base_backoff(Duration::from_millis(1));
+    let mut chan = TcpChannel::connect_reliable_with_session(addr, policy, 1).expect("connect");
+    let outcome = {
+        let mut interp = Interp::new(&split.open, ExecConfig::new()).with_channel(&mut chan, meta);
+        interp.run("main", &[input]).expect("split run")
+    };
+    chan.shutdown().expect("shutdown");
+    handle.stop();
+    serve.join().expect("serve thread").expect("serve ok");
+    outcome.output
+}
+
+#[test]
+fn hardened_plans_are_shard_count_invariant() {
+    for b in hps_suite::benchmarks() {
+        let report = plan_benchmark(&b, Some(BUDGET), true).expect("plans");
+        let rendered = plan_to_json(&report).pretty();
+        if report.plan.targets.is_empty() {
+            continue;
+        }
+        let program = b.program().expect("parses");
+        let meta = SplitMeta::derive(&report.split.open, &report.split.hidden);
+        let baseline = run_program(&program, &[plan_workload(&b)])
+            .expect("original run")
+            .output;
+
+        for shards in [1usize, 4] {
+            let output = run_sharded(&report.split, &meta, plan_workload(&b), shards);
+            assert_eq!(
+                baseline, output,
+                "{} shards={shards}: hardened split output diverged from the original",
+                b.name
+            );
+            // Planning again after serving at this shard count must
+            // reproduce the exact same report: shard count is invisible
+            // to the planner.
+            let again = plan_to_json(&plan_benchmark(&b, Some(BUDGET), true).expect("plans"));
+            assert_eq!(
+                rendered,
+                again.pretty(),
+                "{} shards={shards}: plan report depends on shard count",
+                b.name
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! with the in-process server too, so shard routing neither duplicates
 //! nor drops work.
 
-use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_core::{split_program, SplitPlan};
 use hps_runtime::tcp::TcpChannel;
 use hps_runtime::{
     Channel, ExecConfig, InProcessChannel, Interp, RetryPolicy, SecureServer, SessionServer,
@@ -16,15 +16,7 @@ use hps_runtime::{
 use std::time::Duration;
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
-    let selected = select_functions(program);
-    let seeds = hps_security::choose_seeds_all(program, &selected);
-    SplitPlan {
-        targets: seeds
-            .into_iter()
-            .map(|(func, seed)| SplitTarget::Function { func, seed })
-            .collect(),
-        promote_control: true,
-    }
+    hps_security::default_targets(program, hps_security::SeedRule::CostRestricted)
 }
 
 struct RunResult {

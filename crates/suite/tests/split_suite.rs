@@ -12,13 +12,12 @@ fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
     assert!(!selected.is_empty(), "selection found nothing to split");
     let seeds = choose_seeds_all(program, &selected);
     assert!(!seeds.is_empty(), "no seeds chosen");
-    SplitPlan {
-        targets: seeds
+    SplitPlan::from_targets(
+        seeds
             .into_iter()
             .map(|(func, seed)| SplitTarget::Function { func, seed })
             .collect(),
-        promote_control: true,
-    }
+    )
 }
 
 #[test]

@@ -6,22 +6,14 @@
 
 use std::rc::Rc;
 
-use hps_core::{select_functions, split_program, SplitPlan, SplitTarget};
+use hps_core::{split_program, SplitPlan};
 use hps_runtime::{
     Channel, ExecConfig, Executor, InProcessChannel, Interp, MetricsRecorder, RecorderHandle,
     SecureServer, SplitMeta, Trace, TraceChannel,
 };
 
 fn paper_plan(program: &hps_ir::Program) -> SplitPlan {
-    let selected = select_functions(program);
-    let seeds = hps_security::choose_seeds_all(program, &selected);
-    SplitPlan {
-        targets: seeds
-            .into_iter()
-            .map(|(func, seed)| SplitTarget::Function { func, seed })
-            .collect(),
-        promote_control: true,
-    }
+    hps_security::default_targets(program, hps_security::SeedRule::CostRestricted)
 }
 
 #[test]

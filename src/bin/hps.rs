@@ -6,7 +6,11 @@
 //!                                             the open/hidden pair, --metrics-json
 //!                                             emits the hps-telemetry/v1 snapshot
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
-//!                                             print Of, Hf and the split report
+//!           [--budget PCT[%]] [--harden] [--json] [--args ints...]
+//!                                             print Of, Hf and the split report;
+//!                                             with --budget/--harden, run the
+//!                                             budget-aware planner instead and
+//!                                             print its plan report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps audit <file.ml> [selection] [--json|--sarif|--effects]
 //!                                             split-soundness audit (non-zero exit on deny);
@@ -31,7 +35,7 @@
 use hiding_program_slices as hps;
 use hps::runtime::tcp::{ChaosConfig, RetryPolicy, SessionServer, SessionServerHandle, TcpChannel};
 use hps::runtime::{ExecConfig, Executor, Interp, MetricsRecorder, RtValue, SplitMeta};
-use hps::split::{split_program, SplitPlan, SplitResult, SplitTarget};
+use hps::split::{split_program, SplitPlan, SplitResult};
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -70,6 +74,7 @@ hps — slicing-based software splitting (CGO 2003 reproduction)
 USAGE:
   hps run <file.ml> [--split] [--batch] [--no-vm] [--no-memo] [--metrics-json] [selection flags] [ints...]
   hps split <file.ml> [--func NAME --var NAME | --auto | --global NAME | --class NAME]
+            [--budget PCT[%]] [--harden] [--json] [--args ints...]
   hps analyze <file.ml> [selection flags]
   hps audit <file.ml> [selection flags] [--json | --sarif | --effects]
   hps serve <file.ml> <addr> [selection flags] [--shards N] [--no-vm] [--no-memo] [--chaos SEED]
@@ -90,6 +95,11 @@ deterministically kill connections mid-call to exercise it.
 checksummed per-session files so sessions rebuild their hidden state
 after a shard crash or a full server restart (`hps_server_*` recovery
 counters record the replays).
+`split --budget PCT --harden` runs the budget-aware planner: automatic
+seed search under the overhead budget, decoy-based hardening of weak
+(Constant/Linear) leaks, measured-vs-predicted cost report; --json emits
+the deterministic hps-plan/v1 document, --args supplies the integer entry
+arguments used for measurement.
 `run --split` executes the open/hidden pair in-process; `--metrics-json`
 (implies --split) prints the deterministic hps-telemetry/v1 snapshot to
 stdout, with program output diverted to stderr. `serve --shards N` spreads
@@ -157,33 +167,24 @@ fn parse_selection(program: &hps::ir::Program, args: &[String]) -> Result<SplitP
         (Some(f), Some(v)) => SplitPlan::single(program, &f, &v).map_err(|e| e.to_string()),
         (Some(_), None) | (None, Some(_)) => Err("--func and --var must be given together".into()),
         (None, None) => {
-            let selected = hps::split::select_functions(program);
-            let mut seeds = hps::security::choose_seeds_all(program, &selected);
-            if seeds.is_empty() {
+            let mut plan =
+                hps::security::default_targets(program, hps::security::SeedRule::CostRestricted);
+            if plan.targets.is_empty() {
                 // No cost-free split exists; fall back to the unrestricted
                 // §4 rule and tell the user the traffic implications.
-                seeds = hps::security::choose_seeds_all_with(
-                    program,
-                    &selected,
-                    hps::security::SeedRule::MaxComplexity,
-                );
-                if !seeds.is_empty() {
+                plan =
+                    hps::security::default_targets(program, hps::security::SeedRule::MaxComplexity);
+                if !plan.targets.is_empty() {
                     eprintln!(
                         "[hps] note: no split avoids per-iteration traffic; \
 falling back to the max-complexity seed rule"
                     );
                 }
             }
-            if seeds.is_empty() {
+            if plan.targets.is_empty() {
                 return Err("automatic selection found nothing to split".into());
             }
-            Ok(SplitPlan {
-                targets: seeds
-                    .into_iter()
-                    .map(|(func, seed)| SplitTarget::Function { func, seed })
-                    .collect(),
-                promote_control: true,
-            })
+            Ok(plan)
         }
     }
 }
@@ -301,23 +302,114 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_split(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: hps split <file.ml> [flags]")?;
+    const USAGE: &str = "usage: hps split <file.ml> [selection flags] [--budget PCT[%]] \
+[--harden] [--json] [--args ints...]";
+    let path = args.first().ok_or(USAGE)?;
+    let rest = &args[1..];
+    let mut budget: Option<f64> = None;
+    let mut harden = false;
+    let mut json = false;
+    let mut selection: Vec<String> = Vec::new();
+    let mut ints: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--budget" => {
+                let v = rest.get(i + 1).ok_or("--budget needs a percentage")?;
+                budget = Some(
+                    v.trim_end_matches('%')
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad budget `{v}`"))?,
+                );
+                i += 2;
+            }
+            "--harden" => {
+                harden = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--args" => {
+                ints.extend(rest[i + 1..].iter().cloned());
+                break;
+            }
+            flag @ ("--func" | "--var" | "--global" | "--class") => {
+                selection.push(rest[i].clone());
+                selection.push(
+                    rest.get(i + 1)
+                        .ok_or_else(|| format!("{flag} needs a name"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--auto" => {
+                selection.push(rest[i].clone());
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`; {USAGE}")),
+        }
+    }
     let program = load(path)?;
-    let split = do_split(&program, &args[1..])?;
-    println!("==== open program (Of) ====");
-    print!("{}", hps::ir::pretty::program_to_string(&split.open));
-    println!("==== hidden program (Hf) ====");
-    print!("{}", split.hidden.summary());
-    println!("==== report ====");
-    for r in &split.reports {
-        println!(
-            "fn {}: {} hidden vars ({} fully), {} slice stmts, {} ILPs",
-            split.open.func(r.func).name,
-            r.hidden_vars.len(),
-            r.hidden_vars.iter().filter(|(_, f)| *f).count(),
-            r.slice_stmts,
-            r.ilps.len()
-        );
+    if budget.is_none() && !harden && !json {
+        // Legacy mode: dump the split itself.
+        let split = do_split(&program, &selection)?;
+        println!("==== open program (Of) ====");
+        print!("{}", hps::ir::pretty::program_to_string(&split.open));
+        println!("==== hidden program (Hf) ====");
+        print!("{}", split.hidden.summary());
+        println!("==== report ====");
+        for r in &split.reports {
+            println!(
+                "fn {}: {} hidden vars ({} fully), {} slice stmts, {} ILPs",
+                split.open.func(r.func).name,
+                r.hidden_vars.len(),
+                r.hidden_vars.iter().filter(|(_, f)| *f).count(),
+                r.slice_stmts,
+                r.ilps.len()
+            );
+        }
+        return Ok(());
+    }
+
+    // Planner mode: budget-aware split with optional auto-hardening; the
+    // measurer runs original vs. batched split on the given entry args.
+    let entry_args = int_args(&ints)?;
+    let mut planner = hps::audit::Planner::new(&program).harden(harden);
+    if selection.iter().any(|s| s != "--auto") {
+        planner = planner.targets(parse_selection(&program, &selection)?);
+    }
+    if let Some(b) = budget {
+        planner = planner.budget(b);
+    }
+    let measure_args = entry_args.clone();
+    planner = planner.measure_with(move |prog, split| {
+        use hps::runtime::telemetry::metrics::names;
+        let before = hps::runtime::run_program(prog, &measure_args).map_err(|e| e.to_string())?;
+        let rtt = ExecConfig::new().cost_model.lan_round_trip();
+        let after = Executor::new(&split.open, &split.hidden)
+            .batching(true)
+            .rtt(rtt)
+            .recorder(MetricsRecorder::new())
+            .run(&measure_args)
+            .map_err(|e| e.to_string())?;
+        if before.output != after.outcome.output {
+            return Err("outputs diverged between original and split".into());
+        }
+        Ok(hps::security::MeasuredCost {
+            base_units: before.cost,
+            split_units: after.outcome.cost,
+            rtt_units: after.telemetry.counter(names::RTT_COST_UNITS),
+            server_units: after.telemetry.counter(names::SERVER_COST_UNITS),
+            interactions: after.interactions,
+        })
+    });
+    let report = planner.plan().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", hps::audit::plan_to_json(&report).pretty());
+    } else {
+        print!("{}", hps::audit::render_plan(&report));
     }
     Ok(())
 }

@@ -20,15 +20,19 @@
 //!   `hps-telemetry/v1` snapshot document recorded by the runtime's
 //!   optional telemetry hooks.
 //! * [`security`] — ILP identification and complexity analysis.
-//! * [`audit`] — split-soundness auditor: taint analysis, weak-ILP lints
-//!   and structured diagnostics (terminal / JSON / SARIF).
+//! * [`audit`] — split-soundness auditor: taint analysis, weak-ILP lints,
+//!   structured diagnostics (terminal / JSON / SARIF) and the
+//!   [`audit::Planner`] — the budget-aware split planner with
+//!   auto-hardening.
 //! * [`attack`] — the adversary's recovery toolbox.
 //! * [`suite`] — the five benchmark programs and workload generators.
 //!
 //! # Examples
 //!
-//! Split a function and execute both versions through the
-//! [`runtime::Executor`] builder, recording telemetry along the way:
+//! Plan a split with the [`audit::Planner`] — seed selection, hardening
+//! and the security/audit reports in one call — then execute both
+//! versions through the [`runtime::Executor`] builder, recording
+//! telemetry along the way:
 //!
 //! ```
 //! use hiding_program_slices as hps;
@@ -45,21 +49,24 @@
 //!     fn main() { print(f(1, 2, 30)); }
 //! "#;
 //! let program = hps::lang::parse(source)?;
-//! let split = hps::split::split_program(
-//!     &program,
-//!     &hps::split::SplitPlan::single(&program, "f", "a")?,
-//! )?;
+//! let report = hps::audit::Planner::new(&program).harden(true).plan()?;
+//! assert!(!report.plan.targets.is_empty());
+//! assert_eq!(report.weak_after, 0);
 //! let original = hps::runtime::run_program(&program, &[])?;
-//! let report = hps::runtime::Executor::new(&split.open, &split.hidden)
+//! let run = hps::runtime::Executor::new(&report.split.open, &report.split.hidden)
 //!     .recorder(hps::runtime::MetricsRecorder::new())
 //!     .run(&[])?;
-//! assert_eq!(original.output, report.outcome.output);
+//! assert_eq!(original.output, run.outcome.output);
 //! assert_eq!(
-//!     report.telemetry.counter("hps_interactions_total"),
-//!     report.interactions,
+//!     run.telemetry.counter("hps_interactions_total"),
+//!     run.interactions,
 //! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Pinning a specific seed by name still works through
+//! [`split::SplitPlan::single`] and [`split::split_program`]; the
+//! `Planner` is the front door for whole-program planning.
 
 pub use hps_analysis as analysis;
 pub use hps_attack as attack;

@@ -71,6 +71,58 @@ fn split_prints_both_components() {
 }
 
 #[test]
+fn split_plans_with_budget_and_hardening() {
+    let path = demo_file();
+    // Human report: hps split FILE --harden --args ... (no budget, so the
+    // level-0 plan with its targets survives even on this tiny program).
+    let out = Command::new(HPS)
+        .args([
+            "split",
+            path.to_str().unwrap(),
+            "--harden",
+            "--args",
+            "10",
+            "12",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan:"), "{text}");
+    assert!(text.contains("measured:"), "{text}");
+    assert!(text.contains("weak ILPs:"), "{text}");
+
+    // Machine report: --budget 15% --json emits the hps-plan/v1 document.
+    let out = Command::new(HPS)
+        .args([
+            "split",
+            path.to_str().unwrap(),
+            "--budget",
+            "15%",
+            "--harden",
+            "--json",
+            "--args",
+            "10",
+            "12",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": \"hps-plan/v1\""), "{json}");
+    assert!(json.contains("\"budget_percent\": \"15.00\""), "{json}");
+    assert!(json.contains("\"within_budget\": true"), "{json}");
+}
+
+#[test]
 fn analyze_reports_ilp_classes() {
     let path = demo_file();
     let out = Command::new(HPS)

@@ -196,10 +196,7 @@ proptest! {
             {
                 continue;
             }
-            let plan = SplitPlan {
-                targets: vec![SplitTarget::Function { func: fid, seed }],
-                promote_control: true,
-            };
+            let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func: fid, seed }]);
             let split = match split_program(&program, &plan) {
                 Ok(s) => s,
                 Err(e) => panic!("split failed for seed {local}: {e}\n{src}"),
@@ -227,10 +224,8 @@ proptest! {
         // One representative seed is enough here; the promotion-on variant
         // already sweeps all of them.
         let seed = program.func(fid).local_by_name("v0").expect("exists");
-        let plan = SplitPlan {
-            targets: vec![SplitTarget::Function { func: fid, seed }],
-            promote_control: false,
-        };
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func: fid, seed }])
+            .with_promotion(false);
         let split = split_program(&program, &plan).expect("splits");
         let replay = Executor::new(&split.open, &split.hidden)
             .run(&args)
@@ -250,10 +245,7 @@ proptest! {
             if !program.func(fid).local(seed).ty.is_scalar() {
                 continue;
             }
-            let plan = SplitPlan {
-                targets: vec![SplitTarget::Function { func: fid, seed }],
-                promote_control: true,
-            };
+            let plan = SplitPlan::from_targets(vec![SplitTarget::Function { func: fid, seed }]);
             let split = split_program(&program, &plan).expect("splits");
             let report = hps::security::analyze_split(&program, &split);
             prop_assert_eq!(report.total(), split.total_ilps(), "\n{}", src);

@@ -20,13 +20,12 @@ fn rulekit_split() -> (
     let program = b.program().expect("parses");
     let selected = hps::split::select_functions(&program);
     let seeds = hps::security::choose_seeds_all(&program, &selected);
-    let plan = hps::split::SplitPlan {
-        targets: seeds
+    let plan = hps::split::SplitPlan::from_targets(
+        seeds
             .into_iter()
             .map(|(func, seed)| hps::split::SplitTarget::Function { func, seed })
             .collect(),
-        promote_control: true,
-    };
+    );
     let split = split_program(&program, &plan).expect("splits");
     (b, program, split)
 }
@@ -150,16 +149,15 @@ fn concurrent_clients_share_one_session_server() {
         .map(|w| {
             let split = split_program(
                 &b.program().expect("parses"),
-                &hps::split::SplitPlan {
-                    targets: hps::security::choose_seeds_all(
+                &hps::split::SplitPlan::from_targets(
+                    hps::security::choose_seeds_all(
                         &b.program().expect("parses"),
                         &hps::split::select_functions(&b.program().expect("parses")),
                     )
                     .into_iter()
                     .map(|(func, seed)| hps::split::SplitTarget::Function { func, seed })
                     .collect(),
-                    promote_control: true,
-                },
+                ),
             )
             .expect("splits");
             thread::spawn(move || {
