@@ -111,6 +111,17 @@ pub const WEAK_ILP_CONST_INPUTS: Lint = Lint {
     summary: "the leaked value has no observable inputs, so one observation reveals it",
 };
 
+/// A weak leak that `hps_core::harden` decoy-masked on the wire. The mask
+/// is exactly invertible by anyone holding the open program (the decode
+/// statement is open-side), so under the adversary model the leak is as
+/// weak as ever — this note replaces the `weak_ilp_*` warning to record
+/// honestly that only a wire-only observer is inconvenienced.
+pub const MASKED_WEAK_ILP: Lint = Lint {
+    id: "masked_weak_ilp",
+    severity: Severity::Note,
+    summary: "the weak leak is decoy-masked on the wire but remains trivially invertible with the open program",
+};
+
 /// A promoted control construct protects no hidden variable.
 pub const DEAD_PROMOTED_PREDICATE: Lint = Lint {
     id: "dead_promoted_predicate",
@@ -167,6 +178,7 @@ pub const ALL_LINTS: &[&Lint] = &[
     &WEAK_ILP_LINEAR,
     &WEAK_ILP_OPEN_CONTROL,
     &WEAK_ILP_CONST_INPUTS,
+    &MASKED_WEAK_ILP,
     &DEAD_PROMOTED_PREDICATE,
     &UNREACHABLE_FRAGMENT,
     &TRANSFERABLE_FRAGMENT,

@@ -196,7 +196,11 @@ fn check_open_hidden_reads(input: &LintInput<'_>, sink: &mut Sink) {
 }
 
 /// The `weak_ilp_*` family: declared leaks whose §3 complexity makes them
-/// easy to invert.
+/// easy to invert. A decoy-masked weak leak (`hps_core::harden`) emits the
+/// note-level `masked_weak_ilp` instead of the warning: the mask changes
+/// what a wire-only observer sees but is exactly invertible with the open
+/// program, so it would be dishonest either to keep claiming the warning
+/// is "fixed" security or to pretend the leak's class improved.
 fn check_weak_ilps(input: &LintInput<'_>, sink: &mut Sink) {
     for (fid, complexities) in &input.security.per_func {
         let func = input.original.func(*fid);
@@ -204,7 +208,34 @@ fn check_weak_ilps(input: &LintInput<'_>, sink: &mut Sink) {
             let stmt = func.stmt(c.ilp.stmt);
             let span = stmt.map(|s| s.span).unwrap_or_default();
             let at = |d: Diagnostic| d.in_func(&func.name).at(span);
+            let weak = matches!(c.ac.ty, AcType::Constant | AcType::Linear);
+            if weak && c.masked {
+                let wire = c
+                    .wire_ac
+                    .as_ref()
+                    .map(|a| a.ty.name())
+                    .unwrap_or("Arbitrary");
+                sink.emit(
+                    at(Diagnostic::new(
+                        &diag::MASKED_WEAK_ILP,
+                        format!(
+                            "ILP at {} leaks a {} value behind a decoy mask: the wire \
+                             expression is {wire}, but the open-side decode inverts it, \
+                             so an adversary holding the open program still solves it \
+                             trivially",
+                            c.ilp.label, c.ac.ty
+                        ),
+                    )
+                    .suggest(
+                        "masking only defeats wire-only observers; for real protection \
+                         re-split from a seed producing polynomial or arbitrary complexity",
+                    )),
+                    stmt,
+                    Some(func),
+                );
+            }
             match c.ac.ty {
+                _ if c.masked => {}
                 AcType::Constant => sink.emit(
                     at(Diagnostic::new(
                         &diag::WEAK_ILP_CONSTANT,

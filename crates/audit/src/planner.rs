@@ -20,7 +20,13 @@
 //! )?;
 //! let report = Planner::new(&program).harden(true).plan()?;
 //! assert!(!report.plan.targets.is_empty());
-//! assert_eq!(report.weak_after, 0, "hardening removes weak ILPs");
+//! // Hardening *masks* every weak leak on the wire; it cannot raise the
+//! // true lattice class (the decoy's inverse sits in the open program),
+//! // so the honest adversary-model count is unchanged and the contract
+//! // is "no weak leak ships unmasked".
+//! assert_eq!(report.weak_after, report.weak_before);
+//! assert_eq!(report.masked_after, report.weak_before);
+//! assert_eq!(report.weak_unmasked_after(), 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -28,14 +34,18 @@
 //! loop: it measures the split's real overhead (in the runtime's virtual
 //! cost units), calibrates the prediction model from the telemetry cost
 //! breakdown, and — when the measured overhead exceeds the budget — walks
-//! the optimizer's downgrade ladder (`hps_security::optimize`) level by
-//! level until the plan fits or no cheaper plan exists.
+//! the optimizer's downgrade ladder (`hps_security::OptimizeLadder`,
+//! built once and descended level by level) until the plan fits or no
+//! cheaper plan exists. **The measurer runs at every level it visits**
+//! (each candidate plan's overhead must be observed, not predicted, for
+//! the budget verdict), so a program needing many downgrades pays one
+//! original-vs-split run per level: keep the measurement workload small.
 
 use crate::{audit_split, AuditReport, Severity};
 use hps_core::{harden_split, split_program, HardenReport, SplitError, SplitPlan, SplitResult};
 use hps_ir::{ComponentId, FragLabel, Program};
 use hps_security::{
-    analyze_split, optimize, predict, AcType, MeasuredCost, PlanCostModel, PredictedCost,
+    analyze_split, predict, AcType, MeasuredCost, OptimizeLadder, PlanCostModel, PredictedCost,
     SecurityReport, SeedChoice, SeedRule,
 };
 
@@ -113,12 +123,24 @@ pub struct PlanReport {
     /// AC-lattice histogram `[Constant, Linear, Polynomial, Rational,
     /// Arbitrary]` before hardening…
     pub lattice_before: [usize; 5],
-    /// …and after.
+    /// …and after. Hardening cannot move this histogram: the decoy mask
+    /// is exactly invertible with the open program, so the adversary-model
+    /// class of every leak is unchanged (see `hps_core::harden`).
     pub lattice_after: [usize; 5],
+    /// The *wire-observer* histogram of the final split: masked ILPs
+    /// count by their wire expression's class, everything else by its
+    /// true class. Only an eavesdropper without the open program faces
+    /// this view.
+    pub lattice_wire: [usize; 5],
     /// Weak (`Constant`/`Linear`) ILPs before hardening…
     pub weak_before: usize,
-    /// …and surviving it.
+    /// …and after. Hardening masks weak leaks on the wire but does not
+    /// remove them, so with hardening on this normally *equals*
+    /// [`PlanReport::weak_before`]; the contract is
+    /// [`PlanReport::weak_unmasked_after`]` == 0`.
     pub weak_after: usize,
+    /// Of the weak ILPs after planning, how many ship decoy-masked.
+    pub masked_after: usize,
     /// Whether the final overhead (measured when available, else
     /// predicted) fits the budget; `None` without a budget.
     pub within_budget: Option<bool>,
@@ -153,13 +175,23 @@ impl PlanReport {
     }
 
     /// Weak `weak_ilp_constant` + `weak_ilp_linear` findings surviving in
-    /// the audit (post-suppression), the CI gate's criterion.
+    /// the audit (post-suppression), the CI gate's criterion. Masked weak
+    /// leaks are reported as note-level `masked_weak_ilp` instead and do
+    /// not count here.
     pub fn weak_lints(&self) -> usize {
         self.audit
             .diagnostics
             .iter()
             .filter(|d| d.lint.id == "weak_ilp_constant" || d.lint.id == "weak_ilp_linear")
             .count()
+    }
+
+    /// Weak ILPs that ship *unmasked* — the honest hardening contract and
+    /// the CI gate's criterion. A masked leak is still weak against the
+    /// full adversary (who holds the open-side decode), but it never
+    /// travels in the clear; an unmasked weak leak has no excuse.
+    pub fn weak_unmasked_after(&self) -> usize {
+        self.weak_after.saturating_sub(self.masked_after)
     }
 }
 
@@ -261,61 +293,64 @@ impl<'p> Planner<'p> {
     /// Runs the pipeline: resolve targets → split → analyze → harden →
     /// re-analyze → audit → measure → verify budget, downgrading the plan
     /// and repeating while a budget is exceeded and cheaper plans exist.
+    ///
+    /// The downgrade search holds one [`OptimizeLadder`], so the seed
+    /// ranking and the per-candidate contribution memo are built once and
+    /// reused at every level; each visited level still costs one split +
+    /// analysis + audit and (when a measurer is attached) one measurement.
     pub fn plan(self) -> Result<PlanReport, PlanError> {
-        // The downgrade ladder is bounded by the total number of candidate
-        // moves; 64 is far above any real program in the suite and a
-        // backstop against a non-converging search.
+        // The ladder is bounded by the total number of candidate moves;
+        // 64 is far above any real program in the suite and a backstop
+        // against a non-converging search.
         const MAX_LEVELS: usize = 64;
         let base_model = self.model.clone().unwrap_or_default();
-        let mut level = 0usize;
-        loop {
-            let report = self.plan_at_level(level, &base_model)?;
-            let done = match (report.within_budget, &self.targets) {
-                (Some(false), None) => false, // over budget, ladder available
-                _ => true,
+
+        // Explicit targets: the plan is fixed, no ladder.
+        if let Some(plan) = &self.targets {
+            if plan.targets.is_empty() {
+                return Err(PlanError::NoTargets);
+            }
+            let mut report = PlanReport {
+                budget_percent: self.budget,
+                ..PlanReport::default()
             };
-            let more =
-                self.targets.is_none() && level + 1 < MAX_LEVELS && !report.plan.targets.is_empty();
-            if done || !more {
+            report.plan = plan.clone();
+            report.rule = self.rule;
+            return self.finish(report, &base_model);
+        }
+
+        let mut ladder = OptimizeLadder::new(self.program, self.rule, base_model.clone());
+        loop {
+            let outcome = ladder.outcome(None);
+            if outcome.plan.targets.is_empty() && outcome.level == 0 {
+                return Err(PlanError::NoTargets);
+            }
+            let mut report = PlanReport {
+                budget_percent: self.budget,
+                downgrades: outcome.level,
+                ..PlanReport::default()
+            };
+            report.plan = outcome.plan;
+            report.choices = outcome.choices;
+            report.dropped = outcome.dropped;
+            report.rule = outcome.rule;
+            report.rule_fallback = outcome.rule_fallback;
+            let report = self.finish(report, &base_model)?;
+            let over = report.within_budget == Some(false);
+            if !over || ladder.level() + 1 >= MAX_LEVELS || !ladder.descend() {
                 return Ok(report);
             }
-            level += 1;
         }
     }
 
-    fn plan_at_level(
+    /// Steps 2–5 of the pipeline for an already-resolved plan: split,
+    /// analyze, harden, audit, measure, predict, verdict.
+    fn finish(
         &self,
-        level: usize,
+        mut report: PlanReport,
         base_model: &PlanCostModel,
     ) -> Result<PlanReport, PlanError> {
         let program = self.program;
-        let mut report = PlanReport {
-            budget_percent: self.budget,
-            downgrades: level,
-            ..PlanReport::default()
-        };
-
-        // 1. Resolve targets.
-        match &self.targets {
-            Some(plan) => {
-                if plan.targets.is_empty() {
-                    return Err(PlanError::NoTargets);
-                }
-                report.plan = plan.clone();
-                report.rule = self.rule;
-            }
-            None => {
-                let outcome = optimize(program, self.rule, base_model, level, None);
-                if outcome.plan.targets.is_empty() && outcome.level == 0 {
-                    return Err(PlanError::NoTargets);
-                }
-                report.plan = outcome.plan;
-                report.choices = outcome.choices;
-                report.dropped = outcome.dropped;
-                report.rule = outcome.rule;
-                report.rule_fallback = outcome.rule_fallback;
-            }
-        }
 
         // 2. Split and analyze the unhardened result.
         let mut split = split_program(program, &report.plan)?;
@@ -324,24 +359,34 @@ impl<'p> Planner<'p> {
         report.weak_before = weak_count(&before);
 
         // 3. Harden weak fragments, then re-analyze so the security and
-        //    audit views describe what actually ships.
+        //    audit views describe what actually ships. Masking does not
+        //    change any ILP's adversary-model class — the analysis keeps
+        //    grading the underlying leak — so `weak_after` stays equal to
+        //    `weak_before`; what changes is that the weak leaks now ship
+        //    masked (`masked_after`) and the audit downgrades their
+        //    warnings to `masked_weak_ilp` notes.
         if self.harden {
             let groups = weak_groups(&before);
             report.hardening = harden_split(&mut split, &groups);
         }
         report.security = analyze_split(program, &split);
         report.lattice_after = report.security.counts_by_type();
+        report.lattice_wire = report.security.counts_by_wire_type();
         report.weak_after = weak_count(&report.security);
+        report.masked_after = report
+            .weak_after
+            .saturating_sub(report.security.weak_unmasked());
         report.audit = audit_split(program, &split);
 
         // 4. Measure (when a hook is attached) and predict with the
-        //    calibrated model.
+        //    calibrated model. Calibration starts from the caller's model
+        //    so only the round-trip weight is replaced by telemetry.
         report.measured = match &self.measurer {
             Some(m) => Some(m(program, &split).map_err(PlanError::Measure)?),
             None => None,
         };
         let (model, base_units) = match &report.measured {
-            Some(m) => (PlanCostModel::calibrated(m), Some(m.base_units)),
+            Some(m) => (base_model.calibrated(m), Some(m.base_units)),
             None => (base_model.clone(), None),
         };
         report.predicted_cost = predict(program, &split, &model, base_units);
@@ -426,10 +471,20 @@ pub fn render_plan(report: &PlanReport) -> String {
         lattice_line(&report.lattice_before),
         lattice_line(&report.lattice_after)
     );
+    if report.masked_after > 0 {
+        let _ = writeln!(
+            out,
+            "lattice (wire-only observer): {}",
+            lattice_line(&report.lattice_wire)
+        );
+    }
     let _ = writeln!(
         out,
-        "weak ILPs: {} -> {}",
-        report.weak_before, report.weak_after
+        "weak ILPs: {} -> {} ({} masked on the wire, {} unmasked)",
+        report.weak_before,
+        report.weak_after,
+        report.masked_after,
+        report.weak_unmasked_after()
     );
     let p = &report.predicted_cost;
     let _ = writeln!(
@@ -485,9 +540,14 @@ fn lattice_line(counts: &[usize; 5]) -> String {
     )
 }
 
-/// Serializes a plan report as deterministic JSON (schema `hps-plan/v1`)
+/// Serializes a plan report as deterministic JSON (schema `hps-plan/v2`)
 /// for golden files and CI artifacts. Program dumps are excluded; floats
 /// are fixed to two decimals so the bytes are stable across platforms.
+///
+/// v2 adds the honest masking fields: `masked_after`,
+/// `weak_unmasked_after` and the wire-observer histogram `lattice_wire`
+/// (`weak_after` now reports the adversary-model count, which hardening
+/// does not change).
 pub fn plan_to_json(report: &PlanReport) -> crate::Json {
     use crate::Json;
     let lattice = |c: &[usize; 5]| {
@@ -555,7 +615,7 @@ pub fn plan_to_json(report: &PlanReport) -> crate::Json {
         None => Json::Null,
     };
     Json::object()
-        .field("schema", "hps-plan/v1")
+        .field("schema", "hps-plan/v2")
         .field(
             "budget_percent",
             match report.budget_percent {
@@ -584,8 +644,11 @@ pub fn plan_to_json(report: &PlanReport) -> crate::Json {
         )
         .field("lattice_before", lattice(&report.lattice_before))
         .field("lattice_after", lattice(&report.lattice_after))
+        .field("lattice_wire", lattice(&report.lattice_wire))
         .field("weak_before", report.weak_before)
         .field("weak_after", report.weak_after)
+        .field("masked_after", report.masked_after)
+        .field("weak_unmasked_after", report.weak_unmasked_after())
         .field("predicted", predicted)
         .field("measured", measured)
         .field(
@@ -640,12 +703,23 @@ mod tests {
     }
 
     #[test]
-    fn hardening_removes_weak_ilps_and_is_reflected_in_audit() {
+    fn hardening_masks_weak_ilps_and_is_reflected_in_audit() {
         let p = hps_lang::parse(SRC).unwrap();
         let report = Planner::new(&p).harden(true).plan().unwrap();
         assert!(report.weak_before > 0, "premise: g leaks a linear value");
-        assert_eq!(report.weak_after, 0);
+        // Masking cannot change the adversary-model class: the weak leaks
+        // are all still there, but every one of them ships masked, the
+        // warn-level lints become `masked_weak_ilp` notes, and none
+        // travels in the clear.
+        assert_eq!(report.weak_after, report.weak_before);
+        assert_eq!(report.masked_after, report.weak_before);
+        assert_eq!(report.weak_unmasked_after(), 0);
         assert_eq!(report.weak_lints(), 0);
+        assert!(report
+            .audit
+            .diagnostics
+            .iter()
+            .any(|d| d.lint.id == "masked_weak_ilp"));
         assert!(!report.hardening.applied.is_empty());
         // The hardened split still passes the soundness audit.
         assert!(!report.audit.has_deny());
@@ -685,14 +759,50 @@ mod tests {
     }
 
     #[test]
+    fn caller_cost_model_survives_measurement_calibration() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let measurer = |_: &Program, _: &SplitResult| {
+            Ok(MeasuredCost {
+                base_units: 1000,
+                split_units: 1100,
+                rtt_units: 40,
+                server_units: 30,
+                interactions: 2,
+            })
+        };
+        let default_pred = Planner::new(&p)
+            .measure_with(measurer)
+            .plan()
+            .unwrap()
+            .predicted_cost;
+        let mut model = PlanCostModel::default();
+        model.call_units *= 10;
+        let custom_pred = Planner::new(&p)
+            .cost_model(model)
+            .measure_with(measurer)
+            .plan()
+            .unwrap()
+            .predicted_cost;
+        assert!(
+            custom_pred.extra_units > default_pred.extra_units,
+            "the caller's call_units weight must survive calibration: {} vs {}",
+            custom_pred.extra_units,
+            default_pred.extra_units
+        );
+    }
+
+    #[test]
     fn json_and_text_render() {
         let p = hps_lang::parse(SRC).unwrap();
         let report = Planner::new(&p).harden(true).budget(50.0).plan().unwrap();
         let json = plan_to_json(&report).pretty();
-        assert!(json.contains("\"schema\": \"hps-plan/v1\""));
-        assert!(json.contains("\"weak_after\": 0"));
+        assert!(json.contains("\"schema\": \"hps-plan/v2\""));
+        assert!(json.contains("\"weak_unmasked_after\": 0"));
+        assert!(json.contains("\"masked_after\""));
+        assert!(json.contains("\"lattice_wire\""));
         let text = render_plan(&report);
         assert!(text.contains("weak ILPs:"));
+        assert!(text.contains("masked on the wire"));
         // Deterministic across runs.
         let again = Planner::new(&p).harden(true).budget(50.0).plan().unwrap();
         assert_eq!(plan_to_json(&again).pretty(), json);

@@ -1,34 +1,52 @@
-//! Auto-hardening of weak information leak points.
+//! Decoy-masking ("hardening") of weak information leak points.
 //!
 //! The security analysis (`hps-security`) grades every ILP on the
 //! arithmetic-complexity lattice; the auditor (`hps-audit`) flags the
 //! trivially invertible ones (`weak_ilp_constant`, `weak_ilp_linear`,
 //! `weak_ilp_const_inputs`, `weak_ilp_open_control`). This pass *rewrites*
-//! the flagged fragments instead of merely reporting them, in the spirit of
-//! guarantee-controlled partitioning: the value crossing the wire is
-//! wrapped in a **decoy computation** containing a **hidden relational
-//! predicate**, and the open side undoes the wrap immediately after the
-//! call, so program output is byte-identical while the adversary-visible
-//! value jumps to `Arbitrary` arithmetic complexity with at least one
-//! observable input.
+//! the flagged fragments instead of merely reporting them: the value
+//! crossing the wire is wrapped in a **decoy computation** containing a
+//! relational predicate over the decoy, and the open side undoes the wrap
+//! immediately after the call, so program output is byte-identical while
+//! the *on-the-wire* expression becomes `Arbitrary` on the lattice.
+//!
+//! **Threat-model claim — read carefully.** The decoy is computed
+//! open-side from an open parameter and the exact inverse (the decode
+//! statement) sits in the open program. The project's adversary *controls
+//! the open program*, so to that adversary the mask is a known constant
+//! and the leak remains exactly as invertible as before: masking raises
+//! complexity only against a **wire-only observer** (someone who taps the
+//! transport but does not hold the open component, e.g. a network
+//! eavesdropper). The security analysis therefore grades a hardened ILP
+//! by its *underlying* expression (unchanged lattice class) and reports
+//! the mask as a distinct **masked** designation with its own wire-side
+//! complexity; the auditor downgrades the `weak_ilp_constant` /
+//! `weak_ilp_linear` warnings on masked ILPs to the note-level
+//! `masked_weak_ilp` lint that states exactly this. Genuinely raising a
+//! weak leak's class requires a different split (the planner's downgrade
+//! ladder / a stronger seed), not a mask.
 //!
 //! Concretely, for a caller-chosen decoy argument `d` (always an `int`,
 //! derived from a parameter of the enclosing open function):
 //!
-//! * **int** leaks return `v + (d*d + int(d <= d))`; the open side
+//! * **int** leaks return `v + (d*d + int(0 <= d))`; the open side
 //!   subtracts the same mask. Interpreter integer arithmetic wraps, so the
-//!   add/subtract pair is exact for every `i64`.
-//! * **float** leaks return `v * (float(int(d <= d)) * 8.0)`; the open
-//!   side divides by the same mask. Scaling by a power of two only shifts
-//!   the exponent, so the pair is exact for all finite `|v| ≤ f64::MAX/8`
-//!   (far beyond anything the suite computes).
+//!   add/subtract pair is exact for every `i64`, and the predicate
+//!   `0 <= d` genuinely depends on the decoy (it is not a tautology).
+//! * **float** leaks return `v * float(2*int(0 <= d) - 1)` — a sign mask
+//!   of `+1.0` or `-1.0` chosen by the decoy's sign; the open side
+//!   divides by the same mask. Multiplying by `±1.0` is exact for every
+//!   value (finite, subnormal or infinite; NaN stays NaN), so the round
+//!   trip can never overflow, underflow or lose precision — no magnitude
+//!   guard is needed.
 //!
 //! The transform mutates fragments *in place* — every call site of a
 //! value-returning fragment is an ILP site, so all of them are rewritten
 //! together and no orphan fragments are left behind. Boolean leaks and
 //! fragments reachable from a function with no usable decoy source are
 //! skipped (reported in the [`HardenReport`]); callers re-audit to verify
-//! the lints are actually gone.
+//! every weak warning was actually downgraded to its `masked_weak_ilp`
+//! note.
 //!
 //! After the rewrite the pass re-runs the post-split pipeline: statement
 //! renumbering, the deferrable-call analysis (a decoded call's result is
@@ -221,8 +239,10 @@ fn harden_group(
         split.open.functions[fi].body = rewrite_block(body, component, label, decoy, kind);
     }
 
-    // 3. Update the ILP declarations: the wire value is now the wrapped
-    //    expression (over the original function's parameters — the decoy
+    // 3. Update the ILP declarations. `leaked_expr` stays the underlying
+    //    leak — the mask is open-side-invertible, so it must not change
+    //    the adversary-model grade — and the wrapped form is recorded as
+    //    `wire_expr` (over the original function's parameters; the decoy
     //    only reads parameters, which keep their ids across the split).
     let mut n_ilps = 0usize;
     for r in &mut split.reports {
@@ -233,7 +253,7 @@ fn harden_group(
             if (ilp.component, ilp.label) != (component, label) {
                 continue;
             }
-            ilp.leaked_expr = match kind {
+            ilp.wire_expr = Some(match kind {
                 HardenKind::IntDecoy => Expr::binary(
                     hps_ir::BinOp::Add,
                     ilp.leaked_expr.clone(),
@@ -244,7 +264,7 @@ fn harden_group(
                     ilp.leaked_expr.clone(),
                     float_mask(decoy.clone()),
                 ),
-            };
+            });
             ilp.hardening = Some(kind);
             n_ilps += 1;
         }
@@ -263,33 +283,42 @@ fn harden_group(
 /// marker).
 const DECOY_PARAM: &str = "__decoy";
 
-/// `d*d + int(d <= d)` — the integer decoy mask. `Arbitrary` on the
-/// complexity lattice (relational operator) with the decoy as an
-/// observable input; exactly invertible under wrapping arithmetic.
+/// `d*d + int(0 <= d)` — the integer decoy mask. `Arbitrary` as a wire
+/// expression (relational operator, genuinely dependent on `d`); exactly
+/// invertible under wrapping arithmetic — and trivially so for anyone
+/// holding the open program, which is why the analyzer only credits it as
+/// a *mask*.
 fn int_mask(d: Expr) -> Expr {
     Expr::binary(
         hps_ir::BinOp::Add,
         Expr::binary(hps_ir::BinOp::Mul, d.clone(), d.clone()),
         Expr::builtin(
             Builtin::IntCast,
-            vec![Expr::binary(hps_ir::BinOp::Le, d.clone(), d)],
+            vec![Expr::binary(hps_ir::BinOp::Le, Expr::int(0), d)],
         ),
     )
 }
 
-/// `float(int(d <= d)) * 8.0` — the float decoy mask: a power of two, so
-/// multiply/divide only shifts the exponent.
+/// `float(2*int(0 <= d) - 1)` — the float decoy mask: `+1.0` when the
+/// decoy is non-negative, `-1.0` otherwise. A sign flip is exact for
+/// every IEEE value, so the multiply/divide round trip never overflows
+/// (unlike any fixed scale `> 1`) and never loses precision (unlike any
+/// scale `< 1` on subnormals).
 fn float_mask(d: Expr) -> Expr {
-    Expr::binary(
-        hps_ir::BinOp::Mul,
-        Expr::builtin(
-            Builtin::FloatCast,
-            vec![Expr::builtin(
-                Builtin::IntCast,
-                vec![Expr::binary(hps_ir::BinOp::Le, d.clone(), d)],
-            )],
-        ),
-        Expr::float(8.0),
+    Expr::builtin(
+        Builtin::FloatCast,
+        vec![Expr::binary(
+            hps_ir::BinOp::Sub,
+            Expr::binary(
+                hps_ir::BinOp::Mul,
+                Expr::int(2),
+                Expr::builtin(
+                    Builtin::IntCast,
+                    vec![Expr::binary(hps_ir::BinOp::Le, Expr::int(0), d)],
+                ),
+            ),
+            Expr::int(1),
+        )],
     )
 }
 

@@ -19,17 +19,27 @@ pub enum IlpKind {
 
 /// Which hardening transform was applied to an ILP's fragment (see
 /// [`crate::harden`]). Both transforms wrap the returned value with a
-/// decoy computation containing a hidden relational predicate, so the
-/// on-the-wire value is no longer the leaked expression itself.
+/// decoy computation containing a relational predicate over the decoy, so
+/// the on-the-wire value is no longer the leaked expression itself.
+///
+/// The mask is **exactly invertible by anyone holding the open program**
+/// (the decoy and the decode statement are open-side), so under the
+/// project's adversary model it does not raise the leak's true
+/// arithmetic complexity — the security analysis reports masked ILPs as
+/// a distinct *masked* designation, not a lattice upgrade. See
+/// [`crate::harden`] for the exact threat-model claim.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HardenKind {
-    /// Integer leak: the fragment returns `v + (d*d + int(d <= d))` for a
+    /// Integer leak: the fragment returns `v + (d*d + int(0 <= d))` for a
     /// caller-supplied decoy `d`; the open side subtracts the same mask
-    /// right after the call. Exact under wrapping arithmetic.
+    /// right after the call. Exact under wrapping arithmetic for every
+    /// `i64`.
     IntDecoy,
-    /// Float leak: the fragment returns `v * (float(int(d <= d)) * 8.0)`;
-    /// the open side divides by the same power-of-two mask. Exact for all
-    /// finite values with `|v| <= f64::MAX / 8`.
+    /// Float leak: the fragment returns `v * float(2*int(0 <= d) - 1)` —
+    /// a sign mask of `+1.0` or `-1.0` chosen by the decoy's sign; the
+    /// open side divides by the same mask. Multiplying by `±1.0` is exact
+    /// for *every* value (finite, subnormal or infinite; NaN stays NaN),
+    /// so the round trip never overflows or loses precision.
     FloatMask,
 }
 
@@ -56,11 +66,19 @@ pub struct IlpInfo {
     /// What kind of leak this is.
     pub kind: IlpKind,
     /// The leaked value as an expression over the *original* function's
-    /// variables (input to the security analysis). Hardening rewrites this
-    /// to the decoy-wrapped expression actually shipped on the wire.
+    /// variables (input to the security analysis). This is always the
+    /// *underlying* leak: hardening never rewrites it, because the decoy
+    /// mask is open-side-invertible and must not influence the
+    /// adversary-model complexity grade.
     pub leaked_expr: Expr,
-    /// Set when [`crate::harden`] rewrote this ILP's fragment; the
-    /// security analysis credits the embedded hidden predicate.
+    /// The decoy-wrapped expression actually shipped on the wire, set by
+    /// [`crate::harden`]. Only a *wire-only* observer (no access to the
+    /// open program) faces this expression; the full adversary holds the
+    /// open-side decode and sees [`IlpInfo::leaked_expr`].
+    pub wire_expr: Option<Expr>,
+    /// Set when [`crate::harden`] rewrote this ILP's fragment. The
+    /// security analysis reports such ILPs as *masked* — it does not
+    /// change their lattice class.
     pub hardening: Option<HardenKind>,
 }
 

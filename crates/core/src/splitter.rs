@@ -568,6 +568,7 @@ impl FuncRewriter<'_> {
             label,
             kind: IlpKind::Fetch(v),
             leaked_expr: var_expr(v),
+            wire_expr: None,
             hardening: None,
         });
         tmp
@@ -851,6 +852,7 @@ impl FuncRewriter<'_> {
             label,
             kind: IlpKind::HiddenCompute,
             leaked_expr: expr.clone(),
+            wire_expr: None,
             hardening: None,
         });
         Ok(Stmt::new(StmtKind::HiddenCall {

@@ -14,10 +14,20 @@ use std::collections::BTreeSet;
 pub struct IlpComplexity {
     /// Where/what leaks (from the splitter's report).
     pub ilp: IlpInfo,
-    /// Arithmetic complexity `<Type, Inputs, Degree>`.
+    /// Arithmetic complexity `<Type, Inputs, Degree>` of the *underlying*
+    /// leak, graded under the adversary model: anything the open program
+    /// computes (decoy masks included) is known to the adversary, so a
+    /// hardened ILP keeps the class of its unmasked expression.
     pub ac: Ac,
     /// Control-flow complexity `<Paths, Predicates, Flow>`.
     pub cc: CcTriple,
+    /// Whether the value is decoy-masked on the wire (`hps_core::harden`).
+    /// Masking is exactly invertible with the open program in hand — it
+    /// is a distinct designation, **not** a lattice upgrade.
+    pub masked: bool,
+    /// Complexity of the wire expression a *wire-only* observer faces
+    /// (`None` when unmasked — the wire carries the leak itself).
+    pub wire_ac: Option<Ac>,
 }
 
 /// Aggregated results for a whole split program (one entry per sliced
@@ -96,6 +106,36 @@ impl SecurityReport {
             .map(|c| c.ac.clone())
             .max_by(|a, b| (a.ty, a.degree).cmp(&(b.ty, b.degree)))
     }
+
+    /// Number of ILPs that are decoy-masked on the wire.
+    pub fn masked(&self) -> usize {
+        self.iter().filter(|c| c.masked).count()
+    }
+
+    /// Weak (`Constant`/`Linear`) ILPs that are **not** masked — the
+    /// honest residue the planner's hardening contract gates on: weak
+    /// *and* shipped bare on the wire.
+    pub fn weak_unmasked(&self) -> usize {
+        self.iter()
+            .filter(|c| !c.masked && matches!(c.ac.ty, AcType::Constant | AcType::Linear))
+            .count()
+    }
+
+    /// ILP counts per arithmetic type as a *wire-only observer* sees them:
+    /// masked ILPs count under their wire expression's class, everything
+    /// else under its true class. Compare with [`counts_by_type`]
+    /// (adversary model) to see exactly what masking does and does not
+    /// buy.
+    ///
+    /// [`counts_by_type`]: SecurityReport::counts_by_type
+    pub fn counts_by_wire_type(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for c in self.iter() {
+            let ty = c.wire_ac.as_ref().map(|a| a.ty).unwrap_or(c.ac.ty);
+            counts[ty as usize] += 1;
+        }
+        counts
+    }
 }
 
 /// Analyzes all ILPs of one split report against the *original* program.
@@ -105,12 +145,19 @@ pub fn analyze_report(original: &Program, report: &SplitReport) -> Vec<IlpComple
         .ilps
         .iter()
         .map(|ilp| {
+            // Adversary-model grade: always the underlying expression.
+            // The decoy mask (when present) is computed by the open
+            // program the adversary holds, so it folds to a known
+            // constant and cannot change this grade.
             let ac = est.ilp_ac(ilp.stmt, &ilp.leaked_expr);
             let cc = compute_cc(original, report, &est, ilp);
+            let wire_ac = ilp.wire_expr.as_ref().map(|w| est.ilp_ac(ilp.stmt, w));
             IlpComplexity {
                 ilp: ilp.clone(),
                 ac,
                 cc,
+                masked: ilp.hardening.is_some(),
+                wire_ac,
             }
         })
         .collect()
@@ -213,10 +260,10 @@ fn compute_cc(
 
     // Predicates hidden: a hidden construct's condition, or relational /
     // boolean operators evaluated inside hidden fragments feeding the leak.
-    // A hardened ILP embeds a relational predicate in the decoy mask the
-    // fragment evaluates (the `d <= d` of `hps_core::harden`), which lives
-    // in the wire expression rather than any feeding statement.
-    let mut predicates_hidden = predicate_in_hidden || ilp.hardening.is_some();
+    // Decoy masks deliberately do NOT count: their predicate is over an
+    // open-side value with an open-side inverse, so nothing about the
+    // adversary's view of control flow is hidden by it.
+    let mut predicates_hidden = predicate_in_hidden;
     for &s in &feeding {
         if let Some(stmt) = func.stmt(s) {
             hps_ir::visit::for_each_expr_in_stmt(stmt, &mut |e| match e {
@@ -353,6 +400,39 @@ mod tests {
             fn main() { var b: int[] = new int[1]; g(b); print(b[0]); }";
         let (report, _) = analyze(src, "g", "a");
         assert_eq!(report.counts_by_type()[AcType::Constant as usize], 1);
+    }
+
+    #[test]
+    fn masked_ilps_keep_their_adversary_model_class() {
+        let src = "
+            fn g(x: int, b: int[]) {
+                var a: int = x * 2 + 1;
+                b[0] = a;
+            }
+            fn main() { var b: int[] = new int[1]; g(3, b); print(b[0]); }";
+        let p = hps_lang::parse(src).unwrap();
+        let plan = SplitPlan::single(&p, "g", "a").unwrap();
+        let mut split = split_program(&p, &plan).unwrap();
+        let before = analyze_split(&p, &split);
+        let groups: Vec<_> = before
+            .iter()
+            .map(|c| (c.ilp.component, c.ilp.label))
+            .collect();
+        let hardened = hps_core::harden_split(&mut split, &groups);
+        assert!(!hardened.applied.is_empty(), "{hardened:?}");
+        let after = analyze_split(&p, &split);
+        let c = after.iter().next().unwrap();
+        // The mask cannot raise the true class — its inverse sits in the
+        // open program — so the leak stays Linear and gains no hidden
+        // predicate; only the wire-side view and the masked flag change.
+        assert_eq!(c.ac.ty, AcType::Linear);
+        assert!(c.masked);
+        assert_eq!(c.wire_ac.as_ref().unwrap().ty, AcType::Arbitrary);
+        assert_eq!(c.cc, CcTriple::open());
+        assert_eq!(after.weak_unmasked(), 0);
+        assert_eq!(after.masked(), 1);
+        assert_eq!(after.counts_by_type()[AcType::Linear as usize], 1);
+        assert_eq!(after.counts_by_wire_type()[AcType::Arbitrary as usize], 1);
     }
 
     #[test]

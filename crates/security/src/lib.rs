@@ -49,6 +49,6 @@ pub use estimate::Estimator;
 pub use ilp::{analyze_report, analyze_split, IlpComplexity, SecurityReport};
 pub use lattice::{Ac, AcType, Inputs};
 pub use optimize::{
-    default_targets, estimate_base_units, optimize, predict, MeasuredCost, OptimizeOutcome,
-    PlanCostModel, PredictedCost, SeedChoice,
+    default_targets, estimate_base_units, optimize, predict, MeasuredCost, OptimizeLadder,
+    OptimizeOutcome, PlanCostModel, PredictedCost, SeedChoice,
 };

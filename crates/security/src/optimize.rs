@@ -73,10 +73,12 @@ impl Default for PlanCostModel {
 impl PlanCostModel {
     /// Calibrates the round-trip weight from a measured telemetry cost
     /// breakdown: the observed round-trip units per interaction replace
-    /// the LAN default, so later predictions speak the measured run's
-    /// language.
-    pub fn calibrated(measured: &MeasuredCost) -> PlanCostModel {
-        let mut m = PlanCostModel::default();
+    /// `self.rtt_units`, so later predictions speak the measured run's
+    /// language. Every other weight (`call_units`, `loop_trip`,
+    /// `batch_factor`, `stmt_units`) is kept from `self` — a
+    /// caller-supplied model survives calibration.
+    pub fn calibrated(&self, measured: &MeasuredCost) -> PlanCostModel {
+        let mut m = self.clone();
         if measured.interactions > 0 && measured.rtt_units > 0 {
             m.rtt_units = measured.rtt_units / measured.interactions;
         }
@@ -290,10 +292,159 @@ pub fn default_targets(program: &Program, rule: SeedRule) -> SplitPlan {
     )
 }
 
+/// The downgrade ladder as a reusable value: ranking, per-function
+/// position and the contribution memo survive across levels, so a caller
+/// walking levels 0, 1, 2, … (the `hps-audit` `Planner`) pays for each
+/// candidate's single-target split *once* instead of rebuilding the memo
+/// per level. [`optimize`] is the one-shot wrapper.
+pub struct OptimizeLadder<'p> {
+    program: &'p Program,
+    rule: SeedRule,
+    rule_fallback: bool,
+    model: PlanCostModel,
+    ranked: Vec<(FuncId, Vec<SeedCandidate>)>,
+    /// Current position per ranked function: `Some(rank)` or `None` once
+    /// dropped from the plan.
+    pos: Vec<Option<usize>>,
+    contrib_memo: HashMap<(usize, usize), u64>,
+    dropped: Vec<String>,
+    level: usize,
+}
+
+impl<'p> OptimizeLadder<'p> {
+    /// Ranks every selectable function's seeds (with the cost-restricted →
+    /// max-complexity fallback) and positions the ladder at level 0, the
+    /// paper pipeline's maximum-security plan.
+    pub fn new(program: &'p Program, rule: SeedRule, model: PlanCostModel) -> OptimizeLadder<'p> {
+        let selected = select_functions(program);
+        let mut used_rule = rule;
+        let mut rule_fallback = false;
+        let mut ranked: Vec<(FuncId, Vec<SeedCandidate>)> = selected
+            .iter()
+            .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
+            .collect();
+        if ranked.iter().all(|(_, c)| c.is_empty()) && used_rule == SeedRule::CostRestricted {
+            used_rule = SeedRule::MaxComplexity;
+            rule_fallback = true;
+            ranked = selected
+                .iter()
+                .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
+                .collect();
+        }
+        ranked.retain(|(_, c)| !c.is_empty());
+        let pos = vec![Some(0); ranked.len()];
+        OptimizeLadder {
+            program,
+            rule: used_rule,
+            rule_fallback,
+            model,
+            ranked,
+            pos,
+            contrib_memo: HashMap::new(),
+            dropped: Vec::new(),
+            level: 0,
+        }
+    }
+
+    /// Downgrade levels applied so far.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Predicted extra units of one function's single-target split at the
+    /// given rank, memoized for the ladder's lifetime.
+    fn contribution(&mut self, i: usize, rank: usize) -> u64 {
+        if let Some(&c) = self.contrib_memo.get(&(i, rank)) {
+            return c;
+        }
+        let (func, cands) = &self.ranked[i];
+        let plan = SplitPlan::from_targets(vec![SplitTarget::Function {
+            func: *func,
+            seed: cands[rank].seed,
+        }]);
+        let extra = match split_program(self.program, &plan) {
+            Ok(split) => predict(self.program, &split, &self.model, Some(1)).extra_units,
+            Err(_) => u64::MAX,
+        };
+        self.contrib_memo.insert((i, rank), extra);
+        extra
+    }
+
+    /// Applies one downgrade move: the most expensive still-planned
+    /// function (ties: lowest function index) steps to its next-ranked
+    /// seed, or is dropped once its candidates are exhausted. Returns
+    /// `false` — without counting a level — when no move remains.
+    pub fn descend(&mut self) -> bool {
+        let mut worst: Option<(u64, usize)> = None;
+        for i in 0..self.pos.len() {
+            let Some(rank) = self.pos[i] else { continue };
+            let c = self.contribution(i, rank);
+            if worst.map(|(w, _)| c > w).unwrap_or(true) {
+                worst = Some((c, i));
+            }
+        }
+        let Some((_, i)) = worst else { return false };
+        let rank = self.pos[i].expect("picked a planned function");
+        if rank + 1 < self.ranked[i].1.len() {
+            self.pos[i] = Some(rank + 1);
+        } else {
+            self.pos[i] = None;
+            self.dropped
+                .push(self.program.func(self.ranked[i].0).name.clone());
+        }
+        self.level += 1;
+        true
+    }
+
+    /// The plan, choices and prediction at the ladder's current level.
+    pub fn outcome(&self, base_units: Option<u64>) -> OptimizeOutcome {
+        let mut targets = Vec::new();
+        let mut choices = Vec::new();
+        for (i, p) in self.pos.iter().enumerate() {
+            let Some(rank) = *p else { continue };
+            let (func, cands) = &self.ranked[i];
+            let c = &cands[rank];
+            targets.push(SplitTarget::Function {
+                func: *func,
+                seed: c.seed,
+            });
+            choices.push(SeedChoice {
+                func: *func,
+                func_name: self.program.func(*func).name.clone(),
+                seed: c.seed,
+                seed_name: self.program.func(*func).local(c.seed).name.clone(),
+                rank,
+                n_candidates: cands.len(),
+                max_ac: c.max_ac.clone(),
+                n_ilps: c.n_ilps,
+            });
+        }
+        let plan = SplitPlan::from_targets(targets);
+        let predicted = match split_program(self.program, &plan) {
+            Ok(split) => predict(self.program, &split, &self.model, base_units),
+            Err(_) => PredictedCost::default(),
+        };
+        OptimizeOutcome {
+            plan,
+            choices,
+            dropped: self.dropped.clone(),
+            rule: self.rule,
+            rule_fallback: self.rule_fallback,
+            predicted,
+            more_moves: self.pos.iter().any(|p| p.is_some()),
+            level: self.level,
+        }
+    }
+}
+
 /// Searches the hide-set space for the plan at downgrade `level` (see the
 /// module docs for the search order). Level 0 is the maximum-security
 /// combination; each further level trades the most expensive function
 /// down one notch. `base_units` is threaded into the prediction.
+///
+/// One-shot wrapper over [`OptimizeLadder`]; callers stepping through
+/// consecutive levels should hold a ladder instead, which keeps its
+/// ranking and contribution memo across levels.
 pub fn optimize(
     program: &Program,
     rule: SeedRule,
@@ -301,108 +452,13 @@ pub fn optimize(
     level: usize,
     base_units: Option<u64>,
 ) -> OptimizeOutcome {
-    let selected = select_functions(program);
-    let mut used_rule = rule;
-    let mut rule_fallback = false;
-    let mut ranked: Vec<(FuncId, Vec<SeedCandidate>)> = selected
-        .iter()
-        .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
-        .collect();
-    if ranked.iter().all(|(_, c)| c.is_empty()) && used_rule == SeedRule::CostRestricted {
-        used_rule = SeedRule::MaxComplexity;
-        rule_fallback = true;
-        ranked = selected
-            .iter()
-            .map(|&f| (f, ranked_seeds_with(program, f, used_rule)))
-            .collect();
-    }
-    ranked.retain(|(_, c)| !c.is_empty());
-
-    // Current position per function: Some(candidate index) or None
-    // (dropped). Contributions are the predicted extra units of the
-    // function's single-target split, memoized per (func, rank).
-    let mut pos: Vec<Option<usize>> = vec![Some(0); ranked.len()];
-    let mut contrib_memo: HashMap<(usize, usize), u64> = HashMap::new();
-    let contribution = |program: &Program,
-                        ranked: &[(FuncId, Vec<SeedCandidate>)],
-                        memo: &mut HashMap<(usize, usize), u64>,
-                        i: usize,
-                        rank: usize|
-     -> u64 {
-        if let Some(&c) = memo.get(&(i, rank)) {
-            return c;
-        }
-        let (func, cands) = &ranked[i];
-        let plan = SplitPlan::from_targets(vec![SplitTarget::Function {
-            func: *func,
-            seed: cands[rank].seed,
-        }]);
-        let extra = match split_program(program, &plan) {
-            Ok(split) => predict(program, &split, model, Some(1)).extra_units,
-            Err(_) => u64::MAX,
-        };
-        memo.insert((i, rank), extra);
-        extra
-    };
-
-    let mut dropped: Vec<String> = Vec::new();
+    let mut ladder = OptimizeLadder::new(program, rule, model.clone());
     for _ in 0..level {
-        // The most expensive still-planned function downgrades one notch.
-        let mut worst: Option<(u64, usize)> = None;
-        for (i, p) in pos.iter().enumerate() {
-            let Some(rank) = *p else { continue };
-            let c = contribution(program, &ranked, &mut contrib_memo, i, rank);
-            if worst.map(|(w, _)| c > w).unwrap_or(true) {
-                worst = Some((c, i));
-            }
-        }
-        let Some((_, i)) = worst else { break };
-        let rank = pos[i].expect("picked a planned function");
-        if rank + 1 < ranked[i].1.len() {
-            pos[i] = Some(rank + 1);
-        } else {
-            pos[i] = None;
-            dropped.push(program.func(ranked[i].0).name.clone());
+        if !ladder.descend() {
+            break;
         }
     }
-    let more_moves = pos.iter().any(|p| p.is_some());
-
-    let mut targets = Vec::new();
-    let mut choices = Vec::new();
-    for (i, p) in pos.iter().enumerate() {
-        let Some(rank) = *p else { continue };
-        let (func, cands) = &ranked[i];
-        let c = &cands[rank];
-        targets.push(SplitTarget::Function {
-            func: *func,
-            seed: c.seed,
-        });
-        choices.push(SeedChoice {
-            func: *func,
-            func_name: program.func(*func).name.clone(),
-            seed: c.seed,
-            seed_name: program.func(*func).local(c.seed).name.clone(),
-            rank,
-            n_candidates: cands.len(),
-            max_ac: c.max_ac.clone(),
-            n_ilps: c.n_ilps,
-        });
-    }
-    let plan = SplitPlan::from_targets(targets);
-    let predicted = match split_program(program, &plan) {
-        Ok(split) => predict(program, &split, model, base_units),
-        Err(_) => PredictedCost::default(),
-    };
-    OptimizeOutcome {
-        plan,
-        choices,
-        dropped,
-        rule: used_rule,
-        rule_fallback,
-        predicted,
-        more_moves,
-        level,
-    }
+    ladder.outcome(base_units)
 }
 
 #[cfg(test)]
@@ -481,9 +537,51 @@ mod tests {
             server_units: 100,
             interactions: 8,
         };
-        let model = PlanCostModel::calibrated(&m);
+        let model = PlanCostModel::default().calibrated(&m);
         assert_eq!(model.rtt_units, 50);
         assert!((m.overhead_percent() - 50.0).abs() < 1e-9);
         assert_eq!(m.open_units(), 1000);
+    }
+
+    #[test]
+    fn calibration_preserves_caller_overrides() {
+        let custom = PlanCostModel {
+            call_units: 99,
+            loop_trip: 5,
+            batch_factor: 2,
+            stmt_units: 7,
+            ..PlanCostModel::default()
+        };
+        let m = MeasuredCost {
+            base_units: 1000,
+            split_units: 1500,
+            rtt_units: 400,
+            server_units: 100,
+            interactions: 8,
+        };
+        let calibrated = custom.calibrated(&m);
+        assert_eq!(calibrated.rtt_units, 50, "rtt re-derived from telemetry");
+        assert_eq!(
+            calibrated,
+            PlanCostModel {
+                rtt_units: 50,
+                ..custom
+            },
+            "every non-rtt weight survives calibration"
+        );
+    }
+
+    #[test]
+    fn ladder_matches_one_shot_optimize_at_every_level() {
+        let p = hps_lang::parse(SRC).unwrap();
+        let model = PlanCostModel::default();
+        let mut ladder = OptimizeLadder::new(&p, SeedRule::CostRestricted, model.clone());
+        for level in 0..6 {
+            let one_shot = optimize(&p, SeedRule::CostRestricted, &model, level, None);
+            assert_eq!(ladder.outcome(None), one_shot, "level {level}");
+            if !ladder.descend() {
+                break;
+            }
+        }
     }
 }

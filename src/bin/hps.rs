@@ -8,9 +8,9 @@
 //! hps split <file.ml> [--func f --var a | --auto | --global g | --class C]
 //!           [--budget PCT[%]] [--harden] [--json] [--args ints...]
 //!                                             print Of, Hf and the split report;
-//!                                             with --budget/--harden, run the
-//!                                             budget-aware planner instead and
-//!                                             print its plan report
+//!                                             with --budget/--harden/--json/--args,
+//!                                             run the budget-aware planner instead
+//!                                             and print its plan report
 //! hps analyze <file.ml> [selection flags]     ILP complexity report (§3)
 //! hps audit <file.ml> [selection] [--json|--sarif|--effects]
 //!                                             split-soundness audit (non-zero exit on deny);
@@ -96,10 +96,10 @@ checksummed per-session files so sessions rebuild their hidden state
 after a shard crash or a full server restart (`hps_server_*` recovery
 counters record the replays).
 `split --budget PCT --harden` runs the budget-aware planner: automatic
-seed search under the overhead budget, decoy-based hardening of weak
+seed search under the overhead budget, decoy-based wire-masking of weak
 (Constant/Linear) leaks, measured-vs-predicted cost report; --json emits
-the deterministic hps-plan/v1 document, --args supplies the integer entry
-arguments used for measurement.
+the deterministic hps-plan/v2 document, --args supplies the integer entry
+arguments used for measurement (any of these flags selects planner mode).
 `run --split` executes the open/hidden pair in-process; `--metrics-json`
 (implies --split) prints the deterministic hps-telemetry/v1 snapshot to
 stdout, with program output diverted to stderr. `serve --shards N` spreads
@@ -352,7 +352,9 @@ fn cmd_split(args: &[String]) -> Result<(), String> {
         }
     }
     let program = load(path)?;
-    if budget.is_none() && !harden && !json {
+    // --args only matters to the planner's measurer, so it selects planner
+    // mode too — the legacy dump would silently ignore it.
+    if budget.is_none() && !harden && !json && ints.is_empty() {
         // Legacy mode: dump the split itself.
         let split = do_split(&program, &selection)?;
         println!("==== open program (Of) ====");

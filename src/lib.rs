@@ -51,7 +51,8 @@
 //! let program = hps::lang::parse(source)?;
 //! let report = hps::audit::Planner::new(&program).harden(true).plan()?;
 //! assert!(!report.plan.targets.is_empty());
-//! assert_eq!(report.weak_after, 0);
+//! // Hardening masks weak leaks on the wire; no weak leak ships unmasked.
+//! assert_eq!(report.weak_unmasked_after(), 0);
 //! let original = hps::runtime::run_program(&program, &[])?;
 //! let run = hps::runtime::Executor::new(&report.split.open, &report.split.hidden)
 //!     .recorder(hps::runtime::MetricsRecorder::new())

@@ -96,7 +96,7 @@ fn split_plans_with_budget_and_hardening() {
     assert!(text.contains("measured:"), "{text}");
     assert!(text.contains("weak ILPs:"), "{text}");
 
-    // Machine report: --budget 15% --json emits the hps-plan/v1 document.
+    // Machine report: --budget 15% --json emits the hps-plan/v2 document.
     let out = Command::new(HPS)
         .args([
             "split",
@@ -117,9 +117,29 @@ fn split_plans_with_budget_and_hardening() {
         String::from_utf8_lossy(&out.stderr)
     );
     let json = String::from_utf8_lossy(&out.stdout);
-    assert!(json.contains("\"schema\": \"hps-plan/v1\""), "{json}");
+    assert!(json.contains("\"schema\": \"hps-plan/v2\""), "{json}");
     assert!(json.contains("\"budget_percent\": \"15.00\""), "{json}");
     assert!(json.contains("\"within_budget\": true"), "{json}");
+}
+
+#[test]
+fn split_args_alone_select_planner_mode() {
+    let path = demo_file();
+    // --args only feeds the planner's measurer; the legacy dump would
+    // silently ignore it, so it must select planner mode by itself.
+    let out = Command::new(HPS)
+        .args(["split", path.to_str().unwrap(), "--args", "10", "12"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan:"), "{text}");
+    assert!(text.contains("measured:"), "{text}");
+    assert!(!text.contains("==== open program"), "{text}");
 }
 
 #[test]
